@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the simulator substrates: address
+//! hashing, coalescing, tag lookup, MSHR bookkeeping, crossbar injection
+//! and DRAM ticking. These are the per-cycle inner loops that bound how
+//! many simulated cycles per second the full model achieves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlp_core::CacheGeometry;
+use gpu_mem::dram::{Dram, DramCmd, DramConfig};
+use gpu_mem::icnt::{IcntConfig, Interconnect};
+use gpu_mem::mshr::{Mshr, MshrLookup};
+use gpu_mem::packet::{MemReq, Packet, PacketKind};
+use gpu_mem::tag_array::TagArray;
+use gpu_sim::coalescer::coalesce;
+
+fn req(i: u64) -> MemReq {
+    MemReq {
+        id: i,
+        addr: i * 128,
+        is_write: false,
+        pc: (i % 16) as u32,
+        sm: 0,
+        warp: (i % 48) as u32,
+        dst_reg: 1,
+        born: 0,
+    }
+}
+
+fn bench_geometry_hash(c: &mut Criterion) {
+    let g = CacheGeometry::fermi_l1d_16k();
+    c.bench_function("geometry_hash_index", |b| {
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(0x9e37);
+            black_box(g.set_of_line(black_box(line)));
+        });
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let unit: Vec<u64> = (0..32).map(|l| 0x1000 + l * 4).collect();
+    let scatter: Vec<u64> = (0..32).map(|l| l * 4096).collect();
+    c.bench_function("coalesce_unit_stride", |b| {
+        b.iter(|| black_box(coalesce(black_box(&unit), 128)));
+    });
+    c.bench_function("coalesce_full_scatter", |b| {
+        b.iter(|| black_box(coalesce(black_box(&scatter), 128)));
+    });
+}
+
+fn bench_tag_array(c: &mut Criterion) {
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let mut tags = TagArray::new(geom);
+    for set in 0..geom.num_sets {
+        for way in 0..geom.assoc {
+            tags.evict_and_reserve(set, way, (set * geom.assoc + way) as u64);
+            tags.fill(set, way, false);
+        }
+    }
+    c.bench_function("tag_array_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tags.lookup((i % 32) as usize, i % 200));
+        });
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("mshr_probe_allocate_complete", |b| {
+        let mut m = Mshr::new(128, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = i % 64;
+            match m.probe(line) {
+                MshrLookup::Absent => m.allocate(line, Some((0, 0)), req(i)),
+                MshrLookup::Merged => m.merge(line, req(i)),
+                _ => {
+                    m.complete(line);
+                }
+            }
+            if i % 8 == 0 {
+                m.complete(line);
+            }
+        });
+    });
+}
+
+fn bench_icnt(c: &mut Criterion) {
+    c.bench_function("icnt_send_pop", |b| {
+        let mut icnt = Interconnect::new(IcntConfig::fermi());
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            let pkt = Packet { kind: PacketKind::ReadReq, addr: now * 128, req: req(now) };
+            let dst = icnt.partition_of(pkt.addr);
+            if icnt.try_send_fwd(dst, pkt, now) {
+                black_box(icnt.pop_fwd(dst, now + 100));
+            }
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_tick_under_load", |b| {
+        let mut d = Dram::new(DramConfig::gddr5());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if d.can_accept(i * 128) {
+                d.enqueue(DramCmd { addr: i * 128, is_write: false, pkt: None });
+            }
+            d.tick();
+            black_box(d.pop_completed());
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_geometry_hash, bench_coalescer, bench_tag_array, bench_mshr, bench_icnt, bench_dram
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! One Criterion bench per paper artifact: each target runs the same
+//! computation the corresponding `figures <id>` subcommand performs, at
+//! `Scale::Tiny` so `cargo bench` finishes in minutes. The full-scale
+//! numbers in EXPERIMENTS.md come from `figures <id>` (release binary);
+//! these benches keep every figure's pipeline exercised and timed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlp_bench::harness::{run_app, ExperimentConfig};
+use dlp_core::{dlp_overhead, CacheGeometry, PolicyKind};
+use gpu_workloads::{registry, Scale};
+
+/// Figure 3 / 7: RD profiling of one representative app (BFS carries
+/// the per-instruction story).
+fn fig3_fig7_rdd(c: &mut Criterion) {
+    c.bench_function("fig3_fig7_rdd_profile_BFS", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig {
+                scale: Scale::Tiny,
+                profile_rd: true,
+                ..ExperimentConfig::baseline()
+            };
+            let run = run_app("BFS", cfg);
+            let sink = run.rdd.unwrap();
+            let prof = sink.lock();
+            black_box(prof.overall.shares());
+        });
+    });
+}
+
+/// Figures 4–5: the cache-size sweep on one CI app.
+fn fig4_fig5_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fig5_size_sweep_KM");
+    for (label, geom) in [
+        ("16KB", CacheGeometry::fermi_l1d_16k()),
+        ("32KB", CacheGeometry::fermi_l1d_32k()),
+        ("64KB", CacheGeometry::fermi_l1d_64k()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &geom, |b, &geom| {
+            b.iter(|| {
+                let cfg = ExperimentConfig {
+                    scale: Scale::Tiny,
+                    ..ExperimentConfig::baseline().with_geom(geom)
+                };
+                black_box(run_app("KM", cfg).stats.ipc())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6 / Table 2: the static memory-access-ratio computation for
+/// the whole suite.
+fn fig6_tab2_ratios(c: &mut Criterion) {
+    c.bench_function("fig6_tab2_static_ratios", |b| {
+        b.iter(|| {
+            for spec in registry() {
+                let k = gpu_workloads::build(spec.abbr, Scale::Tiny);
+                black_box(gpu_workloads::registry::static_mem_ratio(k.as_ref()));
+            }
+        });
+    });
+}
+
+/// Figures 10–13: the four-scheme comparison on one CI app (all four
+/// figures derive from the same runs).
+fn fig10_to_13_policy_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_13_policy_comparison_SS");
+    g.sample_size(10);
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| {
+                let cfg =
+                    ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline().with_policy(k) };
+                let run = run_app("SS", cfg);
+                black_box((
+                    run.stats.ipc(),
+                    run.stats.l1d.cache_traffic(),
+                    run.stats.l1d.evictions,
+                    run.stats.l1d.hit_rate(),
+                    run.stats.icnt.total_flits(),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §4.3: the hardware-overhead computation.
+fn overhead_model(c: &mut Criterion) {
+    c.bench_function("overhead_section_4_3", |b| {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        b.iter(|| black_box(dlp_overhead(geom, geom.num_lines() as u64).total_extra_bytes()));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig3_fig7_rdd,
+        fig4_fig5_size_sweep,
+        fig6_tab2_ratios,
+        fig10_to_13_policy_comparison,
+        overhead_model
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the policy machinery itself: the
+//! per-access hooks the L1D drives on every transaction, and the
+//! end-of-sample PD recomputation. These bound the simulation cost of
+//! the schemes and document the (software-model) overhead ordering:
+//! baseline LRU < Stall-Bypass < protection schemes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlp_core::{
+    build_policy, pd_adjustment, AccessCtx, CacheGeometry, MissDecision, PolicyKind,
+    ReplacementPolicy, VictimTagArray, WayView,
+};
+
+fn ctx(insn: u8) -> AccessCtx {
+    AccessCtx { insn_id: insn, is_write: false }
+}
+
+/// Drive one synthetic access (query + miss + decide + fill-or-evict)
+/// through a policy.
+fn one_access(p: &mut dyn ReplacementPolicy, i: u64, ways: &[WayView]) {
+    let set = (i % 32) as usize;
+    let insn = (i % 8) as u8;
+    p.on_query(set);
+    p.on_miss(set, 1000 + i % 256, &ctx(insn));
+    match p.decide_replacement(set, ways, &ctx(insn)) {
+        MissDecision::Allocate { way } => {
+            p.on_evict(set, way, i % 256);
+            p.on_fill(set, way, 1000 + i % 256, &ctx(insn));
+        }
+        MissDecision::Bypass | MissDecision::Stall => {}
+    }
+}
+
+fn bench_policy_access_path(c: &mut Criterion) {
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let ways: Vec<WayView> = (0..4).map(|w| WayView::valid(w as u64)).collect();
+    let mut g = c.benchmark_group("policy_access_path");
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            let mut p = build_policy(k, geom);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                one_access(p.as_mut(), black_box(i), &ways);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let mut g = c.benchmark_group("policy_hit_path");
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            let mut p = build_policy(k, geom);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let set = (i % 32) as usize;
+                p.on_query(set);
+                p.on_hit(set, (i % 4) as usize, &ctx((i % 8) as u8));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pd_adjustment(c: &mut Criterion) {
+    c.bench_function("pd_adjustment_step_comparison", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(pd_adjustment(4, i % 512, (i / 3) % 256));
+        });
+    });
+}
+
+fn bench_vta(c: &mut Criterion) {
+    c.bench_function("vta_insert_probe", |b| {
+        let mut vta = VictimTagArray::new(32, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            vta.insert((i % 32) as usize, i % 4096, (i % 128) as u8);
+            black_box(vta.probe_remove(((i + 1) % 32) as usize, (i + 1) % 4096));
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_policy_access_path, bench_hit_path, bench_pd_adjustment, bench_vta
+);
+criterion_main!(benches);

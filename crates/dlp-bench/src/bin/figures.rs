@@ -1,0 +1,641 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures <artifact> [--tiny]
+//!   artifact: tab1 tab2 fig3 fig4 fig5 fig6 fig7 fig10 fig11 fig12
+//!             fig13 overhead ablation all
+//!             calib           (CI tuning table: hit%, bypass%, stalls, PD)
+//!             inspect <APP>   (raw per-scheme statistics dump)
+//!             pdpt <APP>      (DLP's learned per-instruction PDs vs RDDs)
+//!   --tiny:   run the Tiny workload scale (smoke test)
+//! ```
+
+use dlp_bench::harness::{
+    run_app, run_policy_suite, run_size_suite, ExperimentConfig, PolicySuite, SizeSuite, LABEL_32K,
+    SIZE_LABELS,
+};
+use dlp_bench::report::{geomean, normalize, Table};
+use dlp_core::{dlp_overhead, CacheGeometry, PolicyKind, ProtectionConfig};
+use gpu_workloads::{registry, AppClass, Scale};
+
+/// The four policy columns in figure order.
+const POLICY_LABELS: [&str; 4] =
+    ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale =
+        if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Full };
+    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    match what {
+        "tab1" => tab1(),
+        "tab2" => tab2(scale),
+        "fig3" => fig3(scale),
+        "fig4" => {
+            let s = run_size_suite(scale);
+            fig4(&s);
+        }
+        "fig5" => {
+            let s = run_size_suite(scale);
+            fig5(&s);
+        }
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig10" => {
+            let s = run_policy_suite(scale);
+            fig10(&s);
+        }
+        "fig11" => {
+            let s = run_policy_suite(scale);
+            fig11(&s);
+        }
+        "fig12" => {
+            let s = run_policy_suite(scale);
+            fig12(&s);
+        }
+        "fig13" => {
+            let s = run_policy_suite(scale);
+            fig13(&s);
+        }
+        "overhead" => overhead(),
+        "ablation" => ablation(scale),
+        "all" => {
+            tab1();
+            tab2(scale);
+            fig3(scale);
+            fig6(scale);
+            fig7(scale);
+            let sizes = run_size_suite(scale);
+            fig4(&sizes);
+            fig5(&sizes);
+            let suite = run_policy_suite(scale);
+            fig10(&suite);
+            fig11(&suite);
+            fig12(&suite);
+            fig13(&suite);
+            overhead();
+        }
+        "calib" => calib(scale),
+        "pdpt" => {
+            let app = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .expect("usage: figures pdpt <APP>");
+            pdpt_report(app, scale);
+        }
+        "inspect" => {
+            // figures inspect <APP> — dump raw stats for all schemes.
+            let app = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .expect("usage: figures inspect <APP>");
+            inspect(app, scale);
+        }
+        other => {
+            eprintln!("unknown artifact {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn tab1() {
+    println!("== Table 1: GPU configuration ==");
+    let cfg = gpu_sim::SimConfig::tesla_m2090(PolicyKind::Baseline);
+    let mut t = Table::new(vec!["Parameter", "Value"]);
+    t.row(vec!["Number of Cores".to_string(), cfg.num_sms.to_string()]);
+    t.row(vec!["Warp Size".to_string(), cfg.warp_size.to_string()]);
+    t.row(vec!["Max # of warps per core".to_string(), cfg.max_warps_per_sm.to_string()]);
+    t.row(vec![
+        "Warp schedulers per core".to_string(),
+        format!("{}, GTO scheduling policy", cfg.schedulers_per_sm),
+    ]);
+    t.row(vec![
+        "L1D cache".to_string(),
+        format!(
+            "{}KB, {}sets, {}-ways, Hash index",
+            cfg.l1d.geom.capacity_bytes() / 1024,
+            cfg.l1d.geom.num_sets,
+            cfg.l1d.geom.assoc
+        ),
+    ]);
+    t.row(vec!["# of memory partition".to_string(), cfg.icnt.num_partitions.to_string()]);
+    t.row(vec![
+        "L2 cache".to_string(),
+        format!(
+            "{}KB, {}sets, {}-ways, Linear index",
+            cfg.partition.l2_geom.capacity_bytes() * cfg.icnt.num_partitions as u64 / 1024,
+            cfg.partition.l2_geom.num_sets,
+            cfg.partition.l2_geom.assoc
+        ),
+    ]);
+    t.row(vec![
+        "DRAM".to_string(),
+        format!(
+            "32bits bus width/partition, {} banks/partition, GDDR5 timing",
+            cfg.partition.dram.num_banks
+        ),
+    ]);
+    println!("{}", t.render());
+}
+
+fn tab2(scale: Scale) {
+    println!("== Table 2: benchmark applications ==");
+    let mut t = Table::new(vec!["Abbr", "Name", "Suite", "Type", "Input", "MeasuredRatio"]);
+    for s in registry() {
+        let k = gpu_workloads::build(s.abbr, scale);
+        let ratio = gpu_workloads::registry::static_mem_ratio(k.as_ref());
+        t.row(vec![
+            s.abbr.to_string(),
+            s.name.to_string(),
+            s.suite.to_string(),
+            format!("{:?}", s.class),
+            s.input.to_string(),
+            format!("{:.2}%", ratio * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig3(scale: Scale) {
+    println!("== Figure 3: Reuse Distance Distribution per application ==");
+    let mut t = Table::new(vec!["App", "RD 1~4", "RD 5~8", "RD 9~64", "RD >64", "Compulsory%"]);
+    for spec in registry() {
+        let cfg = ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() };
+        let run = run_app(spec.abbr, cfg);
+        let sink = run.rdd.unwrap();
+        let prof = sink.lock();
+        let sh = prof.overall.shares();
+        let total = prof.overall.total() + prof.overall.compulsory;
+        let comp = if total == 0 { 0.0 } else { prof.overall.compulsory as f64 / total as f64 };
+        t.row(vec![
+            spec.abbr.to_string(),
+            format!("{:.1}%", sh[0] * 100.0),
+            format!("{:.1}%", sh[1] * 100.0),
+            format!("{:.1}%", sh[2] * 100.0),
+            format!("{:.1}%", sh[3] * 100.0),
+            format!("{:.1}%", comp * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig4(s: &SizeSuite) {
+    println!("== Figure 4: reuse-data miss rate vs cache size (compulsory excluded) ==");
+    let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
+    for spec in &s.apps {
+        let row = &s.runs[spec.abbr];
+        let cells: Vec<String> = SIZE_LABELS
+            .iter()
+            .map(|l| format!("{:.1}%", row[l].stats.l1d.reuse_miss_rate() * 100.0))
+            .collect();
+        t.row(vec![spec.abbr.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig5(s: &SizeSuite) {
+    println!("== Figure 5: IPC vs cache size, normalized to 16KB ==");
+    let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
+    for spec in &s.apps {
+        let row = &s.runs[spec.abbr];
+        let base = row["16KB"].stats.ipc();
+        t.row(vec![
+            spec.abbr.to_string(),
+            "1.00".to_string(),
+            format!("{:.2}", normalize(row["32KB"].stats.ipc(), base)),
+            format!("{:.2}", normalize(row["64KB"].stats.ipc(), base)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig6(scale: Scale) {
+    println!("== Figure 6: memory access ratio (sorted; CS/CI split at 1%) ==");
+    let mut rows: Vec<(String, f64, AppClass)> = registry()
+        .into_iter()
+        .map(|s| {
+            let k = gpu_workloads::build(s.abbr, scale);
+            (s.abbr.to_string(), gpu_workloads::registry::static_mem_ratio(k.as_ref()), s.class)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut t = Table::new(vec!["App", "Ratio", "Class"]);
+    for (abbr, ratio, class) in rows {
+        t.row(vec![abbr, format!("{:.2}%", ratio * 100.0), format!("{class:?}")]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig7(scale: Scale) {
+    println!("== Figure 7: RDD per memory instruction, BFS ==");
+    let cfg = ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() };
+    let run = run_app("BFS", cfg);
+    let sink = run.rdd.unwrap();
+    let prof = sink.lock();
+    let mut pcs: Vec<u32> = prof.per_pc.keys().copied().collect();
+    pcs.sort_unstable();
+    let mut t = Table::new(vec!["Insn", "RD 1~4", "RD 5~8", "RD 9~64", "RD >64", "Samples"]);
+    for pc in pcs {
+        let h = &prof.per_pc[&pc];
+        if h.total() == 0 {
+            continue;
+        }
+        let sh = h.shares();
+        t.row(vec![
+            format!("insn{pc}"),
+            format!("{:.1}%", sh[0] * 100.0),
+            format!("{:.1}%", sh[1] * 100.0),
+            format!("{:.1}%", sh[2] * 100.0),
+            format!("{:.1}%", sh[3] * 100.0),
+            h.total().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn class_rows<'a>(
+    suite: &'a PolicySuite,
+    class: AppClass,
+) -> impl Iterator<Item = &'a gpu_workloads::BenchSpec> + 'a {
+    suite.apps.iter().filter(move |s| s.class == class)
+}
+
+fn fig10(suite: &PolicySuite) {
+    println!("== Figure 10: IPC normalized to the 16KB baseline ==");
+    let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP", "32KB"]);
+    for class in [AppClass::CS, AppClass::CI] {
+        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        for spec in class_rows(suite, class) {
+            let row = &suite.runs[spec.abbr];
+            let base = row[POLICY_LABELS[0]].stats.ipc();
+            let mut cells = vec![spec.abbr.to_string()];
+            for (i, label) in POLICY_LABELS.iter().chain([&LABEL_32K]).enumerate() {
+                let v = normalize(row[*label].stats.ipc(), base);
+                per_scheme[i].push(v);
+                cells.push(format!("{v:.2}"));
+            }
+            t.row(cells);
+        }
+        let mut gm = vec![format!("G.MEANS({class:?})")];
+        for vals in &per_scheme {
+            gm.push(format!("{:.2}", geomean(vals)));
+        }
+        t.row(gm);
+    }
+    println!("{}", t.render());
+}
+
+fn fig11(suite: &PolicySuite) {
+    println!("== Figure 11a: L1D traffic normalized to baseline ==");
+    print_normalized(suite, |r| r.stats.l1d.cache_traffic() as f64);
+    println!("== Figure 11b: L1D evictions normalized to baseline ==");
+    print_normalized(suite, |r| r.stats.l1d.evictions as f64);
+}
+
+fn fig12(suite: &PolicySuite) {
+    println!("== Figure 12a: L1D hit rate ==");
+    let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP"]);
+    for class in [AppClass::CS, AppClass::CI] {
+        for spec in class_rows(suite, class) {
+            let row = &suite.runs[spec.abbr];
+            let mut cells = vec![spec.abbr.to_string()];
+            for label in POLICY_LABELS {
+                cells.push(format!("{:.3}", row[label].stats.l1d.hit_rate()));
+            }
+            t.row(cells);
+        }
+    }
+    println!("{}", t.render());
+    println!("== Figure 12b: number of L1D hits normalized to baseline ==");
+    print_normalized(suite, |r| r.stats.l1d.hits as f64);
+}
+
+fn fig13(suite: &PolicySuite) {
+    println!("== Figure 13: interconnect traffic normalized to baseline ==");
+    print_normalized(suite, |r| r.stats.icnt.total_flits() as f64);
+}
+
+fn print_normalized(suite: &PolicySuite, metric: impl Fn(&dlp_bench::AppRun) -> f64) {
+    let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP"]);
+    for class in [AppClass::CS, AppClass::CI] {
+        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for spec in class_rows(suite, class) {
+            let row = &suite.runs[spec.abbr];
+            let base = metric(&row[POLICY_LABELS[0]]);
+            let mut cells = vec![spec.abbr.to_string()];
+            if base == 0.0 {
+                // Nothing to normalize against (e.g. a zero-hit app);
+                // exclude from the geometric means.
+                cells.extend(std::iter::repeat("n/a".to_string()).take(4));
+                t.row(cells);
+                continue;
+            }
+            for (i, label) in POLICY_LABELS.iter().enumerate() {
+                let v = normalize(metric(&row[*label]), base);
+                per_scheme[i].push(v.max(1e-9));
+                cells.push(format!("{v:.2}"));
+            }
+            t.row(cells);
+        }
+        let mut gm = vec![format!("G.MEANS({class:?})")];
+        for vals in &per_scheme {
+            gm.push(format!("{:.2}", geomean(vals)));
+        }
+        t.row(gm);
+    }
+    println!("{}", t.render());
+}
+
+/// What DLP learned: the per-instruction protection distances of SM 0
+/// after a full run, next to each instruction's measured RDD — the
+/// paper's §3.3 argument made observable.
+fn pdpt_report(app: &str, scale: Scale) {
+    use gpu_sim::{Gpu, SimConfig};
+    // Profiled baseline run for the per-PC RDDs.
+    let prof_run = run_app(
+        app,
+        ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() },
+    );
+    let sink = prof_run.rdd.unwrap();
+    let prof = sink.lock();
+
+    // DLP run; inspect SM 0's PDPT afterwards.
+    let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp);
+    let mut gpu = Gpu::new(cfg, gpu_workloads::build(app, scale));
+    let stats = gpu.run();
+    assert!(stats.completed);
+    let snapshot = gpu
+        .l1d(0)
+        .policy()
+        .pd_snapshot()
+        .expect("DLP keeps per-instruction PDs");
+
+    println!("== {app}: learned protection distances (SM 0) vs measured RDDs ==");
+    let mut t = Table::new(vec!["Insn", "final PD", "RD 1~4", "RD 5~8", "RD 9~64", "RD >64"]);
+    for (insn, pd) in snapshot {
+        let pc = insn as u32; // workload PCs are < 64, so the 7-bit hash is the identity
+        let (s0, s1, s2, s3) = match prof.per_pc.get(&pc) {
+            Some(h) if h.total() > 0 => {
+                let s = h.shares();
+                (s[0], s[1], s[2], s[3])
+            }
+            _ => (0.0, 0.0, 0.0, 0.0),
+        };
+        t.row(vec![
+            format!("insn{insn}"),
+            pd.to_string(),
+            format!("{:.0}%", s0 * 100.0),
+            format!("{:.0}%", s1 * 100.0),
+            format!("{:.0}%", s2 * 100.0),
+            format!("{:.0}%", s3 * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "mean PD over samples: {:.2}; increases {}, decreases {}",
+        stats.policy.avg_pd(),
+        stats.policy.pd_increases,
+        stats.policy.pd_decreases
+    );
+}
+
+fn inspect(app: &str, scale: Scale) {
+    // Optional protection overrides for quick experiments.
+    let decrease_step: Option<u8> =
+        std::env::var("DLP_DECREASE_STEP").ok().and_then(|v| v.parse().ok());
+    let sample_period: Option<u32> =
+        std::env::var("DLP_SAMPLE_PERIOD").ok().and_then(|v| v.parse().ok());
+    for kind in PolicyKind::ALL {
+        let mut pc = ProtectionConfig::paper_default(CacheGeometry::fermi_l1d_16k());
+        if let Some(d) = decrease_step {
+            pc.decrease_step = d;
+        }
+        if let Some(p) = sample_period {
+            pc.sample_period = p;
+        }
+        let protection =
+            (decrease_step.is_some() || sample_period.is_some()).then_some(pc);
+        let run = run_app(
+            app,
+            ExperimentConfig { scale, protection, ..ExperimentConfig::baseline().with_policy(kind) },
+        );
+        let s = &run.stats;
+        println!("--- {app} {:?} ---", kind);
+        println!(
+            "cycles {} ipc {:.2} thread_insns {} txns {}",
+            s.cycles,
+            s.ipc(),
+            s.thread_insns,
+            s.mem_transactions
+        );
+        println!(
+            "L1D: acc {} hits {} ({:.1}%) alloc_miss {} merges {} byp_ld {} byp_st {} evic {} (dirty {}) compulsory {} stall_cyc {} rejects {}",
+            s.l1d.accesses,
+            s.l1d.hits,
+            s.l1d.hit_rate() * 100.0,
+            s.l1d.misses_allocated,
+            s.l1d.mshr_merges,
+            s.l1d.bypassed_loads,
+            s.l1d.bypassed_stores,
+            s.l1d.evictions,
+            s.l1d.dirty_evictions,
+            s.l1d.compulsory_misses,
+            s.l1d.stall_cycles,
+            s.l1d.rejected_submits,
+        );
+        println!(
+            "stall causes: merge_full {} mshr_full {} miss_q {} all_resv {} | avg load latency {:.0}",
+            s.l1d.stall_merge_full, s.l1d.stall_mshr_full, s.l1d.stall_miss_queue, s.l1d.stall_all_reserved,
+            s.l1d.avg_load_latency(),
+        );
+        println!(
+            "policy: queries {} prot_byp {} vta_hits {} vta_ins {} samples {} incr {} decr {} avg_pd {:.2}",
+            s.policy.queries,
+            s.policy.protected_bypasses,
+            s.policy.vta_hits,
+            s.policy.vta_insertions,
+            s.policy.samples,
+            s.policy.pd_increases,
+            s.policy.pd_decreases,
+            s.policy.avg_pd(),
+        );
+        println!(
+            "icnt: fwd {} ret {} rejects {} | L2: acc {} hits {} | DRAM: rd {} wr {} rowhit {:.0}%",
+            s.icnt.fwd_flits,
+            s.icnt.ret_flits,
+            s.icnt.rejects,
+            s.l2.accesses,
+            s.l2.hits,
+            s.dram.reads,
+            s.dram.writes,
+            100.0 * s.dram.row_hits as f64 / (s.dram.row_hits + s.dram.row_misses).max(1) as f64,
+        );
+    }
+    let run32 = run_app(
+        app,
+        ExperimentConfig { scale, ..ExperimentConfig::baseline().with_geom(CacheGeometry::fermi_l1d_32k()) },
+    );
+    let s = &run32.stats;
+    println!("--- {app} 32KB ---");
+    println!(
+        "cycles {} ipc {:.2} L1D hits {} ({:.1}%) alloc_miss {} merges {} stall_cyc {}",
+        s.cycles,
+        s.ipc(),
+        s.l1d.hits,
+        s.l1d.hit_rate() * 100.0,
+        s.l1d.misses_allocated,
+        s.l1d.mshr_merges,
+        s.l1d.stall_cycles
+    );
+    println!(
+        "stall causes: merge_full {} mshr_full {} miss_q {} all_resv {} | avg load latency {:.0} | icnt rejects {}",
+        s.l1d.stall_merge_full,
+        s.l1d.stall_mshr_full,
+        s.l1d.stall_miss_queue,
+        s.l1d.stall_all_reserved,
+        s.l1d.avg_load_latency(),
+        s.icnt.rejects,
+    );
+}
+
+/// Compact calibration table: every CI app under the four schemes plus
+/// 32 KB, with the metrics that drive tuning decisions.
+fn calib(scale: Scale) {
+    let suite = run_policy_suite(scale);
+    let mut t = Table::new(vec![
+        "App", "Scheme", "IPCx", "Hit%", "Byp%", "Stall/SMcyc", "AllResv", "AvgPD",
+    ]);
+    for spec in suite.apps.iter().filter(|s| s.class == AppClass::CI) {
+        let row = &suite.runs[spec.abbr];
+        let base_ipc = row["16KB(Baseline)"].stats.ipc();
+        for label in ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", "32KB"] {
+            let s = &row[label].stats;
+            t.row(vec![
+                spec.abbr.to_string(),
+                label.to_string(),
+                format!("{:.2}", normalize(s.ipc(), base_ipc)),
+                format!("{:.0}%", s.l1d.hit_rate() * 100.0),
+                format!(
+                    "{:.0}%",
+                    100.0 * (s.l1d.bypassed_loads + s.l1d.bypassed_stores) as f64
+                        / s.l1d.accesses.max(1) as f64
+                ),
+                format!("{:.2}", s.l1d.stall_cycles as f64 / (s.cycles * 16).max(1) as f64),
+                format!("{}", s.l1d.stall_all_reserved),
+                format!("{:.1}", s.policy.avg_pd()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn overhead() {
+    println!("== §4.3: DLP hardware overhead ==");
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let r = dlp_overhead(geom, geom.num_lines() as u64);
+    let mut t = Table::new(vec!["Component", "Bytes"]);
+    t.row(vec!["TDA extra (insn id + PL)".to_string(), r.tda_extra_bytes.to_string()]);
+    t.row(vec!["VTA (tags + insn id)".to_string(), r.vta_bytes.to_string()]);
+    t.row(vec!["PDPT".to_string(), r.pdpt_bytes.to_string()]);
+    t.row(vec!["Total extra".to_string(), r.total_extra_bytes().to_string()]);
+    t.row(vec!["Baseline cache".to_string(), r.baseline_bytes.to_string()]);
+    t.row(vec![
+        "Overhead".to_string(),
+        format!("{:.2}%", r.fraction_of_baseline() * 100.0),
+    ]);
+    println!("{}", t.render());
+    let _ = ProtectionConfig::paper_default(geom);
+}
+
+fn ablation(scale: Scale) {
+    println!("== Ablations: DLP design choices (CI geomean IPC vs 16KB baseline) ==");
+    let ci: Vec<_> = registry().into_iter().filter(|s| s.class == AppClass::CI).collect();
+
+    // Baseline reference IPCs, computed once in parallel.
+    let base_jobs: Vec<_> = ci
+        .iter()
+        .map(|s| (s.abbr.to_string(), ExperimentConfig { scale, ..ExperimentConfig::baseline() }))
+        .collect();
+    let base: Vec<f64> =
+        dlp_bench::harness::run_many(&base_jobs).iter().map(|r| r.stats.ipc()).collect();
+
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let mut variants: Vec<(String, ProtectionConfig)> = Vec::new();
+    let paper = ProtectionConfig::paper_default(geom);
+    variants.push(("DLP paper (sample 200, step-cmp, dec 4, VTA 4w)".into(), paper));
+    for period in [50u32, 100, 400, 800] {
+        variants.push((format!("sampling period {period}"), ProtectionConfig { sample_period: period, ..paper }));
+    }
+    variants.push(("exact division instead of step comparison".into(),
+        ProtectionConfig { step_comparison: false, ..paper }));
+    for dec in [1u8, 2, 8] {
+        variants.push((format!("PD decrease step {dec}"), ProtectionConfig { decrease_step: dec, ..paper }));
+    }
+    for vta in [2usize, 8] {
+        variants.push((format!("VTA associativity {vta}"), ProtectionConfig { vta_assoc: vta, ..paper }));
+    }
+
+    let mut t = Table::new(vec!["Variant", "CI geomean IPC"]);
+    for (label, pc) in variants {
+        let jobs: Vec<_> = ci
+            .iter()
+            .map(|s| {
+                (
+                    s.abbr.to_string(),
+                    ExperimentConfig {
+                        scale,
+                        protection: Some(pc),
+                        ..ExperimentConfig::baseline().with_policy(PolicyKind::Dlp)
+                    },
+                )
+            })
+            .collect();
+        let runs = dlp_bench::harness::run_many(&jobs);
+        let norm: Vec<f64> =
+            runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+        t.row(vec![label, format!("{:.3}", geomean(&norm))]);
+    }
+
+    // Future-work extension (§8): DLP combined with CCWS-style warp
+    // throttling.
+    for limit in [24usize, 12] {
+        let jobs: Vec<_> = ci
+            .iter()
+            .map(|s| {
+                (
+                    s.abbr.to_string(),
+                    ExperimentConfig {
+                        scale,
+                        warp_limit: Some(limit),
+                        ..ExperimentConfig::baseline().with_policy(PolicyKind::Dlp)
+                    },
+                )
+            })
+            .collect();
+        let runs = dlp_bench::harness::run_many(&jobs);
+        let norm: Vec<f64> =
+            runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+        t.row(vec![format!("DLP + warp throttle ({limit}/48 warps)"), format!("{:.3}", geomean(&norm))]);
+    }
+
+    // Global-Protection reference (the per-instruction-vs-global ablation).
+    let jobs: Vec<_> = ci
+        .iter()
+        .map(|s| {
+            (
+                s.abbr.to_string(),
+                ExperimentConfig {
+                    scale,
+                    ..ExperimentConfig::baseline().with_policy(PolicyKind::GlobalProtection)
+                },
+            )
+        })
+        .collect();
+    let runs = dlp_bench::harness::run_many(&jobs);
+    let norm: Vec<f64> = runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+    t.row(vec!["single global PD (Global-Protection)".to_string(), format!("{:.3}", geomean(&norm))]);
+    println!("{}", t.render());
+}

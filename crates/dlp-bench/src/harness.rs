@@ -1,0 +1,221 @@
+//! Parallel experiment runners.
+
+use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
+use gpu_sim::{Gpu, RunStats, SimConfig};
+use gpu_workloads::{build, registry, BenchSpec, Scale};
+use parking_lot::Mutex;
+use rd_tools::{RdProfiler, SharedRdd};
+use std::collections::HashMap;
+
+/// What to simulate for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// L1D management scheme.
+    pub policy: PolicyKind,
+    /// L1D geometry (defaults to the 16 KB baseline).
+    pub geom: CacheGeometry,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Attach reuse-distance profilers to every SM.
+    pub profile_rd: bool,
+    /// Protection-parameter override for ablation studies.
+    pub protection: Option<ProtectionConfig>,
+    /// Optional CCWS-style warp throttle (future-work ablation).
+    pub warp_limit: Option<usize>,
+}
+
+impl ExperimentConfig {
+    /// Baseline LRU on the 16 KB cache at full scale.
+    pub fn baseline() -> Self {
+        ExperimentConfig {
+            policy: PolicyKind::Baseline,
+            geom: CacheGeometry::fermi_l1d_16k(),
+            scale: Scale::Full,
+            profile_rd: false,
+            protection: None,
+            warp_limit: None,
+        }
+    }
+
+    /// Same but with a different policy.
+    pub fn with_policy(mut self, p: PolicyKind) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Same but with a different L1D geometry.
+    pub fn with_geom(mut self, g: CacheGeometry) -> Self {
+        self.geom = g;
+        self
+    }
+}
+
+/// One completed run.
+pub struct AppRun {
+    /// Benchmark metadata.
+    pub spec: BenchSpec,
+    /// Simulation statistics.
+    pub stats: RunStats,
+    /// RD profile, if requested.
+    pub rdd: Option<SharedRdd>,
+}
+
+/// Simulate one application under one configuration.
+pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> AppRun {
+    let spec = gpu_workloads::registry::spec(abbr);
+    let kernel = build(abbr, cfg.scale);
+    let mut sim_cfg = SimConfig::tesla_m2090(cfg.policy).with_l1_geometry(cfg.geom);
+    sim_cfg.protection_override = cfg.protection;
+    sim_cfg.warp_limit = cfg.warp_limit;
+    let mut gpu = Gpu::new(sim_cfg, kernel);
+    let rdd = if cfg.profile_rd {
+        let sink = RdProfiler::new_sink();
+        for sm in 0..sim_cfg.num_sms {
+            gpu.set_l1d_observer(sm, Box::new(RdProfiler::new(cfg.geom.num_sets, sink.clone())));
+        }
+        Some(sink)
+    } else {
+        None
+    };
+    let stats = gpu.run();
+    assert!(
+        stats.completed,
+        "{abbr} did not complete within the cycle cap under {:?}",
+        cfg.policy
+    );
+    AppRun { spec, stats, rdd }
+}
+
+/// Run `jobs` of (app, config) pairs in parallel, preserving input
+/// order in the result.
+pub fn run_many(jobs: &[(String, ExperimentConfig)]) -> Vec<AppRun> {
+    let results: Vec<Mutex<Option<AppRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(jobs.len().max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (abbr, cfg) = &jobs[i];
+                *results[i].lock() = Some(run_app(abbr, *cfg));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    results.into_iter().map(|m| m.into_inner().expect("job completed")).collect()
+}
+
+/// Figure 10–13 data: every app under the four schemes (16 KB) plus the
+/// 32 KB baseline-policy configuration.
+pub struct PolicySuite {
+    /// app → (scheme label → run).
+    pub runs: HashMap<String, HashMap<&'static str, AppRun>>,
+    /// Row order (Table 2 order).
+    pub apps: Vec<BenchSpec>,
+}
+
+/// Label used for the 32 KB configuration column.
+pub const LABEL_32K: &str = "32KB";
+
+/// Run the full policy comparison at the given scale.
+pub fn run_policy_suite(scale: Scale) -> PolicySuite {
+    let apps = registry();
+    let mut jobs = Vec::new();
+    for spec in &apps {
+        for kind in PolicyKind::ALL {
+            let cfg = ExperimentConfig { scale, ..ExperimentConfig::baseline().with_policy(kind) };
+            jobs.push((spec.abbr.to_string(), cfg));
+        }
+        let cfg32 = ExperimentConfig {
+            scale,
+            ..ExperimentConfig::baseline().with_geom(CacheGeometry::fermi_l1d_32k())
+        };
+        jobs.push((spec.abbr.to_string(), cfg32));
+    }
+    let mut results = run_many(&jobs).into_iter();
+    let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    for spec in &apps {
+        let entry = runs.entry(spec.abbr.to_string()).or_default();
+        for kind in PolicyKind::ALL {
+            entry.insert(kind.label(), results.next().unwrap());
+        }
+        entry.insert(LABEL_32K, results.next().unwrap());
+    }
+    PolicySuite { runs, apps }
+}
+
+/// Figure 4–5 data: every app at 16/32/64 KB under baseline LRU.
+pub struct SizeSuite {
+    /// app → (capacity label → run).
+    pub runs: HashMap<String, HashMap<&'static str, AppRun>>,
+    /// Row order.
+    pub apps: Vec<BenchSpec>,
+}
+
+/// Capacity labels for the size sweep.
+pub const SIZE_LABELS: [&str; 3] = ["16KB", "32KB", "64KB"];
+
+/// Run the cache-size sweep of Figures 4 and 5.
+pub fn run_size_suite(scale: Scale) -> SizeSuite {
+    let geoms = [
+        CacheGeometry::fermi_l1d_16k(),
+        CacheGeometry::fermi_l1d_32k(),
+        CacheGeometry::fermi_l1d_64k(),
+    ];
+    let apps = registry();
+    let mut jobs = Vec::new();
+    for spec in &apps {
+        for g in geoms {
+            let cfg = ExperimentConfig { scale, ..ExperimentConfig::baseline().with_geom(g) };
+            jobs.push((spec.abbr.to_string(), cfg));
+        }
+    }
+    let mut results = run_many(&jobs).into_iter();
+    let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    for spec in &apps {
+        let entry = runs.entry(spec.abbr.to_string()).or_default();
+        for label in SIZE_LABELS {
+            entry.insert(label, results.next().unwrap());
+        }
+    }
+    SizeSuite { runs, apps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_app_completes_at_tiny_scale() {
+        let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
+        let run = run_app("KM", cfg);
+        assert!(run.stats.completed);
+        assert!(run.stats.thread_insns > 0);
+    }
+
+    #[test]
+    fn rd_profiling_collects_data() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Tiny,
+            profile_rd: true,
+            ..ExperimentConfig::baseline()
+        };
+        let run = run_app("SS", cfg);
+        let sink = run.rdd.expect("profile requested");
+        let prof = sink.lock();
+        assert!(prof.overall.total() + prof.overall.compulsory > 0);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
+        let jobs = vec![("KM".to_string(), cfg), ("MM".to_string(), cfg), ("SS".to_string(), cfg)];
+        let out = run_many(&jobs);
+        assert_eq!(out[0].spec.abbr, "KM");
+        assert_eq!(out[1].spec.abbr, "MM");
+        assert_eq!(out[2].spec.abbr, "SS");
+    }
+}

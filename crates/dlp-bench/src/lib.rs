@@ -1,0 +1,22 @@
+//! # dlp-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation from
+//! the simulator stack. The `figures` binary prints one artifact per
+//! subcommand (`fig3` … `fig13`, `tab1`, `tab2`, `overhead`,
+//! `ablation`, or `all`); the library exposes the runners so
+//! integration tests and Criterion benches reuse them.
+//!
+//! All experiment runs are deterministic; the per-(app, configuration)
+//! simulations are independent and executed in parallel with
+//! `crossbeam` scoped threads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, SizeSuite,
+};
+pub use report::{geomean, normalize, Table};

@@ -1,0 +1,102 @@
+//! Hardware-cost model for the DLP additions (§4.3).
+//!
+//! The paper accounts, for the baseline 16 KB / 32-set / 4-way L1D:
+//!
+//! * per TDA entry: 7-bit instruction ID + 4-bit protected life
+//!   → 128 entries × 11 bits = 1408 bits = **176 bytes**,
+//! * per VTA entry: 32-bit tag + 7-bit instruction ID
+//!   → 128 entries × 39 bits = 4992 bits = **624 bytes**,
+//! * per PDPT entry: 7-bit ID + 8-bit TDA hits + 10-bit VTA hits +
+//!   4-bit PD → 128 entries × 29 bits = 3712 bits = **464 bytes**,
+//!
+//! for a total of **1264 bytes**, i.e. 7.48 % of the 16896-byte baseline
+//! cache (16 KB data + 704 B of 44-bit tag state).
+
+use crate::geometry::CacheGeometry;
+use crate::insn::{INSN_ID_BITS, PDPT_ENTRIES};
+
+/// Bit widths of the added fields, fixed by §4.3.
+pub const PL_BITS: u64 = 4;
+/// VTA tag width assumed by the paper's accounting.
+pub const VTA_TAG_BITS: u64 = 32;
+/// PDPT per-entry TDA-hits counter width.
+pub const PDPT_TDA_HITS_BITS: u64 = 8;
+/// PDPT per-entry VTA-hits counter width.
+pub const PDPT_VTA_HITS_BITS: u64 = 10;
+/// PDPT per-entry PD field width.
+pub const PDPT_PD_BITS: u64 = 4;
+
+/// Storage cost breakdown of a DLP deployment, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadReport {
+    /// Extra bits added to the TDA (instruction IDs + protected lives).
+    pub tda_extra_bytes: u64,
+    /// The whole VTA (tags + instruction IDs).
+    pub vta_bytes: u64,
+    /// The whole PDPT.
+    pub pdpt_bytes: u64,
+    /// Baseline cache size used as the denominator (data + tag state).
+    pub baseline_bytes: u64,
+}
+
+impl OverheadReport {
+    /// Total added storage.
+    pub fn total_extra_bytes(&self) -> u64 {
+        self.tda_extra_bytes + self.vta_bytes + self.pdpt_bytes
+    }
+
+    /// Overhead as a fraction of the baseline cache.
+    pub fn fraction_of_baseline(&self) -> f64 {
+        self.total_extra_bytes() as f64 / self.baseline_bytes as f64
+    }
+}
+
+/// Compute the DLP storage overhead for a cache of the given geometry
+/// with a VTA of `vta_entries` entries, following the §4.3 accounting.
+pub fn dlp_overhead(geom: CacheGeometry, vta_entries: u64) -> OverheadReport {
+    let tda_entries = geom.num_lines() as u64;
+    let insn_bits = INSN_ID_BITS as u64;
+
+    let tda_extra_bits = tda_entries * (insn_bits + PL_BITS);
+    let vta_bits = vta_entries * (VTA_TAG_BITS + insn_bits);
+    let pdpt_bits = (PDPT_ENTRIES as u64)
+        * (insn_bits + PDPT_TDA_HITS_BITS + PDPT_VTA_HITS_BITS + PDPT_PD_BITS);
+
+    // §4.3 uses 16896 B for the baseline: 16384 B of data plus 512 B of
+    // tag storage (128 tags × 32 bits).
+    let baseline_bytes = geom.capacity_bytes() + tda_entries * VTA_TAG_BITS / 8;
+
+    OverheadReport {
+        tda_extra_bytes: tda_extra_bits / 8,
+        vta_bytes: vta_bits / 8,
+        pdpt_bytes: pdpt_bits / 8,
+        baseline_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let g = CacheGeometry::fermi_l1d_16k();
+        let r = dlp_overhead(g, g.num_lines() as u64);
+        assert_eq!(r.tda_extra_bytes, 176);
+        assert_eq!(r.vta_bytes, 624);
+        assert_eq!(r.pdpt_bytes, 464);
+        assert_eq!(r.total_extra_bytes(), 1264);
+        assert_eq!(r.baseline_bytes, 16896);
+        let pct = r.fraction_of_baseline() * 100.0;
+        assert!((pct - 7.48).abs() < 0.02, "overhead {pct:.2}% != paper's 7.48%");
+    }
+
+    #[test]
+    fn overhead_scales_with_vta_size() {
+        let g = CacheGeometry::fermi_l1d_16k();
+        let small = dlp_overhead(g, 64);
+        let big = dlp_overhead(g, 256);
+        assert!(big.total_extra_bytes() > small.total_extra_bytes());
+        assert_eq!(big.tda_extra_bytes, small.tda_extra_bytes, "TDA cost independent of VTA");
+    }
+}

@@ -1,0 +1,126 @@
+//! Protection-distance computation (§4.2, Figure 9).
+//!
+//! At the end of each sampling period the scheme compares the *global*
+//! VTA and TDA hit counts:
+//!
+//! * `VTA > TDA` — lines are being reused mostly *after* eviction, so
+//!   protection should grow. Each instruction's PD is incremented by
+//!   `Nasc × ⌊HitVTA / HitTDA⌋`, implemented with the paper's
+//!   *step comparison*: `HitVTA` is compared against `4×`, `2×`, `1×`
+//!   and `½×` `HitTDA`, the first comparison that holds selecting a
+//!   multiplier of `4`, `2`, `1` or `½` applied to `Nasc` by shifting.
+//!   The `4×Nasc` step doubles as the anti-over-protection cap.
+//! * `VTA < ½ TDA` — resident lines already absorb the reuse, so all
+//!   PDs are decreased by `Nasc`.
+//! * otherwise — PDs are left alone.
+
+/// The per-instruction PD increment selected by step comparison.
+///
+/// `nasc` is the VTA associativity (4 in the paper's configuration).
+/// `hit_vta` / `hit_tda` are this instruction's hit counts in the
+/// finished sample. An instruction with VTA hits but *zero* TDA hits is
+/// reusing lines exclusively after eviction, so it takes the maximum
+/// step; an instruction with no VTA hits needs no extra protection.
+#[inline]
+pub fn pd_adjustment(nasc: u8, hit_vta: u16, hit_tda: u16) -> u8 {
+    if hit_vta == 0 {
+        return 0;
+    }
+    let hv = hit_vta as u32;
+    let ht = hit_tda as u32;
+    if ht == 0 || hv >= ht << 2 {
+        (nasc as u32) << 2
+    } else if hv >= ht << 1 {
+        (nasc as u32) << 1
+    } else if hv >= ht {
+        nasc as u32
+    } else if 2 * hv >= ht {
+        (nasc >> 1) as u32
+    } else {
+        0
+    }
+    .min(u8::MAX as u32) as u8
+}
+
+/// Which arm of Figure 9 a finished sample takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PdComputation {
+    /// Global VTA hits exceed global TDA hits: grow PDs per instruction.
+    Increase,
+    /// Global VTA hits below half of global TDA hits: shrink all PDs by
+    /// `Nasc`.
+    Decrease,
+    /// In between: leave PDs unchanged.
+    Hold,
+}
+
+impl PdComputation {
+    /// Classify a finished sample from the global hit counters.
+    #[inline]
+    pub fn classify(global_vta_hits: u64, global_tda_hits: u64) -> Self {
+        if global_vta_hits > global_tda_hits {
+            PdComputation::Increase
+        } else if 2 * global_vta_hits < global_tda_hits {
+            PdComputation::Decrease
+        } else {
+            PdComputation::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NASC: u8 = 4;
+
+    #[test]
+    fn no_vta_hits_means_no_increment() {
+        assert_eq!(pd_adjustment(NASC, 0, 0), 0);
+        assert_eq!(pd_adjustment(NASC, 0, 100), 0);
+    }
+
+    #[test]
+    fn steps_match_the_paper() {
+        // HitVTA >= 4*HitTDA -> 4*Nasc
+        assert_eq!(pd_adjustment(NASC, 40, 10), 16);
+        // HitVTA >= 2*HitTDA -> 2*Nasc
+        assert_eq!(pd_adjustment(NASC, 20, 10), 8);
+        // HitVTA >= HitTDA -> Nasc
+        assert_eq!(pd_adjustment(NASC, 10, 10), 4);
+        // HitVTA >= HitTDA/2 -> Nasc/2
+        assert_eq!(pd_adjustment(NASC, 5, 10), 2);
+        // Below half -> 0
+        assert_eq!(pd_adjustment(NASC, 4, 10), 0);
+    }
+
+    #[test]
+    fn vta_hits_without_tda_hits_takes_max_step() {
+        assert_eq!(pd_adjustment(NASC, 1, 0), 16);
+    }
+
+    #[test]
+    fn cap_is_four_times_nasc() {
+        assert_eq!(pd_adjustment(NASC, 10_000, 1), 4 * NASC);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(PdComputation::classify(11, 10), PdComputation::Increase);
+        assert_eq!(PdComputation::classify(10, 10), PdComputation::Hold);
+        assert_eq!(PdComputation::classify(5, 10), PdComputation::Hold); // exactly half
+        assert_eq!(PdComputation::classify(4, 10), PdComputation::Decrease);
+        assert_eq!(PdComputation::classify(0, 1), PdComputation::Decrease);
+        assert_eq!(PdComputation::classify(0, 0), PdComputation::Hold);
+    }
+
+    #[test]
+    fn monotone_in_vta_hits() {
+        let mut last = 0;
+        for hv in 0..200u16 {
+            let adj = pd_adjustment(NASC, hv, 20);
+            assert!(adj >= last, "adjustment must not shrink as VTA hits grow");
+            last = adj;
+        }
+    }
+}

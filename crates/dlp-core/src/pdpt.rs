@@ -1,0 +1,211 @@
+//! The Protection Distance Prediction Table (§4.1.3).
+//!
+//! 128 entries, indexed by the 7-bit hashed instruction ID. Each entry
+//! holds the per-instruction TDA-hit and VTA-hit counters for the current
+//! sampling period plus the instruction's current protection distance.
+//! Field widths follow §4.3: 8-bit TDA hits, 10-bit VTA hits, 4-bit PD —
+//! the counters saturate at their hardware widths.
+
+use crate::insn::{InsnId, PDPT_ENTRIES};
+
+/// Saturation limit of the 8-bit TDA hits field.
+pub const TDA_HITS_MAX: u16 = (1 << 8) - 1;
+/// Saturation limit of the 10-bit VTA hits field.
+pub const VTA_HITS_MAX: u16 = (1 << 10) - 1;
+/// Saturation limit of the 4-bit PD field.
+pub const PD_MAX: u8 = (1 << 4) - 1;
+
+/// One PDPT row.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PdptEntry {
+    /// Hits in the tag-and-data array credited to this instruction in the
+    /// current sample (8-bit saturating).
+    pub tda_hits: u16,
+    /// Hits in the victim tag array credited to this instruction in the
+    /// current sample (10-bit saturating).
+    pub vta_hits: u16,
+    /// Current protection distance assigned to lines this instruction
+    /// touches (4-bit).
+    pub pd: u8,
+}
+
+/// The full table plus the global (summed) hit counters used by the
+/// Figure 9 decision.
+pub struct Pdpt {
+    entries: Vec<PdptEntry>,
+    global_tda_hits: u64,
+    global_vta_hits: u64,
+}
+
+impl Default for Pdpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pdpt {
+    /// An all-zero table (all PDs start at 0: no protection until the
+    /// first sample says otherwise).
+    pub fn new() -> Self {
+        Pdpt { entries: vec![PdptEntry::default(); PDPT_ENTRIES], global_tda_hits: 0, global_vta_hits: 0 }
+    }
+
+    /// Number of rows (always 128, kept as a method for reports).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false — the table has a fixed 128 rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current PD for an instruction.
+    #[inline]
+    pub fn pd(&self, insn: InsnId) -> u8 {
+        self.entries[insn as usize].pd
+    }
+
+    /// Record a TDA hit credited to `insn`.
+    #[inline]
+    pub fn credit_tda_hit(&mut self, insn: InsnId) {
+        let e = &mut self.entries[insn as usize];
+        e.tda_hits = (e.tda_hits + 1).min(TDA_HITS_MAX);
+        self.global_tda_hits += 1;
+    }
+
+    /// Record a VTA hit credited to `insn`.
+    #[inline]
+    pub fn credit_vta_hit(&mut self, insn: InsnId) {
+        let e = &mut self.entries[insn as usize];
+        e.vta_hits = (e.vta_hits + 1).min(VTA_HITS_MAX);
+        self.global_vta_hits += 1;
+    }
+
+    /// Global TDA hits accumulated this sample.
+    pub fn global_tda_hits(&self) -> u64 {
+        self.global_tda_hits
+    }
+
+    /// Global VTA hits accumulated this sample.
+    pub fn global_vta_hits(&self) -> u64 {
+        self.global_vta_hits
+    }
+
+    /// Read-only view of an entry (tests, reports).
+    pub fn entry(&self, insn: InsnId) -> PdptEntry {
+        self.entries[insn as usize]
+    }
+
+    /// Apply `f` to every row's `(tda_hits, vta_hits, pd)` and store the
+    /// returned PD. Used by the per-instruction PD-increase path.
+    pub fn update_pds(&mut self, mut f: impl FnMut(&PdptEntry) -> u8) {
+        for e in &mut self.entries {
+            e.pd = f(e).min(PD_MAX);
+        }
+    }
+
+    /// End-of-sample reset (§4.1.3): zero all hit counters, global and
+    /// per-row; PDs persist.
+    pub fn reset_hits(&mut self) {
+        for e in &mut self.entries {
+            e.tda_hits = 0;
+            e.vta_hits = 0;
+        }
+        self.global_tda_hits = 0;
+        self.global_vta_hits = 0;
+    }
+
+    /// Mean PD over all rows that have a nonzero PD *or* saw traffic —
+    /// rows for instruction IDs a kernel never issues would drag an
+    /// unweighted mean to zero. Falls back to the mean over all rows
+    /// when nothing qualifies.
+    pub fn mean_active_pd(&self) -> f64 {
+        let active: Vec<_> =
+            self.entries.iter().filter(|e| e.pd > 0 || e.tda_hits > 0 || e.vta_hits > 0).collect();
+        let rows: &[&PdptEntry] = if active.is_empty() {
+            &[]
+        } else {
+            &active
+        };
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|e| e.pd as f64).sum::<f64>() / rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_is_all_zero() {
+        let t = Pdpt::new();
+        assert_eq!(t.len(), PDPT_ENTRIES);
+        for i in 0..PDPT_ENTRIES {
+            assert_eq!(t.entry(i as InsnId), PdptEntry::default());
+        }
+    }
+
+    #[test]
+    fn credits_accumulate_per_row_and_globally() {
+        let mut t = Pdpt::new();
+        t.credit_tda_hit(3);
+        t.credit_tda_hit(3);
+        t.credit_vta_hit(3);
+        t.credit_vta_hit(9);
+        assert_eq!(t.entry(3).tda_hits, 2);
+        assert_eq!(t.entry(3).vta_hits, 1);
+        assert_eq!(t.entry(9).vta_hits, 1);
+        assert_eq!(t.global_tda_hits(), 2);
+        assert_eq!(t.global_vta_hits(), 2);
+    }
+
+    #[test]
+    fn tda_counter_saturates_at_8_bits() {
+        let mut t = Pdpt::new();
+        for _ in 0..300 {
+            t.credit_tda_hit(0);
+        }
+        assert_eq!(t.entry(0).tda_hits, TDA_HITS_MAX);
+        assert_eq!(t.global_tda_hits(), 300, "global counter is not width-limited");
+    }
+
+    #[test]
+    fn vta_counter_saturates_at_10_bits() {
+        let mut t = Pdpt::new();
+        for _ in 0..1200 {
+            t.credit_vta_hit(0);
+        }
+        assert_eq!(t.entry(0).vta_hits, VTA_HITS_MAX);
+    }
+
+    #[test]
+    fn reset_clears_hits_but_keeps_pd() {
+        let mut t = Pdpt::new();
+        t.credit_tda_hit(1);
+        t.credit_vta_hit(1);
+        t.update_pds(|_| 5);
+        t.reset_hits();
+        assert_eq!(t.entry(1).tda_hits, 0);
+        assert_eq!(t.entry(1).vta_hits, 0);
+        assert_eq!(t.pd(1), 5);
+        assert_eq!(t.global_tda_hits(), 0);
+    }
+
+    #[test]
+    fn update_pds_clamps_to_4_bits() {
+        let mut t = Pdpt::new();
+        t.update_pds(|_| 200);
+        assert_eq!(t.pd(0), PD_MAX);
+    }
+
+    #[test]
+    fn mean_active_pd_ignores_untouched_rows() {
+        let mut t = Pdpt::new();
+        t.credit_tda_hit(0);
+        t.update_pds(|e| if e.tda_hits > 0 { 8 } else { 0 });
+        assert!((t.mean_active_pd() - 8.0).abs() < 1e-9);
+    }
+}

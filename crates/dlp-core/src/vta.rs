@@ -1,0 +1,174 @@
+//! The Victim Tag Array (§4.1.2).
+//!
+//! Tags of lines evicted from the TDA are retained here so reuse at
+//! distances beyond the cache's associativity is still observable. Each
+//! entry stores only the tag and the 7-bit instruction ID the line last
+//! carried in the TDA; sets are managed with LRU. A TDA miss probes the
+//! VTA; a VTA hit is credited to the stored instruction ID and the entry
+//! is removed (the line is about to re-enter the TDA under the current
+//! instruction's ID).
+
+use crate::insn::InsnId;
+use crate::recency::RecencyArray;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct VtaEntry {
+    valid: bool,
+    tag: u64,
+    insn_id: InsnId,
+}
+
+/// A set-associative array of victim tags.
+pub struct VictimTagArray {
+    num_sets: usize,
+    assoc: usize,
+    entries: Vec<VtaEntry>,
+    recency: RecencyArray,
+    insertions: u64,
+    hits: u64,
+}
+
+impl VictimTagArray {
+    /// Create a VTA with `num_sets` sets of `assoc` entries. The paper
+    /// sizes it identically to the TDA (footnote 2: VTA associativity =
+    /// cache associativity).
+    pub fn new(num_sets: usize, assoc: usize) -> Self {
+        assert!(num_sets > 0 && assoc > 0, "VTA must have at least one entry");
+        VictimTagArray {
+            num_sets,
+            assoc,
+            entries: vec![VtaEntry::default(); num_sets * assoc],
+            recency: RecencyArray::new(num_sets, assoc),
+            insertions: 0,
+            hits: 0,
+        }
+    }
+
+    /// VTA associativity — the paper's `Nasc` constant used by the PD
+    /// adjustment (§4.2).
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Number of sets (mirrors the TDA's set count).
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        debug_assert!(set < self.num_sets);
+        set * self.assoc
+    }
+
+    /// Record an eviction from the TDA: insert `(tag, insn_id)` into
+    /// `set`, replacing the LRU victim entry.
+    pub fn insert(&mut self, set: usize, tag: u64, insn_id: InsnId) {
+        self.insertions += 1;
+        let base = self.base(set);
+        // Reuse an existing entry for the same tag (shouldn't normally
+        // happen — a line is either in the TDA or the VTA — but protects
+        // against duplicates if a line is evicted twice between probes).
+        let slot = (0..self.assoc)
+            .find(|&w| self.entries[base + w].valid && self.entries[base + w].tag == tag)
+            .or_else(|| (0..self.assoc).find(|&w| !self.entries[base + w].valid))
+            .or_else(|| self.recency.lru_among(set, |_| true));
+        let w = slot.expect("VTA set has at least one way");
+        self.entries[base + w] = VtaEntry { valid: true, tag, insn_id };
+        self.recency.touch(set, w);
+    }
+
+    /// Probe the VTA after a TDA miss. On a hit the entry is invalidated
+    /// and the instruction ID it carried is returned.
+    pub fn probe_remove(&mut self, set: usize, tag: u64) -> Option<InsnId> {
+        let base = self.base(set);
+        for w in 0..self.assoc {
+            let e = &mut self.entries[base + w];
+            if e.valid && e.tag == tag {
+                e.valid = false;
+                self.hits += 1;
+                return Some(e.insn_id);
+            }
+        }
+        None
+    }
+
+    /// Probe without removing (used by tests and the RD analysis tools).
+    pub fn peek(&self, set: usize, tag: u64) -> Option<InsnId> {
+        let base = self.base(set);
+        (0..self.assoc)
+            .map(|w| self.entries[base + w])
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| e.insn_id)
+    }
+
+    /// Total insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of currently valid entries (for tests/diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_probe_hits_and_removes() {
+        let mut vta = VictimTagArray::new(4, 4);
+        vta.insert(1, 0xabc, 7);
+        assert_eq!(vta.peek(1, 0xabc), Some(7));
+        assert_eq!(vta.probe_remove(1, 0xabc), Some(7));
+        assert_eq!(vta.probe_remove(1, 0xabc), None, "entry must be consumed by the hit");
+        assert_eq!(vta.hits(), 1);
+        assert_eq!(vta.insertions(), 1);
+    }
+
+    #[test]
+    fn probe_is_set_local() {
+        let mut vta = VictimTagArray::new(4, 4);
+        vta.insert(0, 0xabc, 1);
+        assert_eq!(vta.probe_remove(1, 0xabc), None);
+        assert_eq!(vta.probe_remove(0, 0xabc), Some(1));
+    }
+
+    #[test]
+    fn lru_replacement_evicts_oldest_victim() {
+        let mut vta = VictimTagArray::new(1, 2);
+        vta.insert(0, 1, 0);
+        vta.insert(0, 2, 0);
+        vta.insert(0, 3, 0); // evicts tag 1
+        assert_eq!(vta.peek(0, 1), None);
+        assert_eq!(vta.peek(0, 2), Some(0));
+        assert_eq!(vta.peek(0, 3), Some(0));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_duplicate_entry() {
+        let mut vta = VictimTagArray::new(1, 4);
+        vta.insert(0, 9, 1);
+        vta.insert(0, 9, 2);
+        assert_eq!(vta.occupancy(), 1);
+        assert_eq!(vta.peek(0, 9), Some(2), "newest insn id wins");
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused_before_eviction() {
+        let mut vta = VictimTagArray::new(1, 2);
+        vta.insert(0, 1, 0);
+        vta.insert(0, 2, 0);
+        assert_eq!(vta.probe_remove(0, 1), Some(0));
+        vta.insert(0, 3, 0); // must take the freed slot, keeping tag 2
+        assert_eq!(vta.peek(0, 2), Some(0));
+        assert_eq!(vta.peek(0, 3), Some(0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the policy machinery: for *any* legal
+//! sequence of cache events, the schemes must uphold their structural
+//! invariants (no reserved way chosen, PLs bounded, determinism, ...).
+
+use dlp_core::{
+    build_policy, pd_adjustment, AccessCtx, CacheGeometry, Dlp, MissDecision, PolicyKind,
+    ProtectionConfig, ReplacementPolicy, VictimTagArray, WayView,
+};
+use proptest::prelude::*;
+
+/// One externally-driven cache event, as the L1D controller would emit.
+#[derive(Clone, Debug)]
+enum Event {
+    Query { set: usize },
+    Hit { set: usize, way: usize, insn: u8 },
+    Miss { set: usize, tag: u64, insn: u8 },
+    Decide { set: usize, occupancy: u8, reserved: u8, insn: u8 },
+    Evict { set: usize, way: usize, tag: u64 },
+    Fill { set: usize, way: usize, tag: u64, insn: u8 },
+    ForceSample,
+}
+
+fn event_strategy(num_sets: usize, assoc: usize) -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0..num_sets).prop_map(|set| Event::Query { set }),
+        (0..num_sets, 0..assoc, any::<u8>())
+            .prop_map(|(set, way, insn)| Event::Hit { set, way, insn: insn & 0x7f }),
+        (0..num_sets, 0..1000u64, any::<u8>())
+            .prop_map(|(set, tag, insn)| Event::Miss { set, tag, insn: insn & 0x7f }),
+        (0..num_sets, any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(set, occ, res, insn)| {
+            Event::Decide { set, occupancy: occ, reserved: res, insn: insn & 0x7f }
+        }),
+        (0..num_sets, 0..assoc, 0..1000u64)
+            .prop_map(|(set, way, tag)| Event::Evict { set, way, tag }),
+        (0..num_sets, 0..assoc, 0..1000u64, any::<u8>())
+            .prop_map(|(set, way, tag, insn)| Event::Fill { set, way, tag, insn: insn & 0x7f }),
+        Just(Event::ForceSample),
+    ]
+}
+
+fn ways_from_masks(assoc: usize, occupancy: u8, reserved: u8) -> Vec<WayView> {
+    (0..assoc)
+        .map(|w| {
+            if reserved >> w & 1 == 1 {
+                WayView::reserved()
+            } else if occupancy >> w & 1 == 1 {
+                WayView::valid(5000 + w as u64)
+            } else {
+                WayView::invalid()
+            }
+        })
+        .collect()
+}
+
+/// Drive a policy through an event trace, checking per-decision
+/// invariants. Returns the decision log for determinism checks.
+fn drive(policy: &mut dyn ReplacementPolicy, events: &[Event], assoc: usize) -> Vec<MissDecision> {
+    let mut log = Vec::new();
+    for ev in events {
+        match *ev {
+            Event::Query { set } => policy.on_query(set),
+            Event::Hit { set, way, insn } => {
+                policy.on_hit(set, way, &AccessCtx { insn_id: insn, is_write: false })
+            }
+            Event::Miss { set, tag, insn } => {
+                policy.on_miss(set, tag, &AccessCtx { insn_id: insn, is_write: false })
+            }
+            Event::Decide { set, occupancy, reserved, insn } => {
+                let ways = ways_from_masks(assoc, occupancy, reserved);
+                let d = policy.decide_replacement(
+                    set,
+                    &ways,
+                    &AccessCtx { insn_id: insn, is_write: false },
+                );
+                match d {
+                    MissDecision::Allocate { way } => {
+                        assert!(way < assoc, "victim way out of range");
+                        assert!(!ways[way].reserved, "chose a reserved way");
+                    }
+                    MissDecision::Stall => {
+                        assert!(
+                            ways.iter().all(|w| w.reserved),
+                            "{:?} stalled while an unreserved way existed",
+                            policy.kind()
+                        );
+                        assert!(
+                            matches!(policy.kind(), PolicyKind::Baseline),
+                            "only plain LRU parks on a saturated set"
+                        );
+                    }
+                    MissDecision::Bypass => {
+                        assert_ne!(
+                            policy.kind(),
+                            PolicyKind::Baseline,
+                            "baseline LRU must never bypass"
+                        );
+                    }
+                }
+                log.push(d);
+            }
+            Event::Evict { set, way, tag } => policy.on_evict(set, way, tag),
+            Event::Fill { set, way, tag, insn } => {
+                policy.on_fill(set, way, tag, &AccessCtx { insn_id: insn, is_write: false })
+            }
+            Event::ForceSample => policy.force_sample(),
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_uphold_decision_invariants(
+        events in prop::collection::vec(event_strategy(32, 4), 0..400),
+    ) {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        for kind in PolicyKind::ALL {
+            let mut p = build_policy(kind, geom);
+            drive(p.as_mut(), &events, geom.assoc);
+        }
+    }
+
+    #[test]
+    fn policies_are_deterministic(
+        events in prop::collection::vec(event_strategy(32, 4), 0..300),
+    ) {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        for kind in PolicyKind::ALL {
+            let mut a = build_policy(kind, geom);
+            let mut b = build_policy(kind, geom);
+            let la = drive(a.as_mut(), &events, geom.assoc);
+            let lb = drive(b.as_mut(), &events, geom.assoc);
+            prop_assert_eq!(la, lb);
+            prop_assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn dlp_protected_life_never_exceeds_max_pd(
+        events in prop::collection::vec(event_strategy(32, 4), 0..400),
+    ) {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        let cfg = ProtectionConfig::paper_default(geom);
+        let max_pd = cfg.max_pd;
+        let mut p = Dlp::new(cfg);
+        for chunk in events.chunks(16) {
+            drive(&mut p, chunk, geom.assoc);
+            for set in 0..geom.num_sets {
+                for way in 0..geom.assoc {
+                    prop_assert!(p.protected_life(set, way) <= max_pd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dlp_pd_bounded_for_all_instructions(
+        events in prop::collection::vec(event_strategy(16, 4), 0..400),
+    ) {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        let cfg = ProtectionConfig::paper_default(geom);
+        let mut p = Dlp::new(cfg);
+        drive(&mut p, &events, geom.assoc);
+        for insn in 0..128u8 {
+            prop_assert!(p.pd_of(insn) <= cfg.max_pd);
+        }
+    }
+
+    #[test]
+    fn pd_adjustment_capped_and_monotone(nasc in 1u8..16, hv in 0u16..2000, ht in 0u16..2000) {
+        let adj = pd_adjustment(nasc, hv, ht);
+        prop_assert!(adj as u32 <= 4 * nasc as u32);
+        if hv > 0 {
+            // More VTA hits never yields a smaller step.
+            prop_assert!(pd_adjustment(nasc, hv.saturating_mul(2), ht) >= adj);
+        }
+    }
+
+    #[test]
+    fn vta_never_overflows_and_probe_after_insert_hits(
+        ops in prop::collection::vec((0usize..8, 0u64..64, any::<u8>()), 1..200),
+    ) {
+        let mut vta = VictimTagArray::new(8, 4);
+        for &(set, tag, insn) in &ops {
+            vta.insert(set, tag, insn & 0x7f);
+            prop_assert!(vta.occupancy() <= 8 * 4);
+            prop_assert_eq!(vta.peek(set, tag), Some(insn & 0x7f));
+        }
+    }
+
+    #[test]
+    fn geometry_set_mapping_total(line in any::<u64>()) {
+        for geom in [
+            CacheGeometry::fermi_l1d_16k(),
+            CacheGeometry::fermi_l1d_32k(),
+            CacheGeometry::fermi_l1d_64k(),
+            CacheGeometry::fermi_l2_slice(),
+        ] {
+            prop_assert!(geom.set_of_line(line) < geom.num_sets);
+        }
+    }
+}

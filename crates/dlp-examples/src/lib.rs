@@ -1,0 +1,15 @@
+//! Host crate for the repository-root `examples/` binaries.
+//!
+//! The examples themselves live in `examples/*.rs` at the workspace root
+//! (see the `[[example]]` entries in this crate's manifest):
+//!
+//! * `quickstart` — simulate one benchmark under the baseline and DLP
+//!   and compare IPC;
+//! * `custom_policy` — implement a new `ReplacementPolicy` (random
+//!   replacement) and drive it through an L1D;
+//! * `reuse_analysis` — regenerate Figure 3/7-style reuse-distance
+//!   distributions for any benchmark;
+//! * `protection_tuning` — sweep DLP's protection parameters on one
+//!   application.
+//!
+//! Run one with `cargo run --release -p dlp-examples --example quickstart`.

@@ -1,0 +1,345 @@
+//! Banked GDDR5-style DRAM timing for one memory partition.
+//!
+//! Table 1: each of the 12 partitions owns a 32-bit-wide GDDR5 channel
+//! with 6 banks at 924 MHz command clock. GDDR5 is quad-pumped, so a
+//! 128-byte line transfers in 8 command-clock cycles (16 bytes per
+//! cycle). The model keeps per-bank row-buffer state and a shared data
+//! bus:
+//!
+//! * row-buffer hit → `tCL` before data;
+//! * row-buffer miss → `tRP + tRCD + tCL` (precharge, activate, CAS);
+//! * data occupies the bus for `burst` cycles; the bus serializes
+//!   transfers across banks.
+//!
+//! Requests are scheduled FCFS per bank with round-robin arbitration for
+//! the bus — deliberately simpler than FR-FCFS, but it preserves what
+//! the evaluation needs: bank-level parallelism, row locality, and a
+//! hard bandwidth ceiling.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// DRAM timing/geometry parameters (command-clock cycles).
+#[derive(Clone, Copy, Debug)]
+pub struct DramConfig {
+    /// Banks per partition (Table 1: 6).
+    pub num_banks: usize,
+    /// Row precharge.
+    pub t_rp: u64,
+    /// Row activate (RAS-to-CAS).
+    pub t_rcd: u64,
+    /// CAS latency.
+    pub t_cl: u64,
+    /// Data-bus cycles per 128-byte transfer (quad-pumped 32-bit bus →
+    /// 16 B/cycle → 8 cycles).
+    pub burst: u64,
+    /// Bytes per DRAM row (row-buffer reach per bank).
+    pub row_bytes: u64,
+    /// Per-bank request queue depth.
+    pub queue_depth: usize,
+}
+
+impl DramConfig {
+    /// GDDR5 timings in the Tesla M2090 ballpark.
+    pub fn gddr5() -> Self {
+        DramConfig {
+            num_banks: 6,
+            t_rp: 12,
+            t_rcd: 12,
+            t_cl: 12,
+            burst: 8,
+            row_bytes: 2048,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// One queued DRAM operation. Reads carry the packet to answer; writes
+/// (L2 writebacks) complete silently.
+#[derive(Clone, Copy, Debug)]
+pub struct DramCmd {
+    /// Line-aligned byte address.
+    pub addr: u64,
+    /// Write (no reply needed).
+    pub is_write: bool,
+    /// For reads: the L2-level packet awaiting this data.
+    pub pkt: Option<Packet>,
+}
+
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+    queue: VecDeque<DramCmd>,
+}
+
+/// DRAM counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts completed.
+    pub reads: u64,
+    /// Write bursts completed.
+    pub writes: u64,
+    /// Accesses that found their row open.
+    pub row_hits: u64,
+    /// Accesses that needed precharge + activate.
+    pub row_misses: u64,
+}
+
+/// One partition's DRAM channel. Advanced by [`Dram::tick`] at the
+/// memory command clock (924 MHz in Table 1).
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    bus_busy_until: u64,
+    now: u64,
+    rr_next_bank: usize,
+    completed: VecDeque<(u64, DramCmd)>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Build an idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            banks: (0..cfg.num_banks)
+                .map(|_| Bank { open_row: None, busy_until: 0, queue: VecDeque::new() })
+                .collect(),
+            bus_busy_until: 0,
+            now: 0,
+            rr_next_bank: 0,
+            completed: VecDeque::new(),
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: u64) -> usize {
+        // Consecutive rows map to different banks so streams exploit
+        // bank-level parallelism.
+        ((addr / self.cfg.row_bytes) % self.cfg.num_banks as u64) as usize
+    }
+
+    #[inline]
+    fn row_of(&self, addr: u64) -> u64 {
+        addr / (self.cfg.row_bytes * self.cfg.num_banks as u64)
+    }
+
+    /// Can another command be queued for `addr`'s bank?
+    pub fn can_accept(&self, addr: u64) -> bool {
+        self.can_accept_n(addr, 1)
+    }
+
+    /// Can `n` more commands be queued for `addr`'s bank? Callers that
+    /// must enqueue a fetch *and* a victim writeback atomically check
+    /// with the combined count when both map to one bank.
+    pub fn can_accept_n(&self, addr: u64, n: usize) -> bool {
+        self.banks[self.bank_of(addr)].queue.len() + n <= self.cfg.queue_depth
+    }
+
+    /// Do two addresses share a bank queue?
+    pub fn same_bank(&self, a: u64, b: u64) -> bool {
+        self.bank_of(a) == self.bank_of(b)
+    }
+
+    /// Queue a command. Caller must have checked [`Dram::can_accept`].
+    pub fn enqueue(&mut self, cmd: DramCmd) {
+        let b = self.bank_of(cmd.addr);
+        assert!(self.banks[b].queue.len() < self.cfg.queue_depth, "DRAM bank queue overflow");
+        self.banks[b].queue.push_back(cmd);
+    }
+
+    /// Advance one command-clock cycle: start at most one new burst (the
+    /// bus admits one transfer at a time) and retire finished ones.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        let n = self.banks.len();
+        for i in 0..n {
+            let b = (self.rr_next_bank + i) % n;
+            if self.try_start(b) {
+                self.rr_next_bank = (b + 1) % n;
+                break;
+            }
+        }
+    }
+
+    fn try_start(&mut self, b: usize) -> bool {
+        let Some(&cmd) = self.banks[b].queue.front() else {
+            return false;
+        };
+        if self.banks[b].busy_until > self.now {
+            return false;
+        }
+        let row = self.row_of(cmd.addr);
+        let access_lat = if self.banks[b].open_row == Some(row) {
+            self.stats.row_hits += 1;
+            self.cfg.t_cl
+        } else {
+            self.stats.row_misses += 1;
+            self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cl
+        };
+        let data_start = (self.now + access_lat).max(self.bus_busy_until);
+        let done = data_start + self.cfg.burst;
+        self.bus_busy_until = done;
+        let bank = &mut self.banks[b];
+        bank.busy_until = done;
+        bank.open_row = Some(row);
+        bank.queue.pop_front();
+        if cmd.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.completed.push_back((done, cmd));
+        true
+    }
+
+    /// Pop the next finished command (data on the bus by now), if any.
+    /// Writes are popped too so the caller can drop them.
+    pub fn pop_completed(&mut self) -> Option<DramCmd> {
+        // Completions were pushed in bus-grant order, which is also
+        // data-completion order (the bus serializes), so FIFO works.
+        match self.completed.front() {
+            Some(&(ready, _)) if ready <= self.now => self.completed.pop_front().map(|(_, c)| c),
+            _ => None,
+        }
+    }
+
+    /// Outstanding work (queued + in flight)?
+    pub fn idle(&self) -> bool {
+        self.completed.is_empty() && self.banks.iter().all(|b| b.queue.is_empty())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Current command-clock time (tests).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(addr: u64) -> DramCmd {
+        DramCmd { addr, is_write: false, pkt: None }
+    }
+
+    fn drain_one(d: &mut Dram, max_ticks: u64) -> u64 {
+        for _ in 0..max_ticks {
+            d.tick();
+            if d.pop_completed().is_some() {
+                return d.now();
+            }
+        }
+        panic!("command did not complete in {max_ticks} ticks");
+    }
+
+    #[test]
+    fn closed_row_access_takes_full_latency() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.enqueue(read(0));
+        // tRP+tRCD+tCL = 36, +burst 8 = 44, started at tick 1.
+        let done = drain_one(&mut d, 100);
+        assert_eq!(done, 1 + 36 + 8);
+    }
+
+    #[test]
+    fn open_row_access_is_faster() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.enqueue(read(0));
+        let first = drain_one(&mut d, 100);
+        d.enqueue(read(128)); // same row
+        let second = drain_one(&mut d, 100);
+        assert!(second - first < 36 + 8 + 2, "row hit must be much faster");
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_but_share_the_bus() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        // Two reads to different banks issued together: activations
+        // overlap, bursts serialize on the bus -> both done well before
+        // 2× the serial time.
+        d.enqueue(read(0));
+        d.enqueue(read(2048)); // next bank
+        let mut done = Vec::new();
+        for _ in 0..200 {
+            d.tick();
+            while d.pop_completed().is_some() {
+                done.push(d.now());
+            }
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done[1] <= 1 + 36 + 8 + 8 + 1, "second burst should only add bus time, got {}", done[1]);
+    }
+
+    #[test]
+    fn same_bank_requests_serialize() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.enqueue(read(0));
+        d.enqueue(read(0)); // same row, same bank
+        let mut done = Vec::new();
+        for _ in 0..300 {
+            d.tick();
+            while d.pop_completed().is_some() {
+                done.push(d.now());
+            }
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert!(done[1] > done[0]);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn writes_complete_silently_and_count() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.enqueue(DramCmd { addr: 0, is_write: true, pkt: None });
+        let _ = drain_one(&mut d, 100);
+        assert_eq!(d.stats().writes, 1);
+        assert!(d.idle());
+    }
+
+    #[test]
+    fn backpressure_via_can_accept() {
+        let cfg = DramConfig { queue_depth: 2, ..DramConfig::gddr5() };
+        let mut d = Dram::new(cfg);
+        assert!(d.can_accept(0));
+        d.enqueue(read(0));
+        d.enqueue(read(0));
+        assert!(!d.can_accept(0));
+        assert!(d.can_accept(2048), "other banks unaffected");
+    }
+
+    #[test]
+    fn bandwidth_ceiling_respected() {
+        // Saturate with row hits across banks: steady state must not
+        // exceed one 128B burst per `burst` cycles.
+        let mut d = Dram::new(DramConfig::gddr5());
+        let mut completed = 0u64;
+        let mut issued = 0u64;
+        for t in 0..10_000u64 {
+            if t % 4 == 0 && d.can_accept(issued * 128) {
+                d.enqueue(read((issued * 128) % (2048 * 6)));
+                issued += 1;
+            }
+            d.tick();
+            while d.pop_completed().is_some() {
+                completed += 1;
+            }
+        }
+        let max_possible = 10_000 / DramConfig::gddr5().burst;
+        assert!(completed <= max_possible);
+        assert!(completed > max_possible / 2, "should approach the ceiling, got {completed}");
+    }
+}

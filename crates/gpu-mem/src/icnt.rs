@@ -1,0 +1,259 @@
+//! The SM ↔ memory-partition crossbar.
+//!
+//! A packet-granular model of a crossbar with 32-byte flits: each
+//! destination port serializes arriving packets at one flit per
+//! interconnect cycle, packets then traverse a fixed hop latency, and
+//! bounded per-destination queues provide backpressure. Flits are
+//! counted in both directions — the paper's interconnect-traffic metric
+//! (Figure 13).
+//!
+//! The model captures what the DLP evaluation depends on: bandwidth
+//! contention at hot memory partitions, serialization of data-carrying
+//! packets (5 flits) vs control packets (1 flit), and finite buffering.
+
+use crate::packet::Packet;
+use crate::stats::IcntStats;
+use std::collections::VecDeque;
+
+/// Crossbar parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct IcntConfig {
+    /// Number of SM-side ports.
+    pub num_sms: usize,
+    /// Number of partition-side ports.
+    pub num_partitions: usize,
+    /// Pipeline latency (cycles) added to every traversal.
+    pub hop_latency: u64,
+    /// Packets a destination queue holds before refusing traffic.
+    pub queue_capacity: usize,
+    /// Flits a port serializes per cycle (Fermi's crossbar runs ahead
+    /// of the core clock, moving ~2 flits per core cycle).
+    pub flits_per_cycle: u64,
+}
+
+impl IcntConfig {
+    /// Table 1's platform: 16 SMs, 12 memory partitions.
+    pub fn fermi() -> Self {
+        IcntConfig {
+            num_sms: 16,
+            num_partitions: 12,
+            hop_latency: 40,
+            queue_capacity: 16,
+            flits_per_cycle: 2,
+        }
+    }
+}
+
+struct Port {
+    /// Cycle until which this destination port is busy serializing.
+    busy_until: u64,
+    /// Delivered packets waiting to be popped, with their ready cycles
+    /// (monotonically nondecreasing by construction).
+    queue: VecDeque<(u64, Packet)>,
+}
+
+impl Port {
+    fn new() -> Self {
+        Port { busy_until: 0, queue: VecDeque::new() }
+    }
+}
+
+/// The crossbar.
+pub struct Interconnect {
+    cfg: IcntConfig,
+    /// Forward direction: one port per partition.
+    fwd: Vec<Port>,
+    /// Return direction: one port per SM.
+    ret: Vec<Port>,
+    stats: IcntStats,
+}
+
+impl Interconnect {
+    /// Build for the given shape.
+    pub fn new(cfg: IcntConfig) -> Self {
+        Interconnect {
+            fwd: (0..cfg.num_partitions).map(|_| Port::new()).collect(),
+            ret: (0..cfg.num_sms).map(|_| Port::new()).collect(),
+            stats: IcntStats::default(),
+            cfg,
+        }
+    }
+
+    /// Which partition services a byte address: 256-byte chunks are
+    /// interleaved across partitions (GPGPU-Sim's default mapping).
+    pub fn partition_of(&self, addr: u64) -> usize {
+        ((addr / 256) % self.cfg.num_partitions as u64) as usize
+    }
+
+    fn try_send(port: &mut Port, cfg: &IcntConfig, pkt: Packet, now: u64) -> Option<u64> {
+        if port.queue.len() >= cfg.queue_capacity {
+            return None;
+        }
+        let start = port.busy_until.max(now);
+        let done = start + pkt.flits().div_ceil(cfg.flits_per_cycle);
+        port.busy_until = done;
+        port.queue.push_back((done + cfg.hop_latency, pkt));
+        Some(pkt.flits())
+    }
+
+    /// Inject a packet toward partition `dst`. `false` means the
+    /// destination queue is full (sender must retry later).
+    pub fn try_send_fwd(&mut self, dst: usize, pkt: Packet, now: u64) -> bool {
+        match Self::try_send(&mut self.fwd[dst], &self.cfg, pkt, now) {
+            Some(flits) => {
+                self.stats.fwd_flits += flits;
+                true
+            }
+            None => {
+                self.stats.rejects += 1;
+                false
+            }
+        }
+    }
+
+    /// Inject a packet toward SM `dst` (return direction).
+    pub fn try_send_ret(&mut self, dst: usize, pkt: Packet, now: u64) -> bool {
+        match Self::try_send(&mut self.ret[dst], &self.cfg, pkt, now) {
+            Some(flits) => {
+                self.stats.ret_flits += flits;
+                true
+            }
+            None => {
+                self.stats.rejects += 1;
+                false
+            }
+        }
+    }
+
+    fn pop(port: &mut Port, now: u64) -> Option<Packet> {
+        match port.queue.front() {
+            Some(&(ready, _)) if ready <= now => port.queue.pop_front().map(|(_, p)| p),
+            _ => None,
+        }
+    }
+
+    /// Eject the next delivered packet at partition `dst`, if one has
+    /// arrived by `now`.
+    pub fn pop_fwd(&mut self, dst: usize, now: u64) -> Option<Packet> {
+        Self::pop(&mut self.fwd[dst], now)
+    }
+
+    /// Eject the next delivered packet at SM `dst`.
+    pub fn pop_ret(&mut self, dst: usize, now: u64) -> Option<Packet> {
+        Self::pop(&mut self.ret[dst], now)
+    }
+
+    /// Packets still somewhere in the network (either direction).
+    pub fn in_flight(&self) -> usize {
+        self.fwd.iter().chain(self.ret.iter()).map(|p| p.queue.len()).sum()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &IcntStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MemReq, PacketKind};
+
+    fn pkt(kind: PacketKind, addr: u64) -> Packet {
+        Packet {
+            kind,
+            addr,
+            req: MemReq { id: 0, addr, is_write: false, pc: 0, sm: 0, warp: 0, dst_reg: 0, born: 0 },
+        }
+    }
+
+    fn small() -> Interconnect {
+        Interconnect::new(IcntConfig {
+            num_sms: 2,
+            num_partitions: 2,
+            hop_latency: 4,
+            queue_capacity: 2,
+            flits_per_cycle: 1,
+        })
+    }
+
+    #[test]
+    fn packet_arrives_after_serialization_plus_hop() {
+        let mut icnt = small();
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 10));
+        // 1 flit serialization ends at 11, +4 hop -> ready at 15.
+        assert!(icnt.pop_fwd(0, 14).is_none());
+        assert!(icnt.pop_fwd(0, 15).is_some());
+        assert!(icnt.pop_fwd(0, 16).is_none(), "only one packet was sent");
+    }
+
+    #[test]
+    fn data_packets_serialize_longer() {
+        let mut icnt = small();
+        assert!(icnt.try_send_ret(1, pkt(PacketKind::ReadReply, 0), 0));
+        // 5 flits -> done at 5, +4 hop -> 9.
+        assert!(icnt.pop_ret(1, 8).is_none());
+        assert!(icnt.pop_ret(1, 9).is_some());
+    }
+
+    #[test]
+    fn port_bandwidth_is_shared() {
+        let mut icnt = small();
+        // Two 5-flit packets sent the same cycle to one port: the second
+        // serializes after the first.
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::Writeback, 0), 0));
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::Writeback, 128), 0));
+        assert!(icnt.pop_fwd(0, 9).is_some()); // 5 + 4
+        assert!(icnt.pop_fwd(0, 13).is_none());
+        assert!(icnt.pop_fwd(0, 14).is_some()); // 10 + 4
+    }
+
+    #[test]
+    fn distinct_ports_do_not_contend() {
+        let mut icnt = small();
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::Writeback, 0), 0));
+        assert!(icnt.try_send_fwd(1, pkt(PacketKind::Writeback, 0), 0));
+        assert!(icnt.pop_fwd(0, 9).is_some());
+        assert!(icnt.pop_fwd(1, 9).is_some());
+    }
+
+    #[test]
+    fn full_queue_refuses_and_counts_reject() {
+        let mut icnt = small();
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0));
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 128), 0));
+        assert!(!icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 256), 0));
+        assert_eq!(icnt.stats().rejects, 1);
+        // Draining makes room again.
+        assert!(icnt.pop_fwd(0, 100).is_some());
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 256), 100));
+    }
+
+    #[test]
+    fn flit_accounting_by_direction() {
+        let mut icnt = small();
+        icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0); // 1 flit
+        icnt.try_send_ret(0, pkt(PacketKind::ReadReply, 0), 0); // 5 flits
+        assert_eq!(icnt.stats().fwd_flits, 1);
+        assert_eq!(icnt.stats().ret_flits, 5);
+        assert_eq!(icnt.stats().total_flits(), 6);
+    }
+
+    #[test]
+    fn partition_mapping_interleaves_256b_chunks() {
+        let icnt = Interconnect::new(IcntConfig::fermi());
+        assert_eq!(icnt.partition_of(0), 0);
+        assert_eq!(icnt.partition_of(255), 0);
+        assert_eq!(icnt.partition_of(256), 1);
+        assert_eq!(icnt.partition_of(256 * 12), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_undelivered_packets() {
+        let mut icnt = small();
+        icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0);
+        assert_eq!(icnt.in_flight(), 1);
+        icnt.pop_fwd(0, 100);
+        assert_eq!(icnt.in_flight(), 0);
+    }
+}

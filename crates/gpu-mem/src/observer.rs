@@ -1,0 +1,44 @@
+//! Hook for observing the L1D access stream (used by `rd-tools` to
+//! compute reuse-distance distributions from exactly the stream the
+//! policies see).
+
+/// Receives one event per *new* L1D access (retries of stalled accesses
+//  are not replayed).
+pub trait AccessObserver: Send {
+    /// `set`/`line_addr` locate the access in the cache, `pc` is the
+    /// static memory instruction, `is_write` distinguishes stores.
+    fn on_access(&mut self, set: usize, line_addr: u64, pc: u32, is_write: bool);
+}
+
+/// An observer that drops everything (the default).
+pub struct NullObserver;
+
+impl AccessObserver for NullObserver {
+    fn on_access(&mut self, _set: usize, _line_addr: u64, _pc: u32, _is_write: bool) {}
+}
+
+/// An observer that simply counts events — handy in tests.
+#[derive(Default)]
+pub struct CountingObserver {
+    /// Number of events received.
+    pub count: u64,
+}
+
+impl AccessObserver for CountingObserver {
+    fn on_access(&mut self, _set: usize, _line_addr: u64, _pc: u32, _is_write: bool) {
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut o = CountingObserver::default();
+        o.on_access(0, 1, 2, false);
+        o.on_access(1, 2, 3, true);
+        assert_eq!(o.count, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Requests, responses and interconnect packets.
+
+/// One 128-byte-sector memory transaction produced by the LD/ST unit's
+/// coalescer. This is the unit of work the L1D sees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemReq {
+    /// Globally unique transaction id (assigned by the issuing SM).
+    pub id: u64,
+    /// Byte address of the 128-byte sector.
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+    /// PC of the static memory instruction (feeds DLP's insn-ID hash).
+    pub pc: u32,
+    /// Issuing SM (for response routing through the interconnect).
+    pub sm: u16,
+    /// Issuing warp, encoded by the core; opaque to the hierarchy.
+    pub warp: u32,
+    /// Destination register the load writes, opaque to the hierarchy.
+    pub dst_reg: u8,
+    /// Cycle the transaction first entered the L1D (set by the cache;
+    /// used for latency accounting).
+    pub born: u64,
+}
+
+/// Completion notice delivered back to the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemResp {
+    /// The original transaction.
+    pub req: MemReq,
+}
+
+/// What a packet traveling the interconnect carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Line fetch on behalf of an L1D miss that reserved a line.
+    ReadReq,
+    /// Line fetch for a bypassed access: no line reserved, the reply is
+    /// routed straight to the requesting warp.
+    BypassReadReq,
+    /// A bypassed (write-through) store: full transaction sent to L2.
+    WriteThrough,
+    /// A dirty line evicted from the L1D, written back to L2.
+    Writeback,
+    /// L2 → SM data reply for `ReadReq` (fills a reserved line).
+    ReadReply,
+    /// L2 → SM data reply for `BypassReadReq` (routed straight to the
+    /// requesting warp; no line fill).
+    BypassReadReply,
+}
+
+impl PacketKind {
+    /// Interconnect size in 32-byte flits: control-only packets are one
+    /// flit, packets carrying a 128-byte line add four data flits.
+    pub fn flits(self) -> u64 {
+        match self {
+            PacketKind::ReadReq | PacketKind::BypassReadReq => 1,
+            PacketKind::WriteThrough
+            | PacketKind::Writeback
+            | PacketKind::ReadReply
+            | PacketKind::BypassReadReply => 5,
+        }
+    }
+
+    /// Does this packet expect a reply from the memory partition?
+    pub fn expects_reply(self) -> bool {
+        matches!(self, PacketKind::ReadReq | PacketKind::BypassReadReq)
+    }
+}
+
+/// A packet in flight between an SM's L1D and a memory partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Payload type.
+    pub kind: PacketKind,
+    /// 128-byte-aligned byte address the packet concerns.
+    pub addr: u64,
+    /// The originating transaction. For `Writeback` there is no live
+    /// requester; the field holds the evicting SM for routing/stats.
+    pub req: MemReq,
+}
+
+impl Packet {
+    /// Size of this packet in flits.
+    pub fn flits(&self) -> u64 {
+        self.kind.flits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_packets_are_one_flit_data_packets_five() {
+        assert_eq!(PacketKind::ReadReq.flits(), 1);
+        assert_eq!(PacketKind::BypassReadReq.flits(), 1);
+        assert_eq!(PacketKind::WriteThrough.flits(), 5);
+        assert_eq!(PacketKind::Writeback.flits(), 5);
+        assert_eq!(PacketKind::ReadReply.flits(), 5);
+        assert_eq!(PacketKind::BypassReadReply.flits(), 5);
+    }
+
+    #[test]
+    fn only_reads_expect_replies() {
+        assert!(PacketKind::ReadReq.expects_reply());
+        assert!(PacketKind::BypassReadReq.expects_reply());
+        assert!(!PacketKind::WriteThrough.expects_reply());
+        assert!(!PacketKind::Writeback.expects_reply());
+        assert!(!PacketKind::ReadReply.expects_reply());
+    }
+}

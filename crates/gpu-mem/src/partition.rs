@@ -1,0 +1,449 @@
+//! A memory partition: one L2 slice in front of one GDDR5 channel.
+//!
+//! Table 1's GPU has 12 partitions; 256-byte address chunks interleave
+//! across them. Each partition ejects packets from the interconnect,
+//! services them in its L2 slice (64 KB, 8-way, linear index,
+//! write-back / write-allocate), and spills misses to the DRAM model.
+//! The partition logic runs at the interconnect clock; DRAM advances at
+//! the 924 MHz command clock via a fractional accumulator.
+
+use crate::dram::{Dram, DramCmd, DramConfig};
+use crate::packet::{Packet, PacketKind};
+use crate::stats::CacheStats;
+use crate::tag_array::{Lookup, TagArray};
+use dlp_core::{AccessCtx, CacheGeometry, LruBaseline, MissDecision, ReplacementPolicy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Partition parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// L2 slice geometry (Table 1: 64 sets × 8 ways × 128 B).
+    pub l2_geom: CacheGeometry,
+    /// Interconnect cycles from an L2 hit to its reply injection.
+    pub l2_latency: u64,
+    /// Distinct lines the L2 MSHR tracks.
+    pub l2_mshr_entries: usize,
+    /// Merge capacity per L2 MSHR entry.
+    pub l2_mshr_merge: usize,
+    /// Input queue depth (packets accepted from the interconnect).
+    pub input_queue: usize,
+    /// DRAM channel parameters.
+    pub dram: DramConfig,
+    /// DRAM command-clock numerator (Table 1: 924 MHz)...
+    pub dram_clock_khz: u64,
+    /// ...relative to the interconnect clock (650 MHz).
+    pub icnt_clock_khz: u64,
+}
+
+impl PartitionConfig {
+    /// The Tesla M2090 memory partition.
+    pub fn fermi() -> Self {
+        PartitionConfig {
+            l2_geom: CacheGeometry::fermi_l2_slice(),
+            l2_latency: 120,
+            l2_mshr_entries: 64,
+            l2_mshr_merge: 16,
+            input_queue: 16,
+            dram: DramConfig::gddr5(),
+            dram_clock_khz: 924_000,
+            icnt_clock_khz: 650_000,
+        }
+    }
+}
+
+struct L2MshrEntry {
+    set: usize,
+    way: usize,
+    pkts: Vec<Packet>,
+}
+
+struct PendingReply {
+    ready: u64,
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for PendingReply {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready, self.seq) == (other.ready, other.seq)
+    }
+}
+impl Eq for PendingReply {}
+impl PartialOrd for PendingReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+/// One L2-slice + DRAM-channel pair.
+pub struct MemoryPartition {
+    cfg: PartitionConfig,
+    tags: TagArray,
+    policy: LruBaseline,
+    mshr: HashMap<u64, L2MshrEntry>,
+    in_queue: VecDeque<Packet>,
+    pending: BinaryHeap<Reverse<PendingReply>>,
+    seq: u64,
+    out_queue: VecDeque<Packet>,
+    dram: Dram,
+    dram_acc: u64,
+    stats: CacheStats,
+}
+
+impl MemoryPartition {
+    /// Build an idle partition.
+    pub fn new(cfg: PartitionConfig) -> Self {
+        MemoryPartition {
+            tags: TagArray::new(cfg.l2_geom),
+            policy: LruBaseline::new(cfg.l2_geom),
+            mshr: HashMap::new(),
+            in_queue: VecDeque::new(),
+            pending: BinaryHeap::new(),
+            seq: 0,
+            out_queue: VecDeque::new(),
+            dram: Dram::new(cfg.dram),
+            dram_acc: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// Room for another packet from the interconnect?
+    pub fn can_accept(&self) -> bool {
+        self.in_queue.len() < self.cfg.input_queue
+    }
+
+    /// Hand over an ejected packet. Caller checked [`Self::can_accept`].
+    pub fn enqueue(&mut self, pkt: Packet) {
+        assert!(self.can_accept(), "partition input overflow");
+        self.in_queue.push_back(pkt);
+    }
+
+    /// Next reply bound for the interconnect.
+    pub fn pop_reply(&mut self) -> Option<Packet> {
+        self.out_queue.pop_front()
+    }
+
+    /// Put back a reply the interconnect refused (retried next cycle).
+    pub fn unpop_reply(&mut self, pkt: Packet) {
+        self.out_queue.push_front(pkt);
+    }
+
+    /// All queues drained and DRAM idle?
+    pub fn idle(&self) -> bool {
+        self.in_queue.is_empty()
+            && self.mshr.is_empty()
+            && self.pending.is_empty()
+            && self.out_queue.is_empty()
+            && self.dram.idle()
+    }
+
+    /// L2 counters.
+    pub fn l2_stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// DRAM counters.
+    pub fn dram_stats(&self) -> crate::dram::DramStats {
+        self.dram.stats()
+    }
+
+    fn schedule_reply(&mut self, pkt: Packet, ready: u64) {
+        self.seq += 1;
+        self.pending.push(Reverse(PendingReply { ready, seq: self.seq, pkt }));
+    }
+
+    fn reply_kind(req_kind: PacketKind) -> PacketKind {
+        match req_kind {
+            PacketKind::ReadReq => PacketKind::ReadReply,
+            PacketKind::BypassReadReq => PacketKind::BypassReadReply,
+            other => panic!("no reply kind for {other:?}"),
+        }
+    }
+
+    /// Advance one interconnect cycle.
+    pub fn cycle(&mut self, now: u64) {
+        // 1. DRAM advances at its own clock.
+        self.dram_acc += self.cfg.dram_clock_khz;
+        while self.dram_acc >= self.cfg.icnt_clock_khz {
+            self.dram_acc -= self.cfg.icnt_clock_khz;
+            self.dram.tick();
+        }
+
+        // 2. Retire DRAM completions: reads fill the L2 and answer all
+        //    merged requesters; writes vanish.
+        while let Some(cmd) = self.dram.pop_completed() {
+            if cmd.is_write {
+                continue;
+            }
+            let line = self.cfg.l2_geom.line_addr(cmd.addr);
+            let entry = self
+                .mshr
+                .remove(&line)
+                .expect("DRAM read completion without matching L2 MSHR entry");
+            let dirty = entry
+                .pkts
+                .iter()
+                .any(|p| matches!(p.kind, PacketKind::WriteThrough | PacketKind::Writeback));
+            self.tags.fill(entry.set, entry.way, dirty);
+            let ctx = AccessCtx { insn_id: 0, is_write: false };
+            self.policy.on_fill(entry.set, entry.way, line, &ctx);
+            for pkt in entry.pkts {
+                if pkt.kind.expects_reply() {
+                    let reply = Packet { kind: Self::reply_kind(pkt.kind), ..pkt };
+                    self.schedule_reply(reply, now + 1);
+                }
+            }
+        }
+
+        // 3. Ripen pending replies.
+        while let Some(Reverse(head)) = self.pending.peek() {
+            if head.ready > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().unwrap();
+            self.out_queue.push_back(p.pkt);
+        }
+
+        // 4. Service one input packet; the head blocks on structural
+        //    hazards (head-of-line, as in the real ejection port).
+        if let Some(&pkt) = self.in_queue.front() {
+            if self.process(pkt, now) {
+                self.in_queue.pop_front();
+            }
+        }
+    }
+
+    /// Returns true if the packet was fully handled.
+    fn process(&mut self, pkt: Packet, now: u64) -> bool {
+        let geom = self.cfg.l2_geom;
+        let line = geom.line_addr(pkt.addr);
+        let (set, tag) = (geom.set_of_line(line), geom.tag_of_line(line));
+        let is_write = matches!(pkt.kind, PacketKind::WriteThrough | PacketKind::Writeback);
+        let ctx = AccessCtx { insn_id: 0, is_write };
+
+        self.stats.accesses += 1;
+        self.policy.on_query(set);
+
+        // Hit.
+        if let Lookup::Hit { way } = self.tags.lookup(set, tag) {
+            self.policy.on_hit(set, way, &ctx);
+            self.stats.hits += 1;
+            if is_write {
+                self.tags.mark_dirty(set, way);
+            } else {
+                let reply = Packet { kind: Self::reply_kind(pkt.kind), ..pkt };
+                self.schedule_reply(reply, now + self.cfg.l2_latency);
+            }
+            return true;
+        }
+
+        // Merge into an in-flight fetch.
+        if let Some(entry) = self.mshr.get_mut(&line) {
+            if entry.pkts.len() >= self.cfg.l2_mshr_merge {
+                self.stats.accesses -= 1; // retried next cycle, recounted
+                return false;
+            }
+            entry.pkts.push(pkt);
+            self.stats.mshr_merges += 1;
+            return true;
+        }
+
+        if self.mshr.len() >= self.cfg.l2_mshr_entries {
+            self.stats.accesses -= 1;
+            return false;
+        }
+
+        // Allocate a victim way.
+        let views = self.tags.view_set(set);
+        let way = match self.policy.decide_replacement(set, &views, &ctx) {
+            MissDecision::Allocate { way } => way,
+            MissDecision::Stall => {
+                self.stats.accesses -= 1;
+                return false;
+            }
+            MissDecision::Bypass => unreachable!("L2 uses plain LRU"),
+        };
+        let victim = self.tags.line(set, way);
+        let victim_dirty = victim.valid && victim.dirty;
+
+        // DRAM admission: the fetch (for reads) and the victim writeback
+        // must both be enqueueable — atomically, since they may share a
+        // bank queue — else retry next cycle.
+        let fetch_needed = !is_write;
+        let wb_addr = victim.tag * geom.line_bytes;
+        let admissible = match (fetch_needed, victim_dirty) {
+            (true, true) if self.dram.same_bank(pkt.addr, wb_addr) => {
+                self.dram.can_accept_n(pkt.addr, 2)
+            }
+            (true, true) => self.dram.can_accept(pkt.addr) && self.dram.can_accept(wb_addr),
+            (true, false) => self.dram.can_accept(pkt.addr),
+            (false, true) => self.dram.can_accept(wb_addr),
+            (false, false) => true,
+        };
+        if !admissible {
+            self.stats.accesses -= 1;
+            return false;
+        }
+
+        if let Some(old) = self.tags.evict_and_reserve(set, way, tag) {
+            self.policy.on_evict(set, way, old.tag);
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.dirty_evictions += 1;
+                let wb_addr = old.tag * geom.line_bytes;
+                self.dram.enqueue(DramCmd { addr: wb_addr, is_write: true, pkt: None });
+            }
+        }
+
+        if is_write {
+            // Write-allocate without fetch: a full-line write validates
+            // the line immediately.
+            self.tags.fill(set, way, true);
+            self.policy.on_fill(set, way, line, &ctx);
+            self.stats.misses_allocated += 1;
+        } else {
+            self.mshr.insert(line, L2MshrEntry { set, way, pkts: vec![pkt] });
+            self.dram.enqueue(DramCmd { addr: pkt.addr, is_write: false, pkt: Some(pkt) });
+            self.stats.misses_allocated += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MemReq;
+
+    fn part() -> MemoryPartition {
+        MemoryPartition::new(PartitionConfig::fermi())
+    }
+
+    fn read_pkt(kind: PacketKind, addr: u64, id: u64) -> Packet {
+        Packet {
+            kind,
+            addr,
+            req: MemReq { id, addr, is_write: false, pc: 0, sm: 3, warp: 0, dst_reg: 0, born: 0 },
+        }
+    }
+
+    fn run_until_reply(p: &mut MemoryPartition, start: u64, max: u64) -> (u64, Packet) {
+        for now in start..start + max {
+            p.cycle(now);
+            if let Some(r) = p.pop_reply() {
+                return (now, r);
+            }
+        }
+        panic!("no reply within {max} cycles");
+    }
+
+    #[test]
+    fn l2_miss_goes_to_dram_and_replies() {
+        let mut p = part();
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x8000, 7));
+        let (when, reply) = run_until_reply(&mut p, 0, 500);
+        assert_eq!(reply.kind, PacketKind::ReadReply);
+        assert_eq!(reply.req.id, 7);
+        assert!(when > 30, "DRAM latency must be visible, got {when}");
+        assert_eq!(p.l2_stats().misses_allocated, 1);
+        assert_eq!(p.dram_stats().reads, 1);
+    }
+
+    #[test]
+    fn l2_hit_is_much_faster_than_miss() {
+        let mut p = part();
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x8000, 1));
+        let (t_miss, _) = run_until_reply(&mut p, 0, 500);
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x8000, 2));
+        let (t_hit, reply) = run_until_reply(&mut p, t_miss + 1, 500);
+        assert_eq!(reply.req.id, 2);
+        assert!(t_hit - t_miss <= PartitionConfig::fermi().l2_latency + 3);
+        assert_eq!(p.l2_stats().hits, 1);
+        assert_eq!(p.dram_stats().reads, 1, "hit must not touch DRAM");
+    }
+
+    #[test]
+    fn bypass_read_gets_bypass_reply() {
+        let mut p = part();
+        p.enqueue(read_pkt(PacketKind::BypassReadReq, 0x100, 9));
+        let (_, reply) = run_until_reply(&mut p, 0, 500);
+        assert_eq!(reply.kind, PacketKind::BypassReadReply);
+        assert_eq!(reply.req.id, 9);
+    }
+
+    #[test]
+    fn concurrent_reads_to_same_line_merge() {
+        let mut p = part();
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x4000, 1));
+        p.cycle(0); // processes first -> MSHR allocated
+        p.enqueue(read_pkt(PacketKind::BypassReadReq, 0x4000, 2));
+        let mut replies = Vec::new();
+        for now in 1..500 {
+            p.cycle(now);
+            while let Some(r) = p.pop_reply() {
+                replies.push(r);
+            }
+            if replies.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(replies.len(), 2);
+        assert_eq!(p.dram_stats().reads, 1, "one fetch serves both");
+        assert_eq!(p.l2_stats().mshr_merges, 1);
+        let kinds: Vec<_> = replies.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&PacketKind::ReadReply));
+        assert!(kinds.contains(&PacketKind::BypassReadReply));
+    }
+
+    #[test]
+    fn writeback_allocates_without_fetch_and_dirty_eviction_reaches_dram() {
+        let mut p = part();
+        let geom = CacheGeometry::fermi_l2_slice();
+        // Write-allocate a line (no DRAM traffic), then evict it by
+        // filling the set with 8 reads mapping to the same set.
+        let wb = Packet {
+            kind: PacketKind::Writeback,
+            addr: 0,
+            req: MemReq { id: 0, addr: 0, is_write: true, pc: 0, sm: 0, warp: 0, dst_reg: 0, born: 0 },
+        };
+        p.enqueue(wb);
+        p.cycle(0);
+        assert_eq!(p.dram_stats().reads + p.dram_stats().writes, 0);
+        assert_eq!(p.l2_stats().misses_allocated, 1);
+
+        // Lines mapping to set of addr 0 are spaced num_sets*line_bytes.
+        let stride = geom.num_sets as u64 * geom.line_bytes;
+        let mut now = 1;
+        for i in 1..=8u64 {
+            while !p.can_accept() {
+                p.cycle(now);
+                now += 1;
+            }
+            p.enqueue(read_pkt(PacketKind::ReadReq, i * stride, i));
+            for _ in 0..200 {
+                p.cycle(now);
+                now += 1;
+                p.pop_reply();
+            }
+        }
+        assert!(p.l2_stats().evictions >= 1);
+        assert_eq!(p.dram_stats().writes, 1, "the dirty victim was written back");
+    }
+
+    #[test]
+    fn idle_reflects_outstanding_work() {
+        let mut p = part();
+        assert!(p.idle());
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0, 1));
+        assert!(!p.idle());
+        let _ = run_until_reply(&mut p, 0, 500);
+        assert!(p.idle());
+    }
+}

@@ -1,0 +1,57 @@
+//! Intra-warp memory coalescing.
+//!
+//! The LD/ST unit merges the (up to) 32 lane addresses of one memory
+//! instruction into the minimal set of 128-byte-sector transactions, in
+//! first-touch lane order — the standard Fermi coalescing rule. A fully
+//! coalesced unit-stride access produces one transaction; a scatter
+//! produces up to 32.
+
+/// Coalesce lane byte-addresses into unique 128-byte-aligned sector
+/// addresses, ordered by first touching lane.
+pub fn coalesce(addrs: &[u64], sector_bytes: u64) -> Vec<u64> {
+    debug_assert!(sector_bytes.is_power_of_two());
+    let mask = !(sector_bytes - 1);
+    let mut sectors = Vec::with_capacity(4);
+    for &a in addrs {
+        let s = a & mask;
+        if !sectors.contains(&s) {
+            sectors.push(s);
+        }
+    }
+    sectors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_to_one_sector() {
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 4).collect();
+        assert_eq!(coalesce(&addrs, 128), vec![0x1000]);
+    }
+
+    #[test]
+    fn stride_two_words_spans_two_sectors() {
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 8).collect();
+        assert_eq!(coalesce(&addrs, 128), vec![0x1000, 0x1080]);
+    }
+
+    #[test]
+    fn scatter_produces_one_sector_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|l| l * 4096).collect();
+        assert_eq!(coalesce(&addrs, 128).len(), 32);
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let addrs = vec![0x200, 0x000, 0x210, 0x080];
+        assert_eq!(coalesce(&addrs, 128), vec![0x200, 0x000, 0x080]);
+    }
+
+    #[test]
+    fn unaligned_lanes_fold_into_their_sector() {
+        let addrs = vec![127, 128, 255, 256];
+        assert_eq!(coalesce(&addrs, 128), vec![0, 128, 256]);
+    }
+}

@@ -1,0 +1,322 @@
+//! The full GPU: SMs, crossbar, memory partitions and the clock loop.
+//!
+//! Core and interconnect share the 650 MHz clock (Table 1); each memory
+//! partition internally advances its DRAM at the 924 MHz command clock.
+//! Per core cycle the driver:
+//!
+//! 1. launches pending CTAs onto SMs with room,
+//! 2. cycles every SM (which cycles its L1D),
+//! 3. drains L1D miss queues into the crossbar,
+//! 4. ejects crossbar packets into partitions and cycles them,
+//! 5. injects partition replies back into the crossbar,
+//! 6. delivers arrived replies to the owning SM's L1D.
+
+use crate::config::SimConfig;
+use crate::kernel::Kernel;
+use crate::sm::Sm;
+use crate::stats::RunStats;
+use gpu_mem::icnt::Interconnect;
+use gpu_mem::observer::AccessObserver;
+use gpu_mem::partition::MemoryPartition;
+use std::collections::VecDeque;
+
+/// A configured GPU with a kernel to run.
+pub struct Gpu {
+    cfg: SimConfig,
+    sms: Vec<Sm>,
+    icnt: Interconnect,
+    parts: Vec<MemoryPartition>,
+    kernel: Box<dyn Kernel>,
+    pending_ctas: VecDeque<usize>,
+    launch_cursor: usize,
+    now: u64,
+}
+
+impl Gpu {
+    /// Build the platform and queue every CTA of the kernel's grid.
+    pub fn new(cfg: SimConfig, kernel: Box<dyn Kernel>) -> Self {
+        let grid = kernel.grid();
+        let slots = cfg.warp_limit.unwrap_or(cfg.max_warps_per_sm).min(cfg.max_warps_per_sm);
+        assert!(
+            grid.warps_per_cta <= slots,
+            "CTA of {} warps cannot fit an SM of {} usable slots",
+            grid.warps_per_cta,
+            slots
+        );
+        Gpu {
+            sms: (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect(),
+            icnt: Interconnect::new(cfg.icnt),
+            parts: (0..cfg.icnt.num_partitions).map(|_| MemoryPartition::new(cfg.partition)).collect(),
+            kernel,
+            pending_ctas: (0..grid.num_ctas).collect(),
+            launch_cursor: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// Attach a reuse-distance observer to one SM's L1D (do this before
+    /// running).
+    pub fn set_l1d_observer(&mut self, sm: usize, obs: Box<dyn AccessObserver>) {
+        self.sms[sm].l1d.set_observer(obs);
+    }
+
+    /// Current core cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Read access to one SM's L1D (post-run introspection: policy
+    /// state, PD tables, counters).
+    pub fn l1d(&self, sm: usize) -> &gpu_mem::l1d::L1dCache {
+        &self.sms[sm].l1d
+    }
+
+    fn launch_ctas(&mut self) {
+        if self.pending_ctas.is_empty() {
+            return;
+        }
+        // Round-robin across SMs, as the hardware CTA scheduler does, so
+        // partially filled grids spread over the whole chip.
+        let wpc = self.kernel.grid().warps_per_cta;
+        let n = self.sms.len();
+        let mut denied = 0;
+        while denied < n && !self.pending_ctas.is_empty() {
+            let idx = self.launch_cursor % n;
+            if self.sms[idx].can_accept_cta(wpc) {
+                let cta = self.pending_ctas.pop_front().unwrap();
+                let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
+                self.sms[idx].launch_cta(cta, warps);
+                denied = 0;
+            } else {
+                denied += 1;
+            }
+            self.launch_cursor = self.launch_cursor.wrapping_add(1);
+        }
+    }
+
+    /// One core/interconnect cycle.
+    fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+
+        self.launch_ctas();
+
+        for sm in &mut self.sms {
+            sm.cycle(now);
+            // CTA completions free slots; successors launch next cycle.
+            sm.take_finished_ctas();
+        }
+
+        // L1D miss queues -> crossbar (forward direction).
+        for sm in &mut self.sms {
+            while let Some(pkt) = sm.l1d.peek_outgoing() {
+                let dst = self.icnt.partition_of(pkt.addr);
+                if self.icnt.try_send_fwd(dst, *pkt, now) {
+                    sm.l1d.pop_outgoing();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Crossbar -> partitions, then partition internals.
+        for (p, part) in self.parts.iter_mut().enumerate() {
+            while part.can_accept() {
+                match self.icnt.pop_fwd(p, now) {
+                    Some(pkt) => part.enqueue(pkt),
+                    None => break,
+                }
+            }
+            part.cycle(now);
+            // Partition replies -> crossbar (return direction).
+            while let Some(pkt) = part.pop_reply() {
+                let dst = pkt.req.sm as usize;
+                if !self.icnt.try_send_ret(dst, pkt, now) {
+                    part.unpop_reply(pkt);
+                    break;
+                }
+            }
+        }
+
+        // Crossbar -> L1Ds.
+        for (s, sm) in self.sms.iter_mut().enumerate() {
+            while let Some(pkt) = self.icnt.pop_ret(s, now) {
+                sm.l1d.on_reply(pkt, now);
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.pending_ctas.is_empty()
+            && self.icnt.in_flight() == 0
+            && self.sms.iter().all(Sm::idle)
+            && self.parts.iter().all(MemoryPartition::idle)
+    }
+
+    /// Run to completion (or the cycle cap) and report.
+    pub fn run(&mut self) -> RunStats {
+        while !self.finished() && self.now < self.cfg.max_cycles {
+            self.step();
+        }
+        self.collect(self.finished())
+    }
+
+    /// Run at most `cycles` more cycles (incremental driving for tests
+    /// and interactive exploration).
+    pub fn run_for(&mut self, cycles: u64) -> RunStats {
+        let end = self.now + cycles;
+        while !self.finished() && self.now < end {
+            self.step();
+        }
+        self.collect(self.finished())
+    }
+
+    fn collect(&self, completed: bool) -> RunStats {
+        let mut out = RunStats { cycles: self.now, completed, ..Default::default() };
+        for sm in &self.sms {
+            let s = sm.stats();
+            out.thread_insns += s.thread_insns;
+            out.warp_insns += s.warp_insns;
+            out.mem_transactions += s.mem_transactions;
+            out.l1d.merge(sm.l1d.stats());
+            out.policy.merge(&sm.l1d.policy_stats());
+        }
+        out.icnt = sm_icnt_stats(&self.icnt);
+        for p in &self.parts {
+            out.l2.merge(p.l2_stats());
+            out.dram.merge(p.dram_stats());
+        }
+        out
+    }
+}
+
+fn sm_icnt_stats(icnt: &Interconnect) -> gpu_mem::stats::IcntStats {
+    icnt.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::TraceOp;
+    use crate::kernel::GridDesc;
+    use dlp_core::PolicyKind;
+
+    /// A streaming kernel: every warp loads a private range then does
+    /// dependent ALU work.
+    struct Stream {
+        ctas: usize,
+        warps: usize,
+        iters: usize,
+    }
+
+    impl Kernel for Stream {
+        fn name(&self) -> &str {
+            "stream"
+        }
+        fn grid(&self) -> GridDesc {
+            GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+        }
+        fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+            let mut ops = Vec::new();
+            let warp_base = ((cta * self.warps + warp) * self.iters) as u64 * 4096;
+            for i in 0..self.iters {
+                let base = warp_base + (i as u64) * 4096;
+                ops.push(TraceOp::load(0, 1, (0..32).map(|l| base + l * 4).collect()));
+                ops.push(TraceOp::alu(1, 4).with_srcs([1]).with_dst(2));
+                ops.push(TraceOp::alu(2, 4).with_srcs([2]).with_dst(3));
+            }
+            ops
+        }
+    }
+
+    #[test]
+    fn small_kernel_completes_on_every_policy() {
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(2);
+            let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 4, warps: 2, iters: 3 }));
+            let stats = gpu.run();
+            assert!(stats.completed, "{kind:?} did not complete");
+            assert_eq!(stats.warp_insns, 4 * 2 * 3 * 3, "{kind:?} wrong insn count");
+            assert_eq!(stats.l1d.accesses, stats.mem_transactions);
+            assert!(stats.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
+            Gpu::new(cfg, Box::new(Stream { ctas: 6, warps: 3, iters: 4 }))
+        };
+        let a = mk().run();
+        let b = mk().run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1d, b.l1d);
+        assert_eq!(a.icnt, b.icnt);
+    }
+
+    #[test]
+    fn memory_bound_kernel_touches_dram() {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
+        let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 2, warps: 2, iters: 4 }));
+        let stats = gpu.run();
+        assert!(stats.dram.reads > 0);
+        assert!(stats.icnt.total_flits() > 0);
+        assert!(stats.l2.accesses > 0);
+    }
+
+    #[test]
+    fn more_ctas_than_capacity_still_drain() {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
+        // 1 SM × 48 slots, 8-warp CTAs -> 6 resident; 20 CTAs queue up.
+        let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 20, warps: 8, iters: 2 }));
+        let stats = gpu.run();
+        assert!(stats.completed);
+        assert_eq!(stats.warp_insns, 20 * 8 * 2 * 3);
+    }
+
+    #[test]
+    fn warp_throttling_limits_concurrency() {
+        // With a 2-warp limit and 2-warp CTAs, at most one CTA is
+        // resident per SM; the kernel still completes.
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1).with_warp_limit(2);
+        let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 6, warps: 2, iters: 2 }));
+        let stats = gpu.run();
+        assert!(stats.completed);
+        assert_eq!(stats.warp_insns, 6 * 2 * 2 * 3);
+        // Throttled runs serialize CTAs, so they take longer than the
+        // unthrottled machine.
+        let full = Gpu::new(
+            SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1),
+            Box::new(Stream { ctas: 6, warps: 2, iters: 2 }),
+        )
+        .run();
+        assert!(stats.cycles > full.cycles);
+    }
+
+    #[test]
+    fn reuse_kernel_hits_in_l1d() {
+        /// Warps re-read the same small array repeatedly.
+        struct Reuse;
+        impl Kernel for Reuse {
+            fn name(&self) -> &str {
+                "reuse"
+            }
+            fn grid(&self) -> GridDesc {
+                GridDesc { num_ctas: 1, warps_per_cta: 1 }
+            }
+            fn warp_ops(&self, _c: usize, _w: usize) -> Vec<TraceOp> {
+                (0..64)
+                    .map(|i| {
+                        TraceOp::load(0, 1, (0..32).map(|l| (i % 2) * 128 + l * 4).collect())
+                    })
+                    .collect()
+            }
+        }
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
+        let stats = Gpu::new(cfg, Box::new(Reuse)).run();
+        assert_eq!(stats.l1d.accesses, 64);
+        assert_eq!(stats.l1d.hits, 62, "all but the two compulsory misses hit");
+    }
+}

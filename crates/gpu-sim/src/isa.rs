@@ -1,0 +1,148 @@
+//! The trace "ISA" kernels are expressed in.
+//!
+//! A workload is a per-warp sequence of [`TraceOp`]s: ALU operations
+//! with a latency and register operands, and memory operations carrying
+//! the byte address each active lane touches. This is the abstraction
+//! level of trace-driven GPU simulators (e.g. Accel-Sim): enough to
+//! exercise scheduling, latency hiding and every memory-system path,
+//! without modeling arithmetic semantics the cache never sees.
+
+/// Register index within a warp's register window (0..=62).
+pub type Reg = u8;
+
+/// Sentinel for "no register".
+pub const NO_REG: Reg = u8::MAX;
+
+/// Maximum registers addressable per warp (scoreboard width).
+pub const MAX_REGS: usize = 64;
+
+/// What an operation does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Arithmetic / shared-memory / control work that occupies the warp
+    /// for a pipeline latency and (optionally) writes `dst`.
+    Alu {
+        /// Cycles until the destination register is written back.
+        latency: u32,
+        /// Active lanes executing the op (thread-instruction count).
+        active: u8,
+    },
+    /// A global-memory instruction: one byte address per active lane.
+    Mem {
+        /// Store (true) or load (false).
+        is_write: bool,
+        /// Byte address touched by each active lane.
+        addrs: Vec<u64>,
+    },
+}
+
+/// One warp-level instruction in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Static program counter; memory PCs feed DLP's instruction hash.
+    pub pc: u32,
+    /// Destination register or [`NO_REG`].
+    pub dst: Reg,
+    /// Source registers ([`NO_REG`] padding).
+    pub srcs: [Reg; 2],
+    /// Operation payload.
+    pub kind: OpKind,
+}
+
+impl TraceOp {
+    /// An ALU op with the given latency, full warp active, no operands.
+    pub fn alu(pc: u32, latency: u32) -> Self {
+        TraceOp { pc, dst: NO_REG, srcs: [NO_REG; 2], kind: OpKind::Alu { latency, active: 32 } }
+    }
+
+    /// A global load writing `dst`, one address per active lane.
+    pub fn load(pc: u32, dst: Reg, addrs: Vec<u64>) -> Self {
+        assert!(!addrs.is_empty() && addrs.len() <= 32, "1..=32 active lanes");
+        assert!(dst != NO_REG, "loads must write a register");
+        TraceOp { pc, dst, srcs: [NO_REG; 2], kind: OpKind::Mem { is_write: false, addrs } }
+    }
+
+    /// A global store, one address per active lane.
+    pub fn store(pc: u32, addrs: Vec<u64>) -> Self {
+        assert!(!addrs.is_empty() && addrs.len() <= 32, "1..=32 active lanes");
+        TraceOp { pc, dst: NO_REG, srcs: [NO_REG; 2], kind: OpKind::Mem { is_write: true, addrs } }
+    }
+
+    /// Attach source registers (up to two; dependences on loads create
+    /// the latency-hiding pressure real kernels have).
+    pub fn with_srcs<const N: usize>(mut self, srcs: [Reg; N]) -> Self {
+        assert!(N <= 2);
+        for (i, s) in srcs.into_iter().enumerate() {
+            self.srcs[i] = s;
+        }
+        self
+    }
+
+    /// Attach a destination register.
+    pub fn with_dst(mut self, dst: Reg) -> Self {
+        self.dst = dst;
+        self
+    }
+
+    /// Restrict an ALU op to `n` active lanes.
+    pub fn with_active(mut self, n: u8) -> Self {
+        if let OpKind::Alu { active, .. } = &mut self.kind {
+            *active = n;
+        }
+        self
+    }
+
+    /// Thread instructions this op represents (active lanes).
+    pub fn active_lanes(&self) -> u32 {
+        match &self.kind {
+            OpKind::Alu { active, .. } => *active as u32,
+            OpKind::Mem { addrs, .. } => addrs.len() as u32,
+        }
+    }
+
+    /// Is this a memory operation?
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, OpKind::Mem { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let a = TraceOp::alu(3, 8).with_dst(2).with_srcs([1]);
+        assert_eq!(a.pc, 3);
+        assert_eq!(a.dst, 2);
+        assert_eq!(a.srcs, [1, NO_REG]);
+        assert_eq!(a.active_lanes(), 32);
+        assert!(!a.is_mem());
+
+        let l = TraceOp::load(7, 5, vec![0, 4, 8]);
+        assert!(l.is_mem());
+        assert_eq!(l.active_lanes(), 3);
+
+        let s = TraceOp::store(9, vec![16; 32]);
+        assert_eq!(s.active_lanes(), 32);
+        assert_eq!(s.dst, NO_REG);
+    }
+
+    #[test]
+    fn with_active_trims_lanes() {
+        let a = TraceOp::alu(0, 1).with_active(7);
+        assert_eq!(a.active_lanes(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32 active lanes")]
+    fn load_rejects_empty_lane_list() {
+        TraceOp::load(0, 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loads must write a register")]
+    fn load_rejects_no_reg_dst() {
+        TraceOp::load(0, NO_REG, vec![0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The interface a workload implements to run on the simulated GPU.
+
+use crate::isa::TraceOp;
+
+/// Launch shape of a kernel grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridDesc {
+    /// Cooperative thread arrays (thread blocks) in the grid.
+    pub num_ctas: usize,
+    /// Warps per CTA (CTA size / 32).
+    pub warps_per_cta: usize,
+}
+
+impl GridDesc {
+    /// Total warps in the grid.
+    pub fn total_warps(&self) -> usize {
+        self.num_ctas * self.warps_per_cta
+    }
+}
+
+/// A GPU kernel expressed as deterministic per-warp instruction traces.
+///
+/// `warp_ops(cta, warp)` must be a pure function of its arguments (and
+/// the kernel's construction parameters): the simulator may call it at
+/// any time relative to execution, and the analysis tools re-derive the
+/// same traces when profiling reuse distances.
+pub trait Kernel: Send {
+    /// Short benchmark name (e.g. `"BFS"`).
+    fn name(&self) -> &str;
+
+    /// Grid shape.
+    fn grid(&self) -> GridDesc;
+
+    /// The instruction trace of warp `warp` of CTA `cta`.
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp>;
+}
+
+impl GridDesc {
+    /// Convenience: a single-CTA grid.
+    pub fn single(warps: usize) -> Self {
+        GridDesc { num_ctas: 1, warps_per_cta: warps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_warps_multiplies() {
+        assert_eq!(GridDesc { num_ctas: 5, warps_per_cta: 4 }.total_warps(), 20);
+        assert_eq!(GridDesc::single(3).total_warps(), 3);
+    }
+}

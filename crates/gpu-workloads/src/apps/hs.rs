@@ -1,0 +1,111 @@
+//! HS — Hotspot (Rodinia, Cache Sufficient).
+//!
+//! Hotspot's 512×512 thermal simulation reads each cell's temperature,
+//! its vertical neighbours and the power grid, with heavy floating-point
+//! work per cell. A warp walking down a column strip re-reads the row it
+//! just produced as the "up" neighbour of the next iteration — short
+//! reuse distances — and the low memory-access ratio makes the kernel
+//! compute-bound (Figure 5: insensitive to L1D size).
+
+use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// Hotspot model. See the module docs.
+pub struct Hs {
+    ctas: usize,
+    warps: usize,
+    rows: usize,
+    temp: u64,
+    power: u64,
+    out: u64,
+    row_bytes: u64,
+}
+
+impl Hs {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, rows) = match scale {
+            Scale::Tiny => (4, 2, 8),
+            Scale::Full => (64, 6, 48),
+        };
+        let mut mem = AddrSpace::new();
+        let row_bytes = 512 * 4;
+        Hs {
+            ctas,
+            warps,
+            rows,
+            temp: mem.alloc(512 * row_bytes),
+            power: mem.alloc(512 * row_bytes),
+            out: mem.alloc(512 * row_bytes),
+            row_bytes,
+        }
+    }
+}
+
+impl Kernel for Hs {
+    fn name(&self) -> &str {
+        "HS"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        // Each warp owns a 32-column strip and walks `rows` rows down.
+        let strips_per_row = 512 / 32;
+        let gwarp = cta * self.warps + warp;
+        desync(&mut ops, &mut apc, gwarp as u64);
+        let col = ((gwarp % strips_per_row) * 32) as u64 * 4;
+        let row0 = (gwarp / strips_per_row * self.rows) as u64 % 500;
+        for r in 0..self.rows as u64 {
+            // Rotate registers so consecutive rows overlap in flight.
+            let rb = 1 + ((r % 2) as u8) * 8;
+            let center = self.temp + (row0 + r + 1) * self.row_bytes + col;
+            let up = center - self.row_bytes;
+            let down = center + self.row_bytes;
+            ops.push(TraceOp::load(0, rb, coalesced(center)));
+            ops.push(TraceOp::load(1, rb + 2, coalesced(up)));
+            ops.push(TraceOp::load(2, rb + 4, coalesced(down)));
+            ops.push(TraceOp::load(3, rb + 6, coalesced(self.power + (row0 + r + 1) * self.row_bytes + col)));
+            alu_block(&mut ops, &mut apc, 30, rb);
+            ops.push(TraceOp::store(4, coalesced(self.out + (row0 + r + 1) * self.row_bytes + col)).with_srcs([rb + 2]));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_sufficient() {
+        assert!(static_mem_ratio(&Hs::new(Scale::Tiny)) < 0.01);
+    }
+
+    #[test]
+    fn down_row_is_reused_as_next_center() {
+        let k = Hs::new(Scale::Tiny);
+        let ops = k.warp_ops(0, 0);
+        let line_of = |pc: u32, nth: usize| {
+            ops.iter()
+                .filter(|o| o.pc == pc && o.is_mem())
+                .nth(nth)
+                .and_then(|o| match &o.kind {
+                    OpKind::Mem { addrs, .. } => Some(addrs[0] / 128),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        // The "down" line of iteration r equals the "center" line of
+        // iteration r+1 -> short reuse distance.
+        assert_eq!(line_of(2, 0), line_of(0, 1));
+    }
+}

@@ -1,0 +1,128 @@
+//! KM — K-means (Rodinia, 204800 points, Cache Insufficient).
+//!
+//! The assignment step: each point is streamed once, then compared
+//! against all K centroids. With K = 256 and 32 features per centroid
+//! the centroid table is 32 KB — exactly 2× the baseline L1D — and its
+//! lines recur every K centroid reads, i.e. ~8 accesses per cache set:
+//! just past 4-way LRU's reach (so the baseline thrashes, Figure 3 puts
+//! most of KM's RDs above the associativity), but squarely inside the
+//! VTA's visibility and the protected lifetime DLP assigns. K-means is
+//! the canonical protection winner.
+
+use crate::pattern::{desync, alu_block, coalesced, AddrSpace, F4};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// K-means assignment-step model. See the module docs.
+pub struct Km {
+    ctas: usize,
+    warps: usize,
+    points: usize,
+    k: u64,
+    feat_bytes: u64,
+    data: u64,
+    centroids: u64,
+    assign: u64,
+}
+
+impl Km {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, points, k) = match scale {
+            Scale::Tiny => (8, 4, 2, 64),
+            Scale::Full => (96, 6, 3, 256),
+        };
+        let feat_bytes = 32 * F4; // 32 features = one 128 B line
+        let mut mem = AddrSpace::new();
+        Km {
+            ctas,
+            warps,
+            points,
+            k,
+            feat_bytes,
+            data: mem.alloc(64 << 20),
+            centroids: mem.alloc(k * feat_bytes),
+            assign: mem.alloc(1 << 20),
+        }
+    }
+}
+
+impl Kernel for Km {
+    fn name(&self) -> &str {
+        "KM"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let gwarp = (cta * self.warps + warp) as u64;
+        desync(&mut ops, &mut apc, gwarp);
+        for p in 0..self.points as u64 {
+            // Stream the point's feature line.
+            let pt = self.data + (gwarp * self.points as u64 + p) * self.feat_bytes;
+            ops.push(TraceOp::load(0, 1, coalesced(pt)));
+            // Distance to every centroid; stagger the starting centroid
+            // per warp so resident warps cover different table slices.
+            let c0 = (gwarp * 17) % self.k;
+            // Distance loop, unroll-and-jammed by 4 the way nvcc
+            // schedules it: a group of independent centroid loads, then
+            // the arithmetic that consumes them.
+            let mut cs = 0;
+            while cs < self.k {
+                let group = (self.k - cs).min(4);
+                for g in 0..group {
+                    let rb = 2 + (g as u8) * 4;
+                    let c = (c0 + cs + g) % self.k;
+                    ops.push(TraceOp::load(1, rb, coalesced(self.centroids + c * self.feat_bytes)));
+                }
+                for g in 0..group {
+                    let rb = 2 + (g as u8) * 4;
+                    ops.push(TraceOp::alu(64, 4).with_srcs([rb]).with_dst(rb + 1));
+                }
+                cs += group;
+            }
+            alu_block(&mut ops, &mut apc, 2, 3);
+            ops.push(TraceOp::store(2, coalesced(self.assign + gwarp * 128)).with_srcs([3]));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_insufficient() {
+        let r = static_mem_ratio(&Km::new(Scale::Tiny));
+        assert!(r >= 0.01, "KM ratio {r:.4}");
+    }
+
+    #[test]
+    fn centroid_table_overflows_the_l1d_at_full_scale() {
+        let k = Km::new(Scale::Full);
+        assert_eq!(k.k * k.feat_bytes, 32 << 10);
+    }
+
+    #[test]
+    fn every_centroid_line_is_read_once_per_point() {
+        let k = Km::new(Scale::Tiny);
+        let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+        for op in k.warp_ops(0, 0) {
+            if let OpKind::Mem { addrs, is_write: false } = &op.kind {
+                if op.pc == 1 {
+                    *counts.entry(addrs[0] / 128).or_default() += 1;
+                }
+            }
+        }
+        assert_eq!(counts.len() as u64, k.k, "all centroids touched");
+        assert!(counts.values().all(|&c| c == k.points), "each centroid once per point");
+    }
+}

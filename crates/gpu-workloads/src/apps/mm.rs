@@ -1,0 +1,133 @@
+//! MM — Matrix Multiplication (Mars, 256×256, Cache Insufficient).
+//!
+//! Mars' MapReduce matrix multiply is the *untiled* classroom kernel:
+//! thread (i,j) walks k, loading `A[i][k]` (a per-warp broadcast whose
+//! line is reused for 32 consecutive k's — very short RD) and `B[k][j]`
+//! (one coalesced line per k, revisited only when another warp with the
+//! same j-block reaches the same k — mid/long RD). The result is the
+//! spread-across-all-buckets RDD the paper reports for MM in §3.1
+//! (19.5 / 35.8 / 33.2 / 11.5 % across the four ranges).
+
+use crate::pattern::{AddrSpace, F4, coalesced, desync};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// Untiled matrix-multiply model. See the module docs.
+pub struct Mm {
+    ctas: usize,
+    warps: usize,
+    n: u64,
+    ksteps: usize,
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+impl Mm {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, ksteps) = match scale {
+            Scale::Tiny => (8, 4, 160),
+            Scale::Full => (96, 6, 96),
+        };
+        let n = 256u64;
+        let mut mem = AddrSpace::new();
+        Mm {
+            ctas,
+            warps,
+            n,
+            ksteps,
+            a: mem.alloc(n * n * F4),
+            b: mem.alloc(n * n * F4),
+            c: mem.alloc(n * n * F4),
+        }
+    }
+}
+
+impl Kernel for Mm {
+    fn name(&self) -> &str {
+        "MM"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let gwarp = (cta * self.warps + warp) as u64;
+        desync(&mut ops, &mut apc, gwarp);
+        // Warp computes C[i][j0..j0+32); i and j-block derived from id.
+        let jblocks = self.n / 32;
+        let i = gwarp % self.n;
+        let j0 = (cta as u64 % jblocks) * 32;
+        let row_bytes = self.n * F4;
+        let k0 = (gwarp * 7) % self.n; // stagger start to spread B reuse
+        // The A row is staged once per 32-k tile (the kernel keeps it in
+        // registers/shared memory), so the L1D only sees the B stream —
+        // whose lines recur when other warps with the same j-block reach
+        // the same k, at set distances beyond plain LRU.
+        let mut step = 0u64;
+        while step < self.ksteps as u64 {
+            if step % 32 == 0 {
+                let k = (k0 + step) % self.n;
+                ops.push(TraceOp::load(0, 20, coalesced(self.a + i * row_bytes + (k / 32) * 128)));
+            }
+            let group = (self.ksteps as u64 - step).min(4);
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 4;
+                let k = (k0 + step + g) % self.n;
+                ops.push(TraceOp::load(1, rb, coalesced(self.b + k * row_bytes + j0 * F4)));
+            }
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 4;
+                ops.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 1));
+                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 2));
+            }
+            step += group;
+        }
+        ops.push(TraceOp::store(2, coalesced(self.c + i * row_bytes + j0 * F4)).with_srcs([3]));
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_insufficient() {
+        let r = static_mem_ratio(&Mm::new(Scale::Tiny));
+        assert!(r >= 0.01, "MM ratio {r:.4}");
+    }
+
+    #[test]
+    fn a_tile_is_staged_once_per_32_ksteps() {
+        let k = Mm::new(Scale::Tiny);
+        let a_loads = k
+            .warp_ops(0, 0)
+            .iter()
+            .filter(|o| o.pc == 0 && o.is_mem())
+            .count();
+        assert_eq!(a_loads, k.ksteps.div_ceil(32));
+    }
+
+    #[test]
+    fn b_lines_change_every_k() {
+        let k = Mm::new(Scale::Tiny);
+        let lines: Vec<u64> = k
+            .warp_ops(0, 0)
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Mem { addrs, is_write: false } if o.pc == 1 => Some(addrs[0] / 128),
+                _ => None,
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = lines.iter().collect();
+        assert_eq!(distinct.len(), lines.len(), "each k reads a fresh B line");
+    }
+}

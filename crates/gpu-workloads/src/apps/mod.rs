@@ -1,0 +1,22 @@
+//! One module per modeled application (Table 2). Each module documents
+//! which properties of the real CUDA benchmark its address stream
+//! reproduces; the rationale for the substitution is in DESIGN.md §2.
+
+pub mod bfs;
+pub mod bp;
+pub mod bt;
+pub mod cfd;
+pub mod gemm;
+pub mod hg;
+pub mod hs;
+pub mod km;
+pub mod mm;
+pub mod nw;
+pub mod pvr;
+pub mod sc;
+pub mod sr2k;
+pub mod srad;
+pub mod srk;
+pub mod ss;
+pub mod sten;
+pub mod str_match;

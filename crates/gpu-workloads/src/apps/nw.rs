@@ -1,0 +1,108 @@
+//! NW — Needleman-Wunsch (Rodinia, Cache Sufficient).
+//!
+//! Wavefront dynamic programming over a 1024×1024 score matrix: each
+//! anti-diagonal step reads the row the previous step produced (short
+//! reuse) plus one streamed row of the reference matrix. Memory is a
+//! tiny share of the work — the paper singles NW out as an application
+//! whose IPC barely moves however the L1D is managed (Figure 5).
+
+use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// Needleman-Wunsch model. See the module docs.
+pub struct Nw {
+    ctas: usize,
+    warps: usize,
+    steps: usize,
+    score: u64,
+    reference: u64,
+    row_bytes: u64,
+}
+
+impl Nw {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, steps) = match scale {
+            Scale::Tiny => (4, 2, 8),
+            Scale::Full => (48, 6, 44),
+        };
+        let mut mem = AddrSpace::new();
+        let row_bytes = 1024 * 4;
+        Nw {
+            ctas,
+            warps,
+            steps,
+            score: mem.alloc(1024 * row_bytes),
+            reference: mem.alloc(1024 * row_bytes),
+            row_bytes,
+        }
+    }
+}
+
+impl Kernel for Nw {
+    fn name(&self) -> &str {
+        "NW"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let strips = 1024 / 32;
+        let gwarp = cta * self.warps + warp;
+        desync(&mut ops, &mut apc, gwarp as u64);
+        let col = ((gwarp % strips) * 32) as u64 * 4;
+        let row0 = (gwarp / strips * self.steps) as u64 % 1000;
+        for s in 0..self.steps as u64 {
+            let row = row0 + s + 1;
+            // The previous diagonal's row (just written): up + up-left
+            // share one line thanks to coalescing.
+            let rb = 1 + ((s % 2) as u8) * 8;
+            ops.push(TraceOp::load(0, rb, coalesced(self.score + (row - 1) * self.row_bytes + col)));
+            // The streamed reference matrix.
+            ops.push(TraceOp::load(1, rb + 2, coalesced(self.reference + row * self.row_bytes + col)));
+            alu_block(&mut ops, &mut apc, 22, rb);
+            ops.push(TraceOp::store(2, coalesced(self.score + row * self.row_bytes + col)).with_srcs([rb + 2]));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_sufficient() {
+        assert!(static_mem_ratio(&Nw::new(Scale::Tiny)) < 0.01);
+    }
+
+    #[test]
+    fn reads_previous_steps_output_row() {
+        let k = Nw::new(Scale::Tiny);
+        let ops = k.warp_ops(0, 0);
+        let stores: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Mem { addrs, is_write: true } => Some(addrs[0] / 128),
+                _ => None,
+            })
+            .collect();
+        let loads0: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Mem { addrs, is_write: false } if o.pc == 0 => Some(addrs[0] / 128),
+                _ => None,
+            })
+            .collect();
+        // Step s+1 loads (pc0) the line step s stored.
+        assert_eq!(stores[0], loads0[1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! PVR — Page View Rank (Mars, Cache Insufficient).
+//!
+//! The MapReduce page-view-rank job streams 250K log records and
+//! accumulates per-page counters in a rank table. Records are
+//! compulsory traffic; the rank table is several caches large and keyed
+//! by page popularity, so its lines come back at long reuse distances —
+//! the profile that makes PVR thrash the baseline and respond to
+//! bypassing more than to extra hits (§6.3.2 notes DLP wins on PVR with
+//! *fewer* hits than baseline).
+
+use crate::pattern::{desync, alu_block, coalesced, scatter, warp_rng, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+use rand::Rng;
+
+/// Page View Rank model. See the module docs.
+pub struct Pvr {
+    ctas: usize,
+    warps: usize,
+    iters: usize,
+    records: u64,
+    ranks: u64,
+    rank_bytes: u64,
+    hot_bytes: u64,
+    seed: u64,
+}
+
+impl Pvr {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, iters) = match scale {
+            Scale::Tiny => (8, 4, 12),
+            Scale::Full => (96, 6, 28),
+        };
+        let mut mem = AddrSpace::new();
+        let rank_bytes = 256 << 10;
+        Pvr {
+            ctas,
+            warps,
+            iters,
+            records: mem.alloc(64 << 20),
+            ranks: mem.alloc(rank_bytes),
+            rank_bytes,
+            // 20% of pages take 80% of the hits.
+            hot_bytes: 32 << 10,
+            seed: 0x5652,
+        }
+    }
+}
+
+impl Kernel for Pvr {
+    fn name(&self) -> &str {
+        "PVR"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut rng = warp_rng(self.seed, cta, warp);
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let gwarp = (cta * self.warps + warp) as u64;
+        desync(&mut ops, &mut apc, gwarp);
+        for i in 0..self.iters as u64 {
+            // One record = two lines of log data, streamed.
+            let rb = 1 + ((i % 2) as u8) * 8;
+            let rec = self.records + (gwarp * self.iters as u64 + i) * 256;
+            ops.push(TraceOp::load(0, rb, coalesced(rec)));
+            ops.push(TraceOp::load(1, rb + 1, coalesced(rec + 128)));
+            alu_block(&mut ops, &mut apc, 6, rb);
+            // Rank-table update: popularity-skewed scatter.
+            let region = if rng.gen_bool(0.7) { self.hot_bytes } else { self.rank_bytes };
+            let addrs = scatter(&mut rng, self.ranks, region, 16);
+            ops.push(TraceOp::load(2, rb + 2, addrs.clone()));
+            alu_block(&mut ops, &mut apc, 4, rb + 2);
+            ops.push(TraceOp::store(3, addrs).with_srcs([rb + 2]));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_insufficient() {
+        let r = static_mem_ratio(&Pvr::new(Scale::Tiny));
+        assert!(r >= 0.01, "PVR ratio {r:.4}");
+    }
+
+    #[test]
+    fn rank_accesses_are_skewed_toward_hot_pages() {
+        let k = Pvr::new(Scale::Full);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for w in 0..4 {
+            for op in k.warp_ops(0, w) {
+                if let OpKind::Mem { addrs, is_write: false } = &op.kind {
+                    if op.pc == 2 {
+                        for &a in addrs {
+                            total += 1;
+                            if a < k.ranks + k.hot_bytes {
+                                hot += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.6, "hot fraction {frac:.2} too low");
+    }
+}

@@ -1,0 +1,123 @@
+//! SS — Similarity Score (Mars, Cache Insufficient).
+//!
+//! Pairwise document similarity (512 docs × 128 features): the kernel
+//! repeatedly re-reads one side's feature vectors while streaming the
+//! other side. The re-read working set (a 24 KB slab of feature lines)
+//! is 1.5× the baseline L1D — the textbook protection case: LRU
+//! thrashes it, while a protected subset yields hits on every pass.
+
+use crate::pattern::{desync, coalesced, strided, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// Similarity Score model. See the module docs.
+pub struct Ss {
+    ctas: usize,
+    warps: usize,
+    pairs: usize,
+    features_a: u64,
+    a_bytes: u64,
+    features_b: u64,
+    scores: u64,
+}
+
+impl Ss {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, pairs) = match scale {
+            Scale::Tiny => (8, 4, 24),
+            Scale::Full => (96, 6, 40),
+        };
+        let mut mem = AddrSpace::new();
+        // 384 A-vector lines = 48 KB re-read slab.
+        let a_bytes = 48 << 10;
+        Ss {
+            ctas,
+            warps,
+            pairs,
+            features_a: mem.alloc(a_bytes),
+            a_bytes,
+            features_b: mem.alloc(64 << 20),
+            scores: mem.alloc(1 << 20),
+        }
+    }
+}
+
+impl Kernel for Ss {
+    fn name(&self) -> &str {
+        "SS"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        // 6 slices x 16 docs x 512 B must fit the allocated slab.
+        debug_assert!(6 * 16 * 512 <= self.a_bytes);
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let gwarp = (cta * self.warps + warp) as u64;
+        desync(&mut ops, &mut apc, gwarp);
+        // Each CTA works one 16-document slice of the A slab (8 KB) and
+        // its warps cycle through it, one 512 B feature vector (4 lines)
+        // per pair: resident CTAs with the same slice re-touch each
+        // vector at set-level distances around the edge of the
+        // protected-lifetime reach.
+        let slice = (cta as u64 % 6) * 16;
+        // Unroll-and-jam by 2 pairs: four loads in flight per warp.
+        let mut p = 0u64;
+        while p < self.pairs as u64 {
+            let group = (self.pairs as u64 - p).min(2);
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 6;
+                let a_doc = slice + (gwarp + p + g) % 16;
+                ops.push(TraceOp::load(0, rb, strided(self.features_a + a_doc * 512, 16)));
+                // Stream the B side (two half-lines -> 2 transactions).
+                let b = self.features_b + (gwarp * self.pairs as u64 + p + g) * 256;
+                ops.push(TraceOp::load(1, rb + 2, strided(b, 8)));
+            }
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 6;
+                ops.push(TraceOp::alu(64, 4).with_srcs([rb, rb + 2]).with_dst(rb + 1));
+                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 3));
+            }
+            if p % 8 == 6 {
+                ops.push(TraceOp::store(2, coalesced(self.scores + gwarp * 128)).with_srcs([2]));
+            }
+            p += group;
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_insufficient() {
+        let r = static_mem_ratio(&Ss::new(Scale::Tiny));
+        assert!(r >= 0.01, "SS ratio {r:.4}");
+    }
+
+    #[test]
+    fn a_slab_is_reread_across_pairs() {
+        let k = Ss::new(Scale::Full);
+        let mut lines = std::collections::HashSet::new();
+        let mut touches = 0u64;
+        for op in k.warp_ops(0, 0) {
+            if let OpKind::Mem { addrs, is_write: false } = &op.kind {
+                if op.pc == 0 {
+                    lines.insert(addrs[0] / 128);
+                    touches += 1;
+                }
+            }
+        }
+        assert!(touches as usize > lines.len(), "A lines must recur");
+        assert!(lines.len() as u64 * 128 <= k.a_bytes);
+    }
+}

@@ -1,0 +1,113 @@
+//! STEN — 3-D Stencil (Parboil, Cache Sufficient).
+//!
+//! A 7-point stencil over a 512×512×64 volume. The y±1 neighbours of a
+//! row return within a few thousand accesses (mid reuse distances), but
+//! the z±1 neighbours live a whole 1 MB plane away — far beyond any L1D
+//! — so, as Figure 3 shows for STEN, the distribution is dominated by
+//! long reuse distances and compulsory misses, and no realistic L1
+//! capacity captures it (Figure 4's flat miss rate).
+
+use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// 3-D stencil model. See the module docs.
+pub struct Sten {
+    ctas: usize,
+    warps: usize,
+    rows: usize,
+    grid_base: u64,
+    out: u64,
+    row_bytes: u64,
+    plane_bytes: u64,
+}
+
+impl Sten {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, rows) = match scale {
+            Scale::Tiny => (4, 2, 6),
+            Scale::Full => (64, 6, 40),
+        };
+        let mut mem = AddrSpace::new();
+        let row_bytes = 512 * 4;
+        let plane_bytes = 512 * row_bytes;
+        Sten {
+            ctas,
+            warps,
+            rows,
+            grid_base: mem.alloc(64 * plane_bytes),
+            out: mem.alloc(64 * plane_bytes),
+            row_bytes,
+            plane_bytes,
+        }
+    }
+}
+
+impl Kernel for Sten {
+    fn name(&self) -> &str {
+        "STEN"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let strips_per_row = 512 / 32;
+        let gwarp = cta * self.warps + warp;
+        desync(&mut ops, &mut apc, gwarp as u64);
+        let col = ((gwarp % strips_per_row) * 32) as u64 * 4;
+        let work = gwarp / strips_per_row;
+        let z = (work % 62 + 1) as u64;
+        let row0 = (work / 62 * self.rows) as u64 % 500;
+        for r in 0..self.rows as u64 {
+            // Rotate registers so consecutive rows overlap in flight.
+            let rb = 1 + ((r % 2) as u8) * 12;
+            let center = self.grid_base + z * self.plane_bytes + (row0 + r) * self.row_bytes + col;
+            ops.push(TraceOp::load(0, rb, coalesced(center)));
+            ops.push(TraceOp::load(1, rb + 2, coalesced(center - self.row_bytes)));
+            ops.push(TraceOp::load(2, rb + 4, coalesced(center + self.row_bytes)));
+            ops.push(TraceOp::load(3, rb + 6, coalesced(center - self.plane_bytes)));
+            ops.push(TraceOp::load(4, rb + 8, coalesced(center + self.plane_bytes)));
+            alu_block(&mut ops, &mut apc, 30, rb);
+            ops.push(
+                TraceOp::store(5, coalesced(self.out + z * self.plane_bytes + (row0 + r) * self.row_bytes + col))
+                    .with_srcs([rb + 2]),
+            );
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+    use gpu_sim::isa::OpKind;
+
+    #[test]
+    fn is_cache_sufficient() {
+        assert!(static_mem_ratio(&Sten::new(Scale::Tiny)) < 0.01);
+    }
+
+    #[test]
+    fn z_neighbours_are_a_plane_apart() {
+        let k = Sten::new(Scale::Tiny);
+        let ops = k.warp_ops(0, 0);
+        let addr_of = |pc: u32| {
+            ops.iter()
+                .find(|o| o.pc == pc && o.is_mem())
+                .and_then(|o| match &o.kind {
+                    OpKind::Mem { addrs, .. } => Some(addrs[0]),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(addr_of(0) - addr_of(3), k.plane_bytes);
+        assert_eq!(addr_of(4) - addr_of(0), k.plane_bytes);
+    }
+}

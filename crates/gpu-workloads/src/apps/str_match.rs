@@ -1,0 +1,105 @@
+//! STR — String Match (Mars, Cache Insufficient).
+//!
+//! Grep-style keyword matching over a 354984-record corpus: text is
+//! streamed (two lines per chunk), and every chunk probes the keyword
+//! hash table. The table (16 KB of buckets + 16 KB of keyword data) is
+//! right at the baseline capacity, and STR has the highest
+//! memory-access ratio of the suite (rightmost bar of Figure 6), so the
+//! L1D is on the critical path for nearly every instruction.
+
+use crate::pattern::{desync, alu_block, coalesced, scatter, warp_rng, AddrSpace};
+use crate::registry::Scale;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::{GridDesc, Kernel};
+
+/// String-match model. See the module docs.
+pub struct StrMatch {
+    ctas: usize,
+    warps: usize,
+    iters: usize,
+    text: u64,
+    buckets: u64,
+    bucket_bytes: u64,
+    keywords: u64,
+    keyword_bytes: u64,
+    matches: u64,
+    seed: u64,
+}
+
+impl StrMatch {
+    /// Build at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (ctas, warps, iters) = match scale {
+            Scale::Tiny => (8, 4, 12),
+            Scale::Full => (96, 6, 32),
+        };
+        let mut mem = AddrSpace::new();
+        StrMatch {
+            ctas,
+            warps,
+            iters,
+            text: mem.alloc(64 << 20),
+            buckets: mem.alloc(16 << 10),
+            bucket_bytes: 16 << 10,
+            keywords: mem.alloc(16 << 10),
+            keyword_bytes: 16 << 10,
+            matches: mem.alloc(1 << 20),
+            seed: 0x5354,
+        }
+    }
+}
+
+impl Kernel for StrMatch {
+    fn name(&self) -> &str {
+        "STR"
+    }
+
+    fn grid(&self) -> GridDesc {
+        GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
+    }
+
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        let mut rng = warp_rng(self.seed, cta, warp);
+        let mut ops = Vec::new();
+        let mut apc = 64;
+        let gwarp = (cta * self.warps + warp) as u64;
+        desync(&mut ops, &mut apc, gwarp);
+        for i in 0..self.iters as u64 {
+            // Stream a text chunk.
+            let rb = 1 + ((i % 2) as u8) * 8;
+            let chunk = self.text + (gwarp * self.iters as u64 + i) * 256;
+            ops.push(TraceOp::load(0, rb, coalesced(chunk)));
+            ops.push(TraceOp::load(1, rb + 1, coalesced(chunk + 128)));
+            alu_block(&mut ops, &mut apc, 2, rb);
+            // Hash-bucket probe for each lane's shingle.
+            let probes = scatter(&mut rng, self.buckets, self.bucket_bytes, 16);
+            ops.push(TraceOp::load(2, rb + 2, probes));
+            // Compare against candidate keywords.
+            let kws = scatter(&mut rng, self.keywords, self.keyword_bytes, 8);
+            ops.push(TraceOp::load(3, rb + 3, kws));
+            alu_block(&mut ops, &mut apc, 2, rb + 2);
+            if i % 4 == 3 {
+                ops.push(TraceOp::store(4, coalesced(self.matches + gwarp * 128)).with_srcs([rb + 3]));
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::static_mem_ratio;
+
+    #[test]
+    fn is_cache_insufficient_with_high_ratio() {
+        let r = static_mem_ratio(&StrMatch::new(Scale::Tiny));
+        assert!(r >= 0.05, "STR should have the suite's highest ratio, got {r:.4}");
+    }
+
+    #[test]
+    fn table_regions_fit_the_modeled_sizes() {
+        let k = StrMatch::new(Scale::Tiny);
+        assert_eq!(k.bucket_bytes + k.keyword_bytes, 32 << 10);
+    }
+}

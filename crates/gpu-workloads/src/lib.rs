@@ -1,0 +1,30 @@
+//! # gpu-workloads — benchmark models for the DLP evaluation
+//!
+//! The paper evaluates 18 CUDA applications from Rodinia, CUDA Samples,
+//! Mars, Parboil and Polybench (Table 2). Their binaries cannot run
+//! here, so each is modeled as a synthetic SIMT kernel that reproduces
+//! the properties every figure in the paper is driven by:
+//!
+//! * the **memory-access ratio** (transactions per thread instruction,
+//!   §3.2) that splits the suite into Cache-Sufficient (< 1 %) and
+//!   Cache-Insufficient applications,
+//! * the **reuse-distance distribution** of its address stream —
+//!   streaming/compulsory-dominated (HG, STEN), short-RD (SC, BP,
+//!   SRAD, GEMM), mixed (MM, BFS), or long-RD working sets that thrash
+//!   a 16 KB L1D but respond to line protection (KM, SS, SR2K, ...),
+//! * the **per-instruction diversity** of those distributions (§3.3) —
+//!   e.g. BFS mixes short-RD structural loads with mid-RD visited-flag
+//!   probes, which is what separates DLP from Global-Protection.
+//!
+//! Each model lives in [`apps`] and documents which traits of the real
+//! application it reproduces. [`registry`] lists all 18 with their
+//! Table 2 metadata; [`build`] instantiates one by abbreviation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod pattern;
+pub mod registry;
+
+pub use registry::{build, registry, AppClass, BenchSpec, Scale};

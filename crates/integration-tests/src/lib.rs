@@ -1,0 +1,13 @@
+//! Host crate for the repository-root `tests/` integration suites —
+//! see the `[[test]]` entries in this crate's manifest. Each suite
+//! exercises the full simulator stack across crate boundaries:
+//!
+//! * `end_to_end` — whole-GPU runs of every benchmark under every
+//!   scheme, checking completion and global invariants;
+//! * `determinism` — bit-identical statistics across repeated runs;
+//! * `policy_behaviour` — directional properties the paper reports
+//!   (protection raises hit rates on thrashing workloads, bypassing
+//!   reduces traffic, CS apps stay within a few percent);
+//! * `conservation` — flow conservation between pipeline stages
+//!   (responses = transactions, hits+misses = accesses, ...);
+//! * `figures_smoke` — the experiment harness end to end at tiny scale.

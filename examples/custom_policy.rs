@@ -1,0 +1,144 @@
+//! Implementing a new cache-management scheme against the
+//! `dlp_core::ReplacementPolicy` interface and driving it through a
+//! real L1D controller.
+//!
+//! The example adds *random replacement* — a policy the paper does not
+//! evaluate — runs a synthetic thrashing access stream through an L1D
+//! under plain LRU, random replacement, and DLP, and reports the hit
+//! rates each achieves.
+//!
+//! ```text
+//! cargo run --release -p dlp-examples --example custom_policy
+//! ```
+
+use dlp_core::{
+    build_policy, AccessCtx, CacheGeometry, MissDecision, PolicyKind, PolicyStats,
+    ReplacementPolicy, WayView,
+};
+use gpu_mem::l1d::{L1dCache, L1dConfig};
+use gpu_mem::packet::{MemReq, Packet, PacketKind};
+
+/// Random replacement: evict a pseudo-randomly chosen non-reserved way.
+/// A deterministic xorshift keeps runs reproducible.
+struct RandomReplacement {
+    rng: u64,
+    stats: PolicyStats,
+    assoc: usize,
+}
+
+impl RandomReplacement {
+    fn new(geom: CacheGeometry) -> Self {
+        RandomReplacement { rng: 0xDEADBEEF, stats: PolicyStats::default(), assoc: geom.assoc }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+}
+
+impl ReplacementPolicy for RandomReplacement {
+    fn on_query(&mut self, _set: usize) {
+        self.stats.queries += 1;
+    }
+    fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessCtx) {}
+    fn on_miss(&mut self, _set: usize, _tag: u64, _ctx: &AccessCtx) {}
+
+    fn decide_replacement(&mut self, _set: usize, ways: &[WayView], _ctx: &AccessCtx) -> MissDecision {
+        if let Some(way) = ways.iter().position(|w| !w.valid && !w.reserved) {
+            return MissDecision::Allocate { way };
+        }
+        let evictable: Vec<usize> =
+            (0..self.assoc).filter(|&w| ways[w].valid && !ways[w].reserved).collect();
+        match evictable.as_slice() {
+            [] => MissDecision::Stall,
+            some => {
+                let pick = some[(self.next() % some.len() as u64) as usize];
+                MissDecision::Allocate { way: pick }
+            }
+        }
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _tag: u64) {}
+    fn on_fill(&mut self, _set: usize, _way: usize, _tag: u64, _ctx: &AccessCtx) {}
+
+    fn kind(&self) -> PolicyKind {
+        // Reported as Baseline-class: it never bypasses.
+        PolicyKind::Baseline
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats.clone()
+    }
+}
+
+/// A cyclic working set of `lines` cache lines, re-walked `passes`
+/// times — thrashes LRU whenever `lines / num_sets > associativity`.
+fn cyclic_stream(lines: u64, passes: usize) -> Vec<u64> {
+    let mut addrs = Vec::new();
+    for _ in 0..passes {
+        for l in 0..lines {
+            addrs.push(l * 128);
+        }
+    }
+    addrs
+}
+
+fn run_stream(policy: Box<dyn ReplacementPolicy>, addrs: &[u64]) -> (f64, u64) {
+    let cfg = L1dConfig::fermi_baseline();
+    let mut l1 = L1dCache::new(cfg, policy);
+    let mut cycle = 0u64;
+    for (i, &addr) in addrs.iter().enumerate() {
+        cycle += 4;
+        l1.cycle(cycle);
+        let req = MemReq {
+            id: i as u64,
+            addr,
+            is_write: false,
+            pc: 0,
+            sm: 0,
+            warp: 0,
+            dst_reg: 1,
+            born: 0,
+        };
+        // Retry until the pipeline register frees (structural stalls).
+        while !l1.submit(req, cycle) {
+            cycle += 1;
+            l1.cycle(cycle);
+        }
+        // Serve memory instantly so the experiment isolates replacement
+        // behaviour from timing.
+        while let Some(pkt) = l1.pop_outgoing() {
+            let reply = match pkt.kind {
+                PacketKind::ReadReq => PacketKind::ReadReply,
+                PacketKind::BypassReadReq => PacketKind::BypassReadReply,
+                _ => continue,
+            };
+            l1.on_reply(Packet { kind: reply, ..pkt }, cycle);
+        }
+    }
+    (l1.stats().hit_rate(), l1.stats().bypassed_loads)
+}
+
+fn main() {
+    let geom = CacheGeometry::fermi_l1d_16k();
+    // 8 lines per set: twice the associativity — LRU's worst case.
+    let addrs = cyclic_stream(geom.num_sets as u64 * 8, 40);
+
+    println!("Cyclic working set of 2x the cache, 40 passes ({} accesses)\n", addrs.len());
+    for (name, policy) in [
+        ("LRU (baseline)", build_policy(PolicyKind::Baseline, geom)),
+        ("Random replacement (custom)", Box::new(RandomReplacement::new(geom)) as _),
+        ("DLP", build_policy(PolicyKind::Dlp, geom)),
+    ] {
+        let (hit_rate, bypassed) = run_stream(policy, &addrs);
+        println!("{name:30} hit rate {:5.1}%   bypassed {bypassed}", hit_rate * 100.0);
+    }
+    println!(
+        "\nLRU gets ~0% on a cyclic over-capacity set; random replacement keeps\n\
+         a capacity-proportional fraction; DLP pins protected lines and\n\
+         bypasses the rest, approaching associativity/working-set per set."
+    );
+}

@@ -1,0 +1,60 @@
+//! Sweep DLP's protection parameters on one benchmark — the knobs the
+//! paper fixes in §4 (sampling period, PD decrease step, step
+//! comparison, VTA associativity) exposed for exploration.
+//!
+//! ```text
+//! cargo run --release -p dlp-examples --example protection_tuning [APP] [--full]
+//! ```
+
+use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
+use gpu_sim::{Gpu, SimConfig};
+use gpu_workloads::{build, Scale};
+
+fn run(app: &str, scale: Scale, protection: Option<ProtectionConfig>) -> (f64, f64, f64) {
+    let mut cfg = SimConfig::tesla_m2090(PolicyKind::Dlp);
+    cfg.protection_override = protection;
+    let mut gpu = Gpu::new(cfg, build(app, scale));
+    let stats = gpu.run();
+    assert!(stats.completed);
+    (stats.ipc(), stats.l1d.hit_rate(), stats.policy.avg_pd())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("SR2K");
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Tiny };
+
+    let geom = CacheGeometry::fermi_l1d_16k();
+    let paper = ProtectionConfig::paper_default(geom);
+
+    // Baseline LRU reference.
+    let mut base_cfg = SimConfig::tesla_m2090(PolicyKind::Baseline);
+    base_cfg.protection_override = None;
+    let mut gpu = Gpu::new(base_cfg, build(app, scale));
+    let base = gpu.run();
+    println!("{app} ({scale:?}); baseline LRU IPC = {:.1}\n", base.ipc());
+    println!("{:<44} {:>8} {:>7} {:>7}", "DLP variant", "IPC/base", "hit%", "avgPD");
+
+    let variants: Vec<(String, ProtectionConfig)> = vec![
+        ("paper defaults (200, step-cmp, dec 4, VTA 4w)".into(), paper),
+        ("sampling period 50".into(), ProtectionConfig { sample_period: 50, ..paper }),
+        ("sampling period 800".into(), ProtectionConfig { sample_period: 800, ..paper }),
+        ("exact division".into(), ProtectionConfig { step_comparison: false, ..paper }),
+        ("gentle decrease (step 1)".into(), ProtectionConfig { decrease_step: 1, ..paper }),
+        ("aggressive decrease (step 8)".into(), ProtectionConfig { decrease_step: 8, ..paper }),
+        ("narrow VTA (2-way)".into(), ProtectionConfig { vta_assoc: 2, ..paper }),
+        ("wide VTA (8-way)".into(), ProtectionConfig { vta_assoc: 8, ..paper }),
+        ("low PD ceiling (7)".into(), ProtectionConfig { max_pd: 7, ..paper }),
+    ];
+
+    for (label, pc) in variants {
+        let (ipc, hit, pd) = run(app, scale, Some(pc));
+        println!(
+            "{:<44} {:>8.2} {:>6.1}% {:>7.2}",
+            label,
+            ipc / base.ipc(),
+            hit * 100.0,
+            pd
+        );
+    }
+}

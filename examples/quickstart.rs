@@ -1,0 +1,46 @@
+//! Quickstart: simulate one of the paper's benchmarks on the Tesla
+//! M2090 model under the baseline LRU L1D and under DLP, and compare.
+//!
+//! ```text
+//! cargo run --release -p dlp-examples --example quickstart [APP]
+//! ```
+//!
+//! `APP` is a Table 2 abbreviation (default `SR2K`). Use `--full` for the
+//! evaluation-scale workload (slower).
+
+use dlp_core::PolicyKind;
+use gpu_sim::{Gpu, SimConfig};
+use gpu_workloads::{build, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("SR2K");
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Tiny };
+
+    println!("Simulating {app} ({scale:?} scale) on the Table 1 platform...\n");
+
+    let mut results = Vec::new();
+    for kind in [PolicyKind::Baseline, PolicyKind::Dlp] {
+        let cfg = SimConfig::tesla_m2090(kind);
+        let mut gpu = Gpu::new(cfg, build(app, scale));
+        let stats = gpu.run();
+        assert!(stats.completed, "{kind:?} hit the cycle cap");
+        println!("== {:?} ==", kind);
+        println!("  cycles            {:>12}", stats.cycles);
+        println!("  IPC               {:>12.1}", stats.ipc());
+        println!("  L1D hit rate      {:>11.1}%", stats.l1d.hit_rate() * 100.0);
+        println!(
+            "  L1D traffic       {:>12} (bypassed {})",
+            stats.l1d.cache_traffic(),
+            stats.l1d.bypassed_loads + stats.l1d.bypassed_stores
+        );
+        println!("  L1D evictions     {:>12}", stats.l1d.evictions);
+        println!("  interconnect flits{:>12}", stats.icnt.total_flits());
+        println!("  mean PD (samples) {:>12.2}", stats.policy.avg_pd());
+        println!();
+        results.push(stats);
+    }
+
+    let speedup = results[1].ipc() / results[0].ipc();
+    println!("DLP speedup over baseline: {speedup:.2}x");
+}

@@ -1,0 +1,77 @@
+//! Reuse-distance analysis of any modeled benchmark — the measurement
+//! machinery behind Figures 3 and 7 of the paper, exposed as a tool.
+//!
+//! ```text
+//! cargo run --release -p dlp-examples --example reuse_analysis [APP] [--full]
+//! ```
+//!
+//! Attaches an `rd_tools::RdProfiler` to every SM's L1D, runs the
+//! workload under the baseline policy, and prints the overall and
+//! per-memory-instruction reuse-distance distributions.
+
+use dlp_core::PolicyKind;
+use gpu_sim::{Gpu, SimConfig};
+use gpu_workloads::{build, Scale};
+use rd_tools::{RdBucket, RdProfiler};
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round() as usize;
+    "#".repeat(n)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("BFS");
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Tiny };
+
+    let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline);
+    let mut gpu = Gpu::new(cfg, build(app, scale));
+    let sink = RdProfiler::new_sink();
+    for sm in 0..cfg.num_sms {
+        gpu.set_l1d_observer(sm, Box::new(RdProfiler::new(cfg.l1d.geom.num_sets, sink.clone())));
+    }
+    let stats = gpu.run();
+    assert!(stats.completed);
+
+    let prof = sink.lock();
+    let total = prof.overall.total() + prof.overall.compulsory;
+    println!("{app}: {} L1D accesses, {} with a reuse distance\n", total, prof.overall.total());
+
+    println!("Overall reuse-distance distribution (Figure 3 view):");
+    let shares = prof.overall.shares();
+    for (b, share) in RdBucket::ALL.iter().zip(shares) {
+        println!("  {:8} {:5.1}%  {}", b.label(), share * 100.0, bar(share));
+    }
+    println!(
+        "  compulsory (first touch): {:.1}% of all accesses",
+        100.0 * prof.overall.compulsory as f64 / total.max(1) as f64
+    );
+    println!(
+        "  beyond 4-way LRU reach:   {:.1}% of reuses",
+        prof.overall.frac_beyond(4) * 100.0
+    );
+
+    println!("\nPer-memory-instruction distributions (Figure 7 view):");
+    let mut pcs: Vec<u32> = prof.per_pc.keys().copied().collect();
+    pcs.sort_unstable();
+    for pc in pcs {
+        let h = &prof.per_pc[&pc];
+        if h.total() == 0 {
+            continue;
+        }
+        let s = h.shares();
+        println!(
+            "  insn{pc:<3} 1~4 {:5.1}% | 5~8 {:5.1}% | 9~64 {:5.1}% | >64 {:5.1}%  ({} reuses)",
+            s[0] * 100.0,
+            s[1] * 100.0,
+            s[2] * 100.0,
+            s[3] * 100.0,
+            h.total()
+        );
+    }
+    println!(
+        "\nInstructions whose mass sits in 9~64 need protection distances\n\
+         beyond plain LRU; instructions in 1~4 need none — the per-\n\
+         instruction diversity DLP exploits (paper §3.3)."
+    );
+}

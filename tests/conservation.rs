@@ -1,0 +1,99 @@
+//! Flow-conservation invariants across pipeline stages: nothing the
+//! LD/ST units emit may be lost or duplicated anywhere in the
+//! hierarchy, under any scheme.
+
+use dlp_core::PolicyKind;
+use gpu_sim::{Gpu, SimConfig};
+use gpu_workloads::{build, registry, Scale};
+
+#[test]
+fn l1d_access_conservation() {
+    for spec in registry() {
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run();
+            assert!(s.completed);
+            // Submitted transactions all reached the cache...
+            assert_eq!(s.l1d.accesses, s.mem_transactions, "{} {kind:?}", spec.abbr);
+            // ...and were each resolved exactly one way.
+            let resolved = s.l1d.hits
+                + s.l1d.misses_allocated
+                + s.l1d.mshr_merges
+                + s.l1d.bypassed_loads
+                + s.l1d.bypassed_stores;
+            assert_eq!(resolved, s.l1d.accesses, "{} {kind:?}", spec.abbr);
+        }
+    }
+}
+
+#[test]
+fn eviction_conservation() {
+    // A cache can never evict more valid lines than it filled, and
+    // dirty evictions are a subset of evictions.
+    for spec in registry() {
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run();
+            assert!(
+                s.l1d.evictions <= s.l1d.misses_allocated,
+                "{} {kind:?}: evicted {} > filled {}",
+                spec.abbr,
+                kind as usize,
+                s.l1d.misses_allocated
+            );
+            assert!(s.l1d.dirty_evictions <= s.l1d.evictions, "{} {kind:?}", spec.abbr);
+            assert!(s.l2.dirty_evictions <= s.l2.evictions, "{} {kind:?}", spec.abbr);
+        }
+    }
+}
+
+#[test]
+fn interconnect_flit_conservation() {
+    // Forward flits = fetches (1 flit each) + writebacks/write-through
+    // (5 flits); return flits = replies (5 flits each). Cross-check the
+    // totals against the cache-level counters.
+    for kind in PolicyKind::ALL {
+        let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+        let s = Gpu::new(cfg, build("STR", Scale::Tiny)).run();
+        let fetches = s.l1d.misses_allocated + s.l1d.bypass_fetches;
+        let writes = s.l1d.dirty_evictions + s.l1d.bypassed_stores;
+        assert_eq!(
+            s.icnt.fwd_flits,
+            fetches + 5 * writes,
+            "{kind:?}: forward flits disagree with cache counters"
+        );
+        assert_eq!(
+            s.icnt.ret_flits % 5,
+            0,
+            "{kind:?}: return traffic must be whole 5-flit replies"
+        );
+        assert_eq!(
+            s.icnt.ret_flits / 5,
+            fetches,
+            "{kind:?}: every fetch gets exactly one reply"
+        );
+    }
+}
+
+#[test]
+fn l2_sees_exactly_the_l1_miss_traffic() {
+    for kind in PolicyKind::ALL {
+        let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+        let s = Gpu::new(cfg, build("MM", Scale::Tiny)).run();
+        let l1_outbound =
+            s.l1d.misses_allocated + s.l1d.bypassed_loads + s.l1d.bypassed_stores + s.l1d.dirty_evictions;
+        assert_eq!(
+            s.l2.accesses, l1_outbound,
+            "{kind:?}: L2 accesses {} vs L1 outbound {}",
+            s.l2.accesses, l1_outbound
+        );
+    }
+}
+
+#[test]
+fn compulsory_bounded_by_distinct_lines() {
+    let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(4);
+    let s = Gpu::new(cfg, build("KM", Scale::Tiny)).run();
+    assert!(s.l1d.compulsory_misses <= s.l1d.accesses);
+    assert!(s.l1d.compulsory_misses > 0, "a real workload touches new lines");
+}

@@ -1,0 +1,87 @@
+//! The whole simulator must be bit-deterministic: two constructions of
+//! the same experiment produce identical statistics, regardless of
+//! scheme, geometry or workload randomness (all RNGs are seeded).
+
+use dlp_core::{CacheGeometry, PolicyKind};
+use gpu_sim::{Gpu, RunStats, SimConfig};
+use gpu_workloads::{build, Scale};
+
+fn run_once(app: &str, kind: PolicyKind) -> RunStats {
+    let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+    let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
+    gpu.run()
+}
+
+fn assert_identical(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.thread_insns, b.thread_insns, "{what}: thread insns");
+    assert_eq!(a.l1d, b.l1d, "{what}: L1D stats");
+    assert_eq!(a.l2, b.l2, "{what}: L2 stats");
+    assert_eq!(a.icnt, b.icnt, "{what}: icnt stats");
+    assert_eq!(a.dram, b.dram, "{what}: DRAM stats");
+    assert_eq!(a.policy, b.policy, "{what}: policy stats");
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // The randomized-address apps are the interesting cases.
+    for app in ["BFS", "STR", "BT", "PVR", "CFD"] {
+        for kind in PolicyKind::ALL {
+            let a = run_once(app, kind);
+            let b = run_once(app, kind);
+            assert_identical(&a, &b, &format!("{app}/{kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn incremental_driving_matches_one_shot() {
+    // run_for() in small steps must land on the same final state as a
+    // single run() — the clock loop has no hidden per-call state.
+    let mk = || {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
+        Gpu::new(cfg, build("KM", Scale::Tiny))
+    };
+    let one_shot = mk().run();
+    let mut gpu = mk();
+    let mut last = gpu.run_for(137);
+    while !last.completed {
+        last = gpu.run_for(137);
+    }
+    assert_identical(&one_shot, &last, "incremental vs one-shot");
+}
+
+#[test]
+fn rd_profiles_are_deterministic() {
+    use rd_tools::RdProfiler;
+    let run = |app: &str| {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
+        let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
+        let sink = RdProfiler::new_sink();
+        for sm in 0..cfg.num_sms {
+            gpu.set_l1d_observer(sm, Box::new(RdProfiler::new(cfg.l1d.geom.num_sets, sink.clone())));
+        }
+        gpu.run();
+        let prof = sink.lock();
+        (prof.overall, prof.per_pc.len())
+    };
+    assert_eq!(run("BFS"), run("BFS"));
+    assert_eq!(run("STR"), run("STR"));
+}
+
+#[test]
+fn different_geometries_differ_but_reproducibly() {
+    // STR's tables overflow a 16 KB L1D even at Tiny scale, so doubling
+    // the associativity must change the hit pattern.
+    let a16 = {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
+        Gpu::new(cfg, build("STR", Scale::Tiny)).run()
+    };
+    let a32 = {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline)
+            .with_l1_geometry(CacheGeometry::fermi_l1d_32k())
+            .scaled_down(2);
+        Gpu::new(cfg, build("STR", Scale::Tiny)).run()
+    };
+    assert_ne!(a16.l1d.hits, a32.l1d.hits, "more ways must change hit behaviour on STR");
+}

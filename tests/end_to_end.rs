@@ -1,0 +1,130 @@
+//! Whole-stack runs: every Table 2 benchmark under every scheme must
+//! complete, retire exactly its trace, and keep the memory system's
+//! global invariants.
+
+use dlp_core::PolicyKind;
+use gpu_sim::isa::OpKind;
+use gpu_sim::{Gpu, Kernel, SimConfig};
+use gpu_workloads::{build, registry, Scale};
+
+/// Expected instruction/transaction totals derived from the static
+/// trace, independent of the timing model.
+fn static_totals(k: &dyn Kernel) -> (u64, u64) {
+    let grid = k.grid();
+    let mut warp_insns = 0u64;
+    let mut txns = 0u64;
+    for cta in 0..grid.num_ctas {
+        for w in 0..grid.warps_per_cta {
+            for op in k.warp_ops(cta, w) {
+                warp_insns += 1;
+                if let OpKind::Mem { addrs, .. } = &op.kind {
+                    txns += gpu_sim::coalescer::coalesce(addrs, 128).len() as u64;
+                }
+            }
+        }
+    }
+    (warp_insns, txns)
+}
+
+#[test]
+fn every_app_completes_under_every_policy() {
+    for spec in registry() {
+        let expected = static_totals(build(spec.abbr, Scale::Tiny).as_ref());
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+            let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
+            let stats = gpu.run();
+            assert!(stats.completed, "{} under {kind:?} hit the cycle cap", spec.abbr);
+            assert_eq!(
+                stats.warp_insns, expected.0,
+                "{} under {kind:?}: issued instruction count drifted",
+                spec.abbr
+            );
+            assert_eq!(
+                stats.mem_transactions, expected.1,
+                "{} under {kind:?}: coalesced transaction count drifted",
+                spec.abbr
+            );
+            // Every transaction reaches the L1D exactly once.
+            assert_eq!(stats.l1d.accesses, stats.mem_transactions, "{}", spec.abbr);
+        }
+    }
+}
+
+#[test]
+fn access_accounting_is_exhaustive() {
+    // hits + allocated misses + merges + bypasses = accesses, for every
+    // app and scheme: no transaction may vanish or double-count.
+    for spec in registry() {
+        for kind in PolicyKind::ALL {
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+            let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
+            let s = gpu.run();
+            let accounted = s.l1d.hits
+                + s.l1d.misses_allocated
+                + s.l1d.mshr_merges
+                + s.l1d.bypassed_loads
+                + s.l1d.bypassed_stores;
+            assert_eq!(
+                accounted, s.l1d.accesses,
+                "{} under {kind:?}: {} accounted vs {} accesses",
+                spec.abbr, accounted, s.l1d.accesses
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_never_bypasses_and_protection_never_over_evicts() {
+    for spec in registry() {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
+        let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
+        let s = gpu.run();
+        assert_eq!(s.l1d.bypassed_loads, 0, "{}: baseline bypassed loads", spec.abbr);
+        assert_eq!(s.l1d.bypassed_stores, 0, "{}: baseline bypassed stores", spec.abbr);
+
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
+        let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
+        let d = gpu.run();
+        assert!(
+            d.l1d.evictions <= s.l1d.evictions,
+            "{}: DLP must not evict more than baseline ({} vs {})",
+            spec.abbr,
+            d.l1d.evictions,
+            s.l1d.evictions
+        );
+    }
+}
+
+#[test]
+fn dram_only_sees_l2_misses() {
+    // DRAM reads can never exceed L2 accesses; L2 hits + misses add up.
+    for kind in PolicyKind::ALL {
+        let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+        let mut gpu = Gpu::new(cfg, build("CFD", Scale::Tiny));
+        let s = gpu.run();
+        assert!(s.dram.reads <= s.l2.accesses, "{kind:?}");
+        assert!(s.l2.hits <= s.l2.accesses, "{kind:?}");
+    }
+}
+
+#[test]
+fn geometry_sweep_runs_the_same_trace() {
+    use dlp_core::CacheGeometry;
+    let mut insns = Vec::new();
+    for geom in [
+        CacheGeometry::fermi_l1d_16k(),
+        CacheGeometry::fermi_l1d_32k(),
+        CacheGeometry::fermi_l1d_64k(),
+    ] {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline)
+            .with_l1_geometry(geom)
+            .scaled_down(4);
+        let mut gpu = Gpu::new(cfg, build("MM", Scale::Tiny));
+        let s = gpu.run();
+        assert!(s.completed);
+        insns.push((s.thread_insns, s.mem_transactions));
+    }
+    assert_eq!(insns[0], insns[1], "cache size must not change the executed trace");
+    assert_eq!(insns[1], insns[2]);
+}

@@ -1,0 +1,82 @@
+//! The experiment harness end to end at Tiny scale: the suites behind
+//! Figures 4/5 and 10–13 run, produce self-consistent data for every
+//! app × configuration cell, and the RDD profiling behind Figures 3
+//! and 7 yields normalized distributions.
+
+use dlp_bench::harness::{
+    run_app, run_policy_suite, run_size_suite, ExperimentConfig, LABEL_32K, SIZE_LABELS,
+};
+use dlp_bench::report::geomean;
+use gpu_workloads::{registry, Scale};
+
+#[test]
+fn policy_suite_covers_every_cell() {
+    let suite = run_policy_suite(Scale::Tiny);
+    assert_eq!(suite.apps.len(), 18);
+    for spec in &suite.apps {
+        let row = &suite.runs[spec.abbr];
+        for label in ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", LABEL_32K] {
+            let run = &row[label];
+            assert!(run.stats.completed, "{} {label}", spec.abbr);
+            assert!(run.stats.ipc() > 0.0, "{} {label}", spec.abbr);
+        }
+        // The four schemes execute the same trace.
+        let base = row["16KB(Baseline)"].stats.thread_insns;
+        for label in ["Stall-Bypass", "Global-Protection", "DLP", LABEL_32K] {
+            assert_eq!(row[label].stats.thread_insns, base, "{} {label}", spec.abbr);
+        }
+    }
+}
+
+#[test]
+fn size_suite_covers_every_cell() {
+    let suite = run_size_suite(Scale::Tiny);
+    for spec in &suite.apps {
+        let row = &suite.runs[spec.abbr];
+        for label in SIZE_LABELS {
+            assert!(row[label].stats.completed, "{} {label}", spec.abbr);
+            let mr = row[label].stats.l1d.reuse_miss_rate();
+            assert!((0.0..=1.0).contains(&mr), "{} {label}: miss rate {mr}", spec.abbr);
+        }
+    }
+}
+
+#[test]
+fn rdd_profiles_are_normalized() {
+    for spec in registry().into_iter().take(6) {
+        let cfg = ExperimentConfig {
+            scale: Scale::Tiny,
+            profile_rd: true,
+            ..ExperimentConfig::baseline()
+        };
+        let run = run_app(spec.abbr, cfg);
+        let sink = run.rdd.unwrap();
+        let prof = sink.lock();
+        if prof.overall.total() > 0 {
+            let sum: f64 = prof.overall.shares().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: shares sum {sum}", spec.abbr);
+        }
+        for (pc, h) in &prof.per_pc {
+            if h.total() > 0 {
+                let sum: f64 = h.shares().iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{} pc {pc}", spec.abbr);
+            }
+        }
+    }
+}
+
+#[test]
+fn geomean_matches_manual_computation() {
+    let suite = run_policy_suite(Scale::Tiny);
+    let mut normalized = Vec::new();
+    for spec in &suite.apps {
+        let row = &suite.runs[spec.abbr];
+        let b = row["16KB(Baseline)"].stats.ipc();
+        normalized.push(row["DLP"].stats.ipc() / b);
+    }
+    let g = geomean(&normalized);
+    let manual =
+        (normalized.iter().map(|v| v.ln()).sum::<f64>() / normalized.len() as f64).exp();
+    assert!((g - manual).abs() < 1e-9);
+    assert!(g > 0.5 && g < 3.0, "tiny-scale DLP geomean {g} out of sanity range");
+}

@@ -1,0 +1,128 @@
+//! Directional properties of the schemes — the qualitative claims of
+//! the paper's evaluation, asserted at test scale:
+//!
+//! * protection raises the L1D hit rate on thrashing (CI) workloads;
+//! * every bypassing scheme reduces L1D traffic and evictions;
+//! * DLP engages its PDPT (nonzero PDs, samples, VTA activity) on CI
+//!   apps and stays quiet where there is nothing to protect;
+//! * cache-sufficient apps are performance-insensitive to the scheme.
+
+use dlp_core::PolicyKind;
+use gpu_sim::{Gpu, RunStats, SimConfig};
+use gpu_workloads::{build, registry, AppClass, Scale};
+
+fn run(app: &str, kind: PolicyKind) -> RunStats {
+    let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+    let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
+    gpu.run()
+}
+
+#[test]
+fn protection_raises_hit_rate_on_thrashing_apps() {
+    // Apps whose Tiny-scale working sets overwhelm 4-way LRU but carry
+    // protectable reuse.
+    for app in ["SR2K", "SRK", "STR"] {
+        let base = run(app, PolicyKind::Baseline);
+        let dlp = run(app, PolicyKind::Dlp);
+        assert!(
+            dlp.l1d.hit_rate() > base.l1d.hit_rate(),
+            "{app}: DLP hit rate {:.3} must exceed baseline {:.3}",
+            dlp.l1d.hit_rate(),
+            base.l1d.hit_rate()
+        );
+    }
+}
+
+#[test]
+fn bypassing_schemes_reduce_cache_traffic_and_evictions() {
+    for app in ["MM", "STR", "BFS", "PVR"] {
+        let base = run(app, PolicyKind::Baseline);
+        for kind in [PolicyKind::GlobalProtection, PolicyKind::Dlp] {
+            let s = run(app, kind);
+            assert!(
+                s.l1d.cache_traffic() <= base.l1d.cache_traffic(),
+                "{app}/{kind:?}: traffic {} vs baseline {}",
+                s.l1d.cache_traffic(),
+                base.l1d.cache_traffic()
+            );
+            assert!(
+                s.l1d.evictions <= base.l1d.evictions,
+                "{app}/{kind:?}: evictions {} vs baseline {}",
+                s.l1d.evictions,
+                base.l1d.evictions
+            );
+        }
+    }
+}
+
+#[test]
+fn dlp_engages_its_machinery_on_ci_apps() {
+    for spec in registry().into_iter().filter(|s| s.class == AppClass::CI) {
+        let s = run(spec.abbr, PolicyKind::Dlp);
+        assert!(s.policy.samples > 0, "{}: sampling never closed", spec.abbr);
+        assert!(s.policy.vta_insertions > 0, "{}: VTA never fed", spec.abbr);
+    }
+}
+
+#[test]
+fn stall_bypass_never_stalls_on_set_reservation() {
+    for spec in registry() {
+        let s = run(spec.abbr, PolicyKind::StallBypass);
+        assert_eq!(
+            s.l1d.stall_all_reserved, 0,
+            "{}: Stall-Bypass must convert set-reservation stalls into bypasses",
+            spec.abbr
+        );
+    }
+}
+
+#[test]
+fn protection_schemes_track_pd_within_hardware_width() {
+    for app in ["KM", "MM", "BFS"] {
+        for kind in [PolicyKind::GlobalProtection, PolicyKind::Dlp] {
+            let s = run(app, kind);
+            assert!(
+                s.policy.avg_pd() <= 15.0,
+                "{app}/{kind:?}: mean PD {} exceeds the 4-bit field",
+                s.policy.avg_pd()
+            );
+        }
+    }
+}
+
+#[test]
+fn bigger_cache_never_reduces_hits_on_reuse_apps() {
+    use dlp_core::CacheGeometry;
+    for app in ["MM", "KM", "SS", "STR"] {
+        let small = {
+            let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(4);
+            Gpu::new(cfg, build(app, Scale::Tiny)).run()
+        };
+        let big = {
+            let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline)
+                .with_l1_geometry(CacheGeometry::fermi_l1d_64k())
+                .scaled_down(4);
+            Gpu::new(cfg, build(app, Scale::Tiny)).run()
+        };
+        assert!(
+            big.l1d.hits >= small.l1d.hits,
+            "{app}: 64KB hits {} < 16KB hits {}",
+            big.l1d.hits,
+            small.l1d.hits
+        );
+    }
+}
+
+#[test]
+fn compulsory_misses_are_size_invariant() {
+    use dlp_core::CacheGeometry;
+    for app in ["HG", "KM", "BFS"] {
+        let mut per_size = Vec::new();
+        for geom in [CacheGeometry::fermi_l1d_16k(), CacheGeometry::fermi_l1d_64k()] {
+            let cfg =
+                SimConfig::tesla_m2090(PolicyKind::Baseline).with_l1_geometry(geom).scaled_down(4);
+            per_size.push(Gpu::new(cfg, build(app, Scale::Tiny)).run().l1d.compulsory_misses);
+        }
+        assert_eq!(per_size[0], per_size[1], "{app}: compulsory misses depend only on the trace");
+    }
+}
