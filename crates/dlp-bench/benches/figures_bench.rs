@@ -19,7 +19,7 @@ fn fig3_fig7_rdd(c: &mut Criterion) {
                 profile_rd: true,
                 ..ExperimentConfig::baseline()
             };
-            let run = run_app("BFS", cfg);
+            let run = run_app("BFS", cfg).unwrap();
             let sink = run.rdd.unwrap();
             let prof = sink.lock();
             black_box(prof.overall.shares());
@@ -41,7 +41,7 @@ fn fig4_fig5_size_sweep(c: &mut Criterion) {
                     scale: Scale::Tiny,
                     ..ExperimentConfig::baseline().with_geom(geom)
                 };
-                black_box(run_app("KM", cfg).stats.ipc())
+                black_box(run_app("KM", cfg).unwrap().stats.ipc())
             });
         });
     }
@@ -71,7 +71,7 @@ fn fig10_to_13_policy_comparison(c: &mut Criterion) {
             b.iter(|| {
                 let cfg =
                     ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline().with_policy(k) };
-                let run = run_app("SS", cfg);
+                let run = run_app("SS", cfg).unwrap();
                 black_box((
                     run.stats.ipc(),
                     run.stats.l1d.cache_traffic(),

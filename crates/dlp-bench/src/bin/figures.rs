@@ -11,16 +11,46 @@
 //! ```
 
 use dlp_bench::harness::{
-    run_app, run_policy_suite, run_size_suite, ExperimentConfig, PolicySuite, SizeSuite, LABEL_32K,
-    SIZE_LABELS,
+    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,
+    SizeSuite, LABEL_32K, SIZE_LABELS,
 };
 use dlp_bench::report::{geomean, normalize, Table};
 use dlp_core::{dlp_overhead, CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_workloads::{registry, AppClass, Scale};
+use std::collections::HashMap;
 
 /// The four policy columns in figure order.
 const POLICY_LABELS: [&str; 4] =
     ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP"];
+
+/// Print a sweep's failure digest (if any) to stderr, so partial
+/// figures come with an explanation of what is missing.
+fn report_failures(digest: &str) {
+    if !digest.is_empty() {
+        eprintln!("-- some runs failed; affected rows were skipped --");
+        eprint!("{digest}");
+    }
+}
+
+/// An app's runs only if every requested column succeeded; incomplete
+/// rows are skipped (their failures appear in the digest).
+fn complete_row<'a>(
+    runs: &'a HashMap<String, HashMap<&'static str, AppRun>>,
+    app: &str,
+    labels: &[&'static str],
+) -> Option<&'a HashMap<&'static str, AppRun>> {
+    let row = runs.get(app)?;
+    labels.iter().all(|l| row.contains_key(l)).then_some(row)
+}
+
+/// Unwrap a single must-have run, exiting with the failure description
+/// (app, policy, geometry) instead of a panic backtrace.
+fn must_run(res: Result<AppRun, RunFailure>) -> AppRun {
+    res.unwrap_or_else(|f| {
+        eprintln!("run failed: {f}");
+        std::process::exit(1);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,28 +65,34 @@ fn main() {
         "fig4" => {
             let s = run_size_suite(scale);
             fig4(&s);
+            report_failures(&s.failure_digest());
         }
         "fig5" => {
             let s = run_size_suite(scale);
             fig5(&s);
+            report_failures(&s.failure_digest());
         }
         "fig6" => fig6(scale),
         "fig7" => fig7(scale),
         "fig10" => {
             let s = run_policy_suite(scale);
             fig10(&s);
+            report_failures(&s.failure_digest());
         }
         "fig11" => {
             let s = run_policy_suite(scale);
             fig11(&s);
+            report_failures(&s.failure_digest());
         }
         "fig12" => {
             let s = run_policy_suite(scale);
             fig12(&s);
+            report_failures(&s.failure_digest());
         }
         "fig13" => {
             let s = run_policy_suite(scale);
             fig13(&s);
+            report_failures(&s.failure_digest());
         }
         "overhead" => overhead(),
         "ablation" => ablation(scale),
@@ -75,6 +111,8 @@ fn main() {
             fig12(&suite);
             fig13(&suite);
             overhead();
+            report_failures(&sizes.failure_digest());
+            report_failures(&suite.failure_digest());
         }
         "calib" => calib(scale),
         "pdpt" => {
@@ -164,7 +202,13 @@ fn fig3(scale: Scale) {
     let mut t = Table::new(vec!["App", "RD 1~4", "RD 5~8", "RD 9~64", "RD >64", "Compulsory%"]);
     for spec in registry() {
         let cfg = ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() };
-        let run = run_app(spec.abbr, cfg);
+        let run = match run_app(spec.abbr, cfg) {
+            Ok(r) => r,
+            Err(f) => {
+                eprintln!("skipping row: {f}");
+                continue;
+            }
+        };
         let sink = run.rdd.unwrap();
         let prof = sink.lock();
         let sh = prof.overall.shares();
@@ -186,7 +230,7 @@ fn fig4(s: &SizeSuite) {
     println!("== Figure 4: reuse-data miss rate vs cache size (compulsory excluded) ==");
     let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
     for spec in &s.apps {
-        let row = &s.runs[spec.abbr];
+        let Some(row) = complete_row(&s.runs, spec.abbr, &SIZE_LABELS) else { continue };
         let cells: Vec<String> = SIZE_LABELS
             .iter()
             .map(|l| format!("{:.1}%", row[l].stats.l1d.reuse_miss_rate() * 100.0))
@@ -200,7 +244,7 @@ fn fig5(s: &SizeSuite) {
     println!("== Figure 5: IPC vs cache size, normalized to 16KB ==");
     let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
     for spec in &s.apps {
-        let row = &s.runs[spec.abbr];
+        let Some(row) = complete_row(&s.runs, spec.abbr, &SIZE_LABELS) else { continue };
         let base = row["16KB"].stats.ipc();
         t.row(vec![
             spec.abbr.to_string(),
@@ -232,7 +276,7 @@ fn fig6(scale: Scale) {
 fn fig7(scale: Scale) {
     println!("== Figure 7: RDD per memory instruction, BFS ==");
     let cfg = ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() };
-    let run = run_app("BFS", cfg);
+    let run = must_run(run_app("BFS", cfg));
     let sink = run.rdd.unwrap();
     let prof = sink.lock();
     let mut pcs: Vec<u32> = prof.per_pc.keys().copied().collect();
@@ -268,8 +312,10 @@ fn fig10(suite: &PolicySuite) {
     let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP", "32KB"]);
     for class in [AppClass::CS, AppClass::CI] {
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        let all_labels =
+            [POLICY_LABELS[0], POLICY_LABELS[1], POLICY_LABELS[2], POLICY_LABELS[3], LABEL_32K];
         for spec in class_rows(suite, class) {
-            let row = &suite.runs[spec.abbr];
+            let Some(row) = complete_row(&suite.runs, spec.abbr, &all_labels) else { continue };
             let base = row[POLICY_LABELS[0]].stats.ipc();
             let mut cells = vec![spec.abbr.to_string()];
             for (i, label) in POLICY_LABELS.iter().chain([&LABEL_32K]).enumerate() {
@@ -300,7 +346,7 @@ fn fig12(suite: &PolicySuite) {
     let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP"]);
     for class in [AppClass::CS, AppClass::CI] {
         for spec in class_rows(suite, class) {
-            let row = &suite.runs[spec.abbr];
+            let Some(row) = complete_row(&suite.runs, spec.abbr, &POLICY_LABELS) else { continue };
             let mut cells = vec![spec.abbr.to_string()];
             for label in POLICY_LABELS {
                 cells.push(format!("{:.3}", row[label].stats.l1d.hit_rate()));
@@ -323,13 +369,13 @@ fn print_normalized(suite: &PolicySuite, metric: impl Fn(&dlp_bench::AppRun) -> 
     for class in [AppClass::CS, AppClass::CI] {
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for spec in class_rows(suite, class) {
-            let row = &suite.runs[spec.abbr];
+            let Some(row) = complete_row(&suite.runs, spec.abbr, &POLICY_LABELS) else { continue };
             let base = metric(&row[POLICY_LABELS[0]]);
             let mut cells = vec![spec.abbr.to_string()];
             if base == 0.0 {
                 // Nothing to normalize against (e.g. a zero-hit app);
                 // exclude from the geometric means.
-                cells.extend(std::iter::repeat("n/a".to_string()).take(4));
+                cells.extend(std::iter::repeat_n("n/a".to_string(), 4));
                 t.row(cells);
                 continue;
             }
@@ -355,17 +401,20 @@ fn print_normalized(suite: &PolicySuite, metric: impl Fn(&dlp_bench::AppRun) -> 
 fn pdpt_report(app: &str, scale: Scale) {
     use gpu_sim::{Gpu, SimConfig};
     // Profiled baseline run for the per-PC RDDs.
-    let prof_run = run_app(
+    let prof_run = must_run(run_app(
         app,
         ExperimentConfig { scale, profile_rd: true, ..ExperimentConfig::baseline() },
-    );
+    ));
     let sink = prof_run.rdd.unwrap();
     let prof = sink.lock();
 
     // DLP run; inspect SM 0's PDPT afterwards.
     let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp);
     let mut gpu = Gpu::new(cfg, gpu_workloads::build(app, scale));
-    let stats = gpu.run();
+    let stats = gpu.run().unwrap_or_else(|e| {
+        eprintln!("{app} (DLP) failed: {e}");
+        std::process::exit(1);
+    });
     assert!(stats.completed);
     let snapshot = gpu
         .l1d(0)
@@ -418,10 +467,10 @@ fn inspect(app: &str, scale: Scale) {
         }
         let protection =
             (decrease_step.is_some() || sample_period.is_some()).then_some(pc);
-        let run = run_app(
+        let run = must_run(run_app(
             app,
             ExperimentConfig { scale, protection, ..ExperimentConfig::baseline().with_policy(kind) },
-        );
+        ));
         let s = &run.stats;
         println!("--- {app} {:?} ---", kind);
         println!(
@@ -474,10 +523,10 @@ fn inspect(app: &str, scale: Scale) {
             100.0 * s.dram.row_hits as f64 / (s.dram.row_hits + s.dram.row_misses).max(1) as f64,
         );
     }
-    let run32 = run_app(
+    let run32 = must_run(run_app(
         app,
         ExperimentConfig { scale, ..ExperimentConfig::baseline().with_geom(CacheGeometry::fermi_l1d_32k()) },
-    );
+    ));
     let s = &run32.stats;
     println!("--- {app} 32KB ---");
     println!(
@@ -508,10 +557,11 @@ fn calib(scale: Scale) {
     let mut t = Table::new(vec![
         "App", "Scheme", "IPCx", "Hit%", "Byp%", "Stall/SMcyc", "AllResv", "AvgPD",
     ]);
+    let labels = ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", "32KB"];
     for spec in suite.apps.iter().filter(|s| s.class == AppClass::CI) {
-        let row = &suite.runs[spec.abbr];
+        let Some(row) = complete_row(&suite.runs, spec.abbr, &labels) else { continue };
         let base_ipc = row["16KB(Baseline)"].stats.ipc();
-        for label in ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", "32KB"] {
+        for label in labels {
             let s = &row[label].stats;
             t.row(vec![
                 spec.abbr.to_string(),
@@ -530,6 +580,7 @@ fn calib(scale: Scale) {
         }
     }
     println!("{}", t.render());
+    report_failures(&suite.failure_digest());
 }
 
 fn overhead() {
@@ -550,6 +601,22 @@ fn overhead() {
     let _ = ProtectionConfig::paper_default(geom);
 }
 
+/// Per-app normalized IPCs for an ablation variant; pairs where either
+/// the baseline or the variant failed are reported and excluded.
+fn norm_vs_base(runs: Vec<Result<AppRun, RunFailure>>, base: &[Option<f64>]) -> Vec<f64> {
+    runs.into_iter()
+        .zip(base)
+        .filter_map(|(r, b)| match (r, b) {
+            (Ok(run), Some(b)) => Some(normalize(run.stats.ipc(), *b)),
+            (Err(f), _) => {
+                eprintln!("skipping: {f}");
+                None
+            }
+            _ => None,
+        })
+        .collect()
+}
+
 fn ablation(scale: Scale) {
     println!("== Ablations: DLP design choices (CI geomean IPC vs 16KB baseline) ==");
     let ci: Vec<_> = registry().into_iter().filter(|s| s.class == AppClass::CI).collect();
@@ -559,8 +626,16 @@ fn ablation(scale: Scale) {
         .iter()
         .map(|s| (s.abbr.to_string(), ExperimentConfig { scale, ..ExperimentConfig::baseline() }))
         .collect();
-    let base: Vec<f64> =
-        dlp_bench::harness::run_many(&base_jobs).iter().map(|r| r.stats.ipc()).collect();
+    let base: Vec<Option<f64>> = dlp_bench::harness::run_many(&base_jobs)
+        .into_iter()
+        .map(|r| match r {
+            Ok(run) => Some(run.stats.ipc()),
+            Err(f) => {
+                eprintln!("baseline run failed: {f}");
+                None
+            }
+        })
+        .collect();
 
     let geom = CacheGeometry::fermi_l1d_16k();
     let mut variants: Vec<(String, ProtectionConfig)> = Vec::new();
@@ -593,9 +668,7 @@ fn ablation(scale: Scale) {
                 )
             })
             .collect();
-        let runs = dlp_bench::harness::run_many(&jobs);
-        let norm: Vec<f64> =
-            runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+        let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
         t.row(vec![label, format!("{:.3}", geomean(&norm))]);
     }
 
@@ -615,9 +688,7 @@ fn ablation(scale: Scale) {
                 )
             })
             .collect();
-        let runs = dlp_bench::harness::run_many(&jobs);
-        let norm: Vec<f64> =
-            runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+        let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
         t.row(vec![format!("DLP + warp throttle ({limit}/48 warps)"), format!("{:.3}", geomean(&norm))]);
     }
 
@@ -634,8 +705,7 @@ fn ablation(scale: Scale) {
             )
         })
         .collect();
-    let runs = dlp_bench::harness::run_many(&jobs);
-    let norm: Vec<f64> = runs.iter().zip(&base).map(|(r, b)| normalize(r.stats.ipc(), *b)).collect();
+    let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
     t.row(vec!["single global PD (Global-Protection)".to_string(), format!("{:.3}", geomean(&norm))]);
     println!("{}", t.render());
 }

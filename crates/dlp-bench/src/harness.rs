@@ -1,4 +1,9 @@
 //! Parallel experiment runners.
+//!
+//! Every job in a sweep runs under `catch_unwind` with one retry, so a
+//! single diverging configuration cannot take down a multi-hour figure
+//! run: the harness returns per-job `Result`s and the suites collect
+//! the failures into a digest the `figures` binary prints at the end.
 
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_sim::{Gpu, RunStats, SimConfig};
@@ -6,6 +11,7 @@ use gpu_workloads::{build, registry, BenchSpec, Scale};
 use parking_lot::Mutex;
 use rd_tools::{RdProfiler, SharedRdd};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// What to simulate for one run.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +54,10 @@ impl ExperimentConfig {
         self.geom = g;
         self
     }
+
+    fn geom_label(&self) -> String {
+        format!("{}KB/{}-way", self.geom.capacity_bytes() / 1024, self.geom.assoc)
+    }
 }
 
 /// One completed run.
@@ -60,8 +70,61 @@ pub struct AppRun {
     pub rdd: Option<SharedRdd>,
 }
 
+/// One job that did not produce statistics: the simulator returned a
+/// typed error (hang, invariant violation, cycle-cap overrun) or the
+/// run panicked. Identifies the exact configuration so a sweep's
+/// failure digest names what to re-run.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// Benchmark abbreviation.
+    pub app: String,
+    /// L1D management scheme of the failing run.
+    pub policy: PolicyKind,
+    /// Human-readable cache geometry ("16KB/4-way").
+    pub geom: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// What went wrong (a `SimError` rendering or a panic payload).
+    pub error: String,
+    /// True when the job failed twice (it is retried once).
+    pub retried: bool,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} @ {} {:?}{}]: {}",
+            self.app,
+            self.policy.label(),
+            self.geom,
+            self.scale,
+            if self.retried { ", retried" } else { "" },
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// Environment variable that forces the named app to panic inside the
+/// harness — a hook for exercising the failure path of a full sweep
+/// without corrupting the simulator itself.
+pub const FORCE_FAIL_ENV: &str = "DLP_FORCE_FAIL";
+
 /// Simulate one application under one configuration.
-pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> AppRun {
+pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    if std::env::var(FORCE_FAIL_ENV).is_ok_and(|v| v == abbr) {
+        panic!("{abbr}: forced failure ({FORCE_FAIL_ENV} is set)");
+    }
+    let fail = |error: String| RunFailure {
+        app: abbr.to_string(),
+        policy: cfg.policy,
+        geom: cfg.geom_label(),
+        scale: cfg.scale,
+        error,
+        retried: false,
+    };
     let spec = gpu_workloads::registry::spec(abbr);
     let kernel = build(abbr, cfg.scale);
     let mut sim_cfg = SimConfig::tesla_m2090(cfg.policy).with_l1_geometry(cfg.geom);
@@ -77,44 +140,135 @@ pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> AppRun {
     } else {
         None
     };
-    let stats = gpu.run();
-    assert!(
-        stats.completed,
-        "{abbr} did not complete within the cycle cap under {:?}",
-        cfg.policy
-    );
-    AppRun { spec, stats, rdd }
+    let stats = gpu.run().map_err(|e| fail(e.to_string()))?;
+    if !stats.completed {
+        return Err(fail("run stopped before kernel completion".to_string()));
+    }
+    Ok(AppRun { spec, stats, rdd })
+}
+
+/// `run_app` behind `catch_unwind`, so a panicking job becomes a
+/// `RunFailure` instead of poisoning the whole sweep.
+fn run_app_caught(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    match catch_unwind(AssertUnwindSafe(|| run_app(abbr, cfg))) {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panicked with a non-string payload".to_string());
+            Err(RunFailure {
+                app: abbr.to_string(),
+                policy: cfg.policy,
+                geom: cfg.geom_label(),
+                scale: cfg.scale,
+                error: format!("panic: {msg}"),
+                retried: false,
+            })
+        }
+    }
+}
+
+/// One job with the retry policy applied: a failing run is retried
+/// once (transient host conditions — OOM kills of a worker thread,
+/// for example — are worth one more attempt; deterministic simulator
+/// errors simply fail again and are reported with `retried` set).
+fn run_app_with_retry(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    run_app_caught(abbr, cfg).or_else(|_first| {
+        run_app_caught(abbr, cfg).map_err(|mut f| {
+            f.retried = true;
+            f
+        })
+    })
 }
 
 /// Run `jobs` of (app, config) pairs in parallel, preserving input
-/// order in the result.
-pub fn run_many(jobs: &[(String, ExperimentConfig)]) -> Vec<AppRun> {
-    let results: Vec<Mutex<Option<AppRun>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+/// order in the result. Each job yields `Ok(run)` or a `RunFailure`
+/// naming the app, policy and geometry that failed; one bad job never
+/// aborts the others.
+pub fn run_many(jobs: &[(String, ExperimentConfig)]) -> Vec<Result<AppRun, RunFailure>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(jobs.len().max(1));
+    run_many_with_workers(jobs, workers)
+}
+
+/// `run_many` with an explicit worker count (1 = fully serial). Job
+/// results are independent of `workers` — the determinism suite checks
+/// that a 1-thread and an N-thread sweep produce identical statistics.
+pub fn run_many_with_workers(
+    jobs: &[(String, ExperimentConfig)],
+    workers: usize,
+) -> Vec<Result<AppRun, RunFailure>> {
+    assert!(workers >= 1);
+    let results: Vec<Mutex<Option<Result<AppRun, RunFailure>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(jobs.len().max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(jobs.len().max(1)) {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let (abbr, cfg) = &jobs[i];
-                *results[i].lock() = Some(run_app(abbr, *cfg));
+                *results[i].lock() = Some(run_app_with_retry(abbr, *cfg));
             });
         }
-    })
-    .expect("experiment worker panicked");
-    results.into_iter().map(|m| m.into_inner().expect("job completed")).collect()
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner().unwrap_or_else(|| {
+                // A worker died between claiming the slot and storing a
+                // result (it cannot panic past catch_unwind, but be
+                // defensive rather than poison the whole sweep).
+                let (abbr, cfg) = &jobs[i];
+                Err(RunFailure {
+                    app: abbr.clone(),
+                    policy: cfg.policy,
+                    geom: cfg.geom_label(),
+                    scale: cfg.scale,
+                    error: "worker produced no result".to_string(),
+                    retried: false,
+                })
+            })
+        })
+        .collect()
+}
+
+/// Render a sweep's failures as a short report, one line per job.
+/// Empty string when everything succeeded.
+pub fn failure_digest(failures: &[RunFailure]) -> String {
+    if failures.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("{} job(s) failed:\n", failures.len());
+    for f in failures {
+        out.push_str(&format!("  - {f}\n"));
+    }
+    out
 }
 
 /// Figure 10–13 data: every app under the four schemes (16 KB) plus the
 /// 32 KB baseline-policy configuration.
 pub struct PolicySuite {
-    /// app → (scheme label → run).
+    /// app → (scheme label → run). Failed jobs are absent.
     pub runs: HashMap<String, HashMap<&'static str, AppRun>>,
     /// Row order (Table 2 order).
     pub apps: Vec<BenchSpec>,
+    /// Jobs that produced no statistics.
+    pub failures: Vec<RunFailure>,
+}
+
+impl PolicySuite {
+    /// One-line-per-failure report (empty when the sweep was clean).
+    pub fn failure_digest(&self) -> String {
+        failure_digest(&self.failures)
+    }
 }
 
 /// Label used for the 32 KB configuration column.
@@ -137,22 +291,40 @@ pub fn run_policy_suite(scale: Scale) -> PolicySuite {
     }
     let mut results = run_many(&jobs).into_iter();
     let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    let mut failures = Vec::new();
+    let mut take = |entry: &mut HashMap<&'static str, AppRun>, label: &'static str| {
+        match results.next().expect("one result per job") {
+            Ok(run) => {
+                entry.insert(label, run);
+            }
+            Err(f) => failures.push(f),
+        }
+    };
     for spec in &apps {
         let entry = runs.entry(spec.abbr.to_string()).or_default();
         for kind in PolicyKind::ALL {
-            entry.insert(kind.label(), results.next().unwrap());
+            take(entry, kind.label());
         }
-        entry.insert(LABEL_32K, results.next().unwrap());
+        take(entry, LABEL_32K);
     }
-    PolicySuite { runs, apps }
+    PolicySuite { runs, apps, failures }
 }
 
 /// Figure 4–5 data: every app at 16/32/64 KB under baseline LRU.
 pub struct SizeSuite {
-    /// app → (capacity label → run).
+    /// app → (capacity label → run). Failed jobs are absent.
     pub runs: HashMap<String, HashMap<&'static str, AppRun>>,
     /// Row order.
     pub apps: Vec<BenchSpec>,
+    /// Jobs that produced no statistics.
+    pub failures: Vec<RunFailure>,
+}
+
+impl SizeSuite {
+    /// One-line-per-failure report (empty when the sweep was clean).
+    pub fn failure_digest(&self) -> String {
+        failure_digest(&self.failures)
+    }
 }
 
 /// Capacity labels for the size sweep.
@@ -175,13 +347,19 @@ pub fn run_size_suite(scale: Scale) -> SizeSuite {
     }
     let mut results = run_many(&jobs).into_iter();
     let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    let mut failures = Vec::new();
     for spec in &apps {
         let entry = runs.entry(spec.abbr.to_string()).or_default();
         for label in SIZE_LABELS {
-            entry.insert(label, results.next().unwrap());
+            match results.next().expect("one result per job") {
+                Ok(run) => {
+                    entry.insert(label, run);
+                }
+                Err(f) => failures.push(f),
+            }
         }
     }
-    SizeSuite { runs, apps }
+    SizeSuite { runs, apps, failures }
 }
 
 #[cfg(test)]
@@ -191,7 +369,7 @@ mod tests {
     #[test]
     fn run_app_completes_at_tiny_scale() {
         let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
-        let run = run_app("KM", cfg);
+        let run = run_app("KM", cfg).unwrap();
         assert!(run.stats.completed);
         assert!(run.stats.thread_insns > 0);
     }
@@ -203,7 +381,7 @@ mod tests {
             profile_rd: true,
             ..ExperimentConfig::baseline()
         };
-        let run = run_app("SS", cfg);
+        let run = run_app("SS", cfg).unwrap();
         let sink = run.rdd.expect("profile requested");
         let prof = sink.lock();
         assert!(prof.overall.total() + prof.overall.compulsory > 0);
@@ -214,8 +392,26 @@ mod tests {
         let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
         let jobs = vec![("KM".to_string(), cfg), ("MM".to_string(), cfg), ("SS".to_string(), cfg)];
         let out = run_many(&jobs);
-        assert_eq!(out[0].spec.abbr, "KM");
-        assert_eq!(out[1].spec.abbr, "MM");
-        assert_eq!(out[2].spec.abbr, "SS");
+        assert_eq!(out[0].as_ref().unwrap().spec.abbr, "KM");
+        assert_eq!(out[1].as_ref().unwrap().spec.abbr, "MM");
+        assert_eq!(out[2].as_ref().unwrap().spec.abbr, "SS");
+    }
+
+    #[test]
+    fn failure_digest_names_the_failing_configuration() {
+        let f = RunFailure {
+            app: "KM".to_string(),
+            policy: PolicyKind::Dlp,
+            geom: "16KB/4-way".to_string(),
+            scale: Scale::Tiny,
+            error: "hang: no forward progress".to_string(),
+            retried: true,
+        };
+        let digest = failure_digest(&[f]);
+        assert!(digest.contains("KM"), "{digest}");
+        assert!(digest.contains("DLP"), "{digest}");
+        assert!(digest.contains("16KB/4-way"), "{digest}");
+        assert!(digest.contains("retried"), "{digest}");
+        assert!(failure_digest(&[]).is_empty());
     }
 }

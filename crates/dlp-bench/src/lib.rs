@@ -7,8 +7,10 @@
 //! integration tests and Criterion benches reuse them.
 //!
 //! All experiment runs are deterministic; the per-(app, configuration)
-//! simulations are independent and executed in parallel with
-//! `crossbeam` scoped threads.
+//! simulations are independent and executed in parallel with scoped
+//! threads. Each job runs under `catch_unwind` with one retry and
+//! reports failures as [`harness::RunFailure`] values, so one bad
+//! configuration cannot abort a sweep.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -17,6 +19,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, SizeSuite,
+    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,
+    SizeSuite,
 };
 pub use report::{geomean, normalize, Table};

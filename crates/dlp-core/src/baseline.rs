@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut p = LruBaseline::new(small_geom());
-        let ways: Vec<_> = (0..4).map(|t| WayView::valid(t)).collect();
+        let ways: Vec<_> = (0..4).map(WayView::valid).collect();
         for w in [0, 1, 2, 3] {
             p.on_hit(0, w, &ctx());
         }
@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn lru_skips_reserved_ways() {
         let mut p = LruBaseline::new(small_geom());
-        let mut ways: Vec<_> = (0..4).map(|t| WayView::valid(t)).collect();
+        let mut ways: Vec<_> = (0..4).map(WayView::valid).collect();
         for w in [0, 1, 2, 3] {
             p.on_hit(0, w, &ctx());
         }
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn fill_counts_as_recency_touch() {
         let mut p = LruBaseline::new(small_geom());
-        let ways: Vec<_> = (0..4).map(|t| WayView::valid(t)).collect();
+        let ways: Vec<_> = (0..4).map(WayView::valid).collect();
         // Fill ways 0..3 in order, then re-fill way 0: LRU is way 1.
         for w in [0, 1, 2, 3, 0] {
             p.on_fill(0, w, w as u64, &ctx());

@@ -156,6 +156,15 @@ pub trait ReplacementPolicy: Send {
         None
     }
 
+    /// Structural self-check for the runtime invariant auditor:
+    /// scheme-internal state must be within its configured bounds
+    /// (protected-life counters ≤ the PD cap, victim tags within the
+    /// VTA's reach). Schemes without internal state have nothing to
+    /// check.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Scheme name for reports.
     fn kind(&self) -> PolicyKind;
 

@@ -60,10 +60,11 @@ impl ProtectionConfig {
             pd_adjustment(nasc, hit_vta, hit_tda)
         } else if hit_vta == 0 {
             0
-        } else if hit_tda == 0 {
-            4 * nasc
         } else {
-            (((hit_vta / hit_tda) as u32 * nasc as u32).min(4 * nasc as u32)) as u8
+            match hit_vta.checked_div(hit_tda) {
+                None => 4 * nasc,
+                Some(q) => ((q as u32 * nasc as u32).min(4 * nasc as u32)) as u8,
+            }
         }
     }
 }
@@ -82,6 +83,8 @@ trait PdModel: Send {
     fn apply_decrease(&mut self, cfg: &ProtectionConfig);
     fn reset_hits(&mut self);
     fn mean_pd(&self) -> f64;
+    /// Largest PD currently stored anywhere in the model (auditing).
+    fn max_stored_pd(&self) -> u8;
 }
 
 /// DLP's per-instruction model: the 128-entry PDPT.
@@ -131,6 +134,10 @@ impl PdModel for PerInsnModel {
 
     fn mean_pd(&self) -> f64 {
         self.pdpt.mean_active_pd()
+    }
+
+    fn max_stored_pd(&self) -> u8 {
+        (0..self.pdpt.len()).map(|i| self.pdpt.pd(i as InsnId)).max().unwrap_or(0)
     }
 }
 
@@ -182,6 +189,10 @@ impl PdModel for GlobalModel {
 
     fn mean_pd(&self) -> f64 {
         self.pd as f64
+    }
+
+    fn max_stored_pd(&self) -> u8 {
+        self.pd
     }
 }
 
@@ -317,6 +328,33 @@ impl<M: PdModel> ReplacementPolicy for ProtectionPolicy<M> {
     fn stats(&self) -> PolicyStats {
         self.stats.clone()
     }
+
+    fn audit(&self) -> Result<(), String> {
+        // §4.3 bounds: PLs are 4-bit counters seeded from a PD that is
+        // itself capped, so nothing may ever exceed max_pd.
+        if let Some((i, &pl)) = self.pl.iter().enumerate().find(|&(_, &pl)| pl > self.cfg.max_pd)
+        {
+            return Err(format!(
+                "protected life {pl} at TDA entry {i} exceeds the PD cap {}",
+                self.cfg.max_pd
+            ));
+        }
+        if self.model.max_stored_pd() > self.cfg.max_pd {
+            return Err(format!(
+                "stored PD {} exceeds the cap {}",
+                self.model.max_stored_pd(),
+                self.cfg.max_pd
+            ));
+        }
+        let vta_cap = self.cfg.geom.num_sets * self.cfg.vta_assoc;
+        if self.vta.occupancy() > vta_cap {
+            return Err(format!(
+                "VTA holds {} tags but capacity is {vta_cap}",
+                self.vta.occupancy()
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The paper's Dynamic Line Protection scheme (§4).
@@ -386,6 +424,9 @@ impl ReplacementPolicy for Dlp {
     fn stats(&self) -> PolicyStats {
         self.inner.stats()
     }
+    fn audit(&self) -> Result<(), String> {
+        self.inner.audit()
+    }
 }
 
 /// The single-PD Global-Protection comparison scheme (§5.3), emulating
@@ -436,6 +477,9 @@ impl ReplacementPolicy for GlobalProtection {
     fn stats(&self) -> PolicyStats {
         self.inner.stats()
     }
+    fn audit(&self) -> Result<(), String> {
+        self.inner.audit()
+    }
 }
 
 #[cfg(test)]
@@ -456,7 +500,7 @@ mod tests {
             p.on_query(set);
             p.on_miss(set, 100 + t, &ctx(insn));
             let ways: Vec<WayView> =
-                (0..t).map(WayView::valid).chain(std::iter::repeat(WayView::invalid()).take(4 - t as usize)).collect();
+                (0..t).map(WayView::valid).chain(std::iter::repeat_n(WayView::invalid(), 4 - t as usize)).collect();
             match p.decide_replacement(set, &ways, &ctx(insn)) {
                 MissDecision::Allocate { way } => p.on_fill(set, way, 100 + t, &ctx(insn)),
                 other => panic!("unexpected {other:?}"),

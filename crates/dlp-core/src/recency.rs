@@ -49,7 +49,7 @@ impl RecencyArray {
                 continue;
             }
             let s = self.stamp(set, way);
-            if best.map_or(true, |(_, bs)| s < bs) {
+            if best.is_none_or(|(_, bs)| s < bs) {
                 best = Some((way, s));
             }
         }

@@ -16,6 +16,7 @@
 //! the evaluation needs: bank-level parallelism, row locality, and a
 //! hard bandwidth ceiling.
 
+use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::packet::Packet;
 use std::collections::VecDeque;
 
@@ -94,6 +95,8 @@ pub struct Dram {
     now: u64,
     rr_next_bank: usize,
     completed: VecDeque<(u64, DramCmd)>,
+    /// Optional deterministic corruption of read completions.
+    fault: Option<FaultInjector>,
     stats: DramStats,
 }
 
@@ -108,9 +111,21 @@ impl Dram {
             now: 0,
             rr_next_bank: 0,
             completed: VecDeque::new(),
+            fault: None,
             stats: DramStats::default(),
             cfg,
         }
+    }
+
+    /// Attach a fault injector corrupting read completions
+    /// ([`FaultSite::Dram`]).
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// Faults injected so far (0 when no injector is attached).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.injected())
     }
 
     #[inline]
@@ -190,7 +205,30 @@ impl Dram {
         } else {
             self.stats.reads += 1;
         }
-        self.completed.push_back((done, cmd));
+        // Fault injection acts on read completions only: writes finish
+        // silently, so corrupting them would be invisible by design.
+        let injected = if cmd.is_write {
+            None
+        } else {
+            self.fault.as_mut().and_then(|f| f.should_inject(FaultSite::Dram))
+        };
+        match injected {
+            Some(FaultKind::Drop) => {} // the burst never reports completion
+            Some(FaultKind::Duplicate) => {
+                self.completed.push_back((done, cmd));
+                self.completed.push_back((done, cmd));
+            }
+            Some(FaultKind::Delay) => {
+                let delay = self.fault.as_ref().unwrap().delay_cycles();
+                self.completed.push_back((done + delay, cmd));
+            }
+            Some(FaultKind::Misroute) => {
+                // Address corruption: the completion names a different
+                // line than was fetched.
+                self.completed.push_back((done, DramCmd { addr: cmd.addr ^ (1 << 20), ..cmd }));
+            }
+            None => self.completed.push_back((done, cmd)),
+        }
         true
     }
 
@@ -319,6 +357,24 @@ mod tests {
         d.enqueue(read(0));
         assert!(!d.can_accept(0));
         assert!(d.can_accept(2048), "other banks unaffected");
+    }
+
+    #[test]
+    fn dropped_read_never_completes() {
+        use crate::fault::FaultConfig;
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.set_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Drop,
+            FaultSite::Dram,
+            5,
+        )));
+        d.enqueue(read(0));
+        for _ in 0..500 {
+            d.tick();
+            assert!(d.pop_completed().is_none(), "the dropped burst must never surface");
+        }
+        assert_eq!(d.stats().reads, 1, "the burst was issued and counted");
+        assert_eq!(d.faults_injected(), 1);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Typed errors raised by the memory hierarchy.
+//!
+//! The hierarchy's structural invariants ("every fill reply matches an
+//! outstanding MSHR entry") used to be `panic!`/`expect` calls; they are
+//! now values so the simulator can abort a run with a diagnosis instead
+//! of tearing the process down. Each variant names the smallest piece of
+//! state needed to locate the corruption.
+
+use crate::packet::PacketKind;
+use std::fmt;
+
+/// A structural invariant of the memory hierarchy was violated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// A fill reply reached an L1D whose MSHR has no entry for the
+    /// line — the reply is a duplicate, was misrouted, or the entry was
+    /// corrupted.
+    MshrMissingFill {
+        /// Line address of the orphaned reply.
+        line: u64,
+    },
+    /// An L1D was handed a packet kind it can never consume (anything
+    /// but a read reply).
+    UnexpectedPacket {
+        /// The offending kind.
+        kind: PacketKind,
+    },
+    /// A DRAM read completed at a partition whose L2 MSHR has no entry
+    /// for the line.
+    L2MshrMissingFill {
+        /// Line address of the orphaned completion.
+        line: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::MshrMissingFill { line } => {
+                write!(f, "fill reply for line {line:#x} matches no outstanding L1D MSHR entry")
+            }
+            MemError::UnexpectedPacket { kind } => {
+                write!(f, "L1D received a packet kind it cannot consume: {kind:?}")
+            }
+            MemError::L2MshrMissingFill { line } => {
+                write!(f, "DRAM read completion for line {line:#x} matches no L2 MSHR entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_line() {
+        let e = MemError::MshrMissingFill { line: 0x1a80 };
+        assert!(e.to_string().contains("0x1a80"));
+        let e = MemError::UnexpectedPacket { kind: PacketKind::Writeback };
+        assert!(e.to_string().contains("Writeback"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic fault injection for the memory hierarchy.
+//!
+//! The injector corrupts packet flow at a chosen site (interconnect
+//! forward/return direction, or DRAM completion) in a chosen way
+//! (drop, duplicate, delay, misroute). It exists to *prove* the
+//! integrity layer works: every fault class must be caught by the
+//! watchdog, the invariant auditor, or a typed [`crate::error::MemError`]
+//! — never by silently wrong results. Injection is driven by a seeded
+//! SplitMix64 stream, so a given `(seed, rate)` corrupts the same
+//! packets on every run.
+
+/// How an eligible packet is corrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The packet vanishes (the sender believes it was accepted).
+    Drop,
+    /// The packet is delivered twice.
+    Duplicate,
+    /// The packet is delivered late by the configured extra latency.
+    Delay,
+    /// The packet is delivered to the wrong port (or, at the DRAM site,
+    /// its completion address is shifted to a neighbouring line).
+    Misroute,
+}
+
+/// Where in the hierarchy faults are injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// SM → partition crossbar injection.
+    IcntForward,
+    /// Partition → SM crossbar injection.
+    IcntReturn,
+    /// DRAM read-burst completion.
+    Dram,
+}
+
+/// Full description of a fault campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// PRNG seed; identical seeds corrupt identical packets.
+    pub seed: u64,
+    /// Injection probability in parts per million of eligible packets
+    /// (1_000_000 = every packet).
+    pub rate_ppm: u32,
+    /// Cap on total injections (0 = unlimited). `rate_ppm: 1_000_000`
+    /// with `max_faults: 1` corrupts exactly the first eligible packet.
+    pub max_faults: u64,
+    /// The corruption applied.
+    pub kind: FaultKind,
+    /// Where it is applied.
+    pub site: FaultSite,
+    /// Extra latency for [`FaultKind::Delay`], in cycles of the
+    /// afflicted component's clock.
+    pub delay_cycles: u64,
+}
+
+impl FaultConfig {
+    /// A campaign injecting `kind` at `site` on the first eligible
+    /// packet only — the deterministic single-fault setup the integrity
+    /// tests use.
+    pub fn single(kind: FaultKind, site: FaultSite, seed: u64) -> Self {
+        FaultConfig { seed, rate_ppm: 1_000_000, max_faults: 1, kind, site, delay_cycles: 2000 }
+    }
+}
+
+/// Stateful injector owned by the faulted component.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    state: u64,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Build from a campaign description.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self::with_salt(cfg, 0)
+    }
+
+    /// Build with a salt mixed into the seed — used to give replicated
+    /// components (the 12 DRAM channels) distinct but still
+    /// reproducible streams.
+    pub fn with_salt(cfg: FaultConfig, salt: u64) -> Self {
+        FaultInjector {
+            state: cfg.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            injected: 0,
+            cfg,
+        }
+    }
+
+    /// The campaign being run.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Decide whether the current eligible packet at `site` gets the
+    /// fault. Advances the PRNG only for matching sites so unrelated
+    /// traffic does not perturb the stream.
+    pub fn should_inject(&mut self, site: FaultSite) -> Option<FaultKind> {
+        if site != self.cfg.site {
+            return None;
+        }
+        if self.cfg.max_faults > 0 && self.injected >= self.cfg.max_faults {
+            return None;
+        }
+        if self.next_u64() % 1_000_000 < self.cfg.rate_ppm as u64 {
+            self.injected += 1;
+            Some(self.cfg.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Extra latency applied by [`FaultKind::Delay`].
+    pub fn delay_cycles(&self) -> u64 {
+        self.cfg.delay_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_never_injects() {
+        let cfg = FaultConfig {
+            rate_ppm: 0,
+            ..FaultConfig::single(FaultKind::Drop, FaultSite::IcntReturn, 1)
+        };
+        let mut inj = FaultInjector::new(cfg);
+        for _ in 0..10_000 {
+            assert_eq!(inj.should_inject(FaultSite::IcntReturn), None);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn single_fault_fires_once_on_first_eligible_packet() {
+        let mut inj = FaultInjector::new(FaultConfig::single(FaultKind::Drop, FaultSite::Dram, 7));
+        assert_eq!(inj.should_inject(FaultSite::IcntForward), None, "wrong site");
+        assert_eq!(inj.should_inject(FaultSite::Dram), Some(FaultKind::Drop));
+        for _ in 0..100 {
+            assert_eq!(inj.should_inject(FaultSite::Dram), None, "max_faults reached");
+        }
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = FaultConfig {
+            rate_ppm: 50_000,
+            max_faults: 0,
+            ..FaultConfig::single(FaultKind::Delay, FaultSite::IcntForward, 99)
+        };
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        for _ in 0..5_000 {
+            assert_eq!(a.should_inject(FaultSite::IcntForward), b.should_inject(FaultSite::IcntForward));
+        }
+        assert!(a.injected() > 0, "a 5% rate should fire within 5000 draws");
+    }
+
+    #[test]
+    fn salt_decorrelates_replicas() {
+        let cfg = FaultConfig {
+            rate_ppm: 500_000,
+            max_faults: 0,
+            ..FaultConfig::single(FaultKind::Drop, FaultSite::Dram, 42)
+        };
+        let mut a = FaultInjector::with_salt(cfg, 0);
+        let mut b = FaultInjector::with_salt(cfg, 1);
+        let decisions = |inj: &mut FaultInjector| {
+            (0..64).map(|_| inj.should_inject(FaultSite::Dram).is_some()).collect::<Vec<_>>()
+        };
+        assert_ne!(decisions(&mut a), decisions(&mut b));
+    }
+}

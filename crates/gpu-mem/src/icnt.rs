@@ -11,6 +11,7 @@
 //! contention at hot memory partitions, serialization of data-carrying
 //! packets (5 flits) vs control packets (1 flit), and finite buffering.
 
+use crate::fault::{FaultInjector, FaultKind, FaultSite};
 use crate::packet::Packet;
 use crate::stats::IcntStats;
 use std::collections::VecDeque;
@@ -65,6 +66,8 @@ pub struct Interconnect {
     fwd: Vec<Port>,
     /// Return direction: one port per SM.
     ret: Vec<Port>,
+    /// Optional deterministic packet corruption (integrity testing).
+    fault: Option<FaultInjector>,
     stats: IcntStats,
 }
 
@@ -74,9 +77,21 @@ impl Interconnect {
         Interconnect {
             fwd: (0..cfg.num_partitions).map(|_| Port::new()).collect(),
             ret: (0..cfg.num_sms).map(|_| Port::new()).collect(),
+            fault: None,
             stats: IcntStats::default(),
             cfg,
         }
+    }
+
+    /// Attach a fault injector corrupting traffic at its configured
+    /// site ([`FaultSite::IcntForward`] or [`FaultSite::IcntReturn`]).
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// Faults injected so far (0 when no injector is attached).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.injected())
     }
 
     /// Which partition services a byte address: 256-byte chunks are
@@ -85,44 +100,64 @@ impl Interconnect {
         ((addr / 256) % self.cfg.num_partitions as u64) as usize
     }
 
-    fn try_send(port: &mut Port, cfg: &IcntConfig, pkt: Packet, now: u64) -> Option<u64> {
+    fn try_send(port: &mut Port, cfg: &IcntConfig, pkt: Packet, now: u64, extra: u64) -> Option<u64> {
         if port.queue.len() >= cfg.queue_capacity {
             return None;
         }
         let start = port.busy_until.max(now);
         let done = start + pkt.flits().div_ceil(cfg.flits_per_cycle);
         port.busy_until = done;
-        port.queue.push_back((done + cfg.hop_latency, pkt));
+        port.queue.push_back((done + cfg.hop_latency + extra, pkt));
         Some(pkt.flits())
+    }
+
+    /// Accept an already-admitted packet, applying any injected fault.
+    /// Returns the flits serialized (0 when the packet was dropped or a
+    /// misrouted copy found its new port full — both are faults).
+    fn send_faulted(&mut self, forward: bool, dst: usize, pkt: Packet, now: u64) -> u64 {
+        let site = if forward { FaultSite::IcntForward } else { FaultSite::IcntReturn };
+        let (mut dst, mut extra, mut copies) = (dst, 0, 1);
+        match self.fault.as_mut().and_then(|f| f.should_inject(site)) {
+            Some(FaultKind::Drop) => {
+                // The sender saw the packet accepted; it was serialized
+                // but never reaches a queue.
+                return pkt.flits();
+            }
+            Some(FaultKind::Duplicate) => copies = 2,
+            Some(FaultKind::Delay) => extra = self.fault.as_ref().unwrap().delay_cycles(),
+            Some(FaultKind::Misroute) => {
+                let ports = if forward { self.cfg.num_partitions } else { self.cfg.num_sms };
+                dst = (dst + 1) % ports;
+            }
+            None => {}
+        }
+        let port = if forward { &mut self.fwd[dst] } else { &mut self.ret[dst] };
+        let mut flits = 0;
+        for _ in 0..copies {
+            flits += Self::try_send(port, &self.cfg, pkt, now, extra).unwrap_or(0);
+        }
+        flits
     }
 
     /// Inject a packet toward partition `dst`. `false` means the
     /// destination queue is full (sender must retry later).
     pub fn try_send_fwd(&mut self, dst: usize, pkt: Packet, now: u64) -> bool {
-        match Self::try_send(&mut self.fwd[dst], &self.cfg, pkt, now) {
-            Some(flits) => {
-                self.stats.fwd_flits += flits;
-                true
-            }
-            None => {
-                self.stats.rejects += 1;
-                false
-            }
+        if self.fwd[dst].queue.len() >= self.cfg.queue_capacity {
+            self.stats.rejects += 1;
+            return false;
         }
+        self.stats.fwd_flits += self.send_faulted(true, dst, pkt, now).max(pkt.flits());
+        true
     }
 
     /// Inject a packet toward SM `dst` (return direction).
     pub fn try_send_ret(&mut self, dst: usize, pkt: Packet, now: u64) -> bool {
-        match Self::try_send(&mut self.ret[dst], &self.cfg, pkt, now) {
-            Some(flits) => {
-                self.stats.ret_flits += flits;
-                true
-            }
-            None => {
-                self.stats.rejects += 1;
-                false
-            }
+        if self.ret[dst].queue.len() >= self.cfg.queue_capacity {
+            self.stats.rejects += 1;
+            return false;
         }
+        self.stats.ret_flits += self.send_faulted(false, dst, pkt, now).max(pkt.flits());
+        true
     }
 
     fn pop(port: &mut Port, now: u64) -> Option<Packet> {
@@ -146,6 +181,41 @@ impl Interconnect {
     /// Packets still somewhere in the network (either direction).
     pub fn in_flight(&self) -> usize {
         self.fwd.iter().chain(self.ret.iter()).map(|p| p.queue.len()).sum()
+    }
+
+    /// Per-partition forward-queue depths (hang diagnostics).
+    pub fn fwd_queue_depths(&self) -> Vec<usize> {
+        self.fwd.iter().map(|p| p.queue.len()).collect()
+    }
+
+    /// Per-SM return-queue depths (hang diagnostics).
+    pub fn ret_queue_depths(&self) -> Vec<usize> {
+        self.ret.iter().map(|p| p.queue.len()).collect()
+    }
+
+    /// In-flight forward packets that expect a reply — the reply-
+    /// conservation auditor's census of requests still in the network.
+    pub fn fwd_expecting_reply(&self) -> usize {
+        self.fwd
+            .iter()
+            .flat_map(|p| p.queue.iter())
+            .filter(|(_, pkt)| pkt.kind.expects_reply())
+            .count()
+    }
+
+    /// In-flight return-direction packets.
+    pub fn ret_in_flight(&self) -> usize {
+        self.ret.iter().map(|p| p.queue.len()).sum()
+    }
+
+    /// Flits bound up in undelivered packets, `(forward, return)` — the
+    /// flit-conservation auditor compares these against the cumulative
+    /// counters.
+    pub fn in_flight_flits(&self) -> (u64, u64) {
+        let sum = |ports: &[Port]| {
+            ports.iter().flat_map(|p| p.queue.iter()).map(|(_, pkt)| pkt.flits()).sum()
+        };
+        (sum(&self.fwd), sum(&self.ret))
     }
 
     /// Traffic counters.
@@ -255,5 +325,78 @@ mod tests {
         assert_eq!(icnt.in_flight(), 1);
         icnt.pop_fwd(0, 100);
         assert_eq!(icnt.in_flight(), 0);
+    }
+
+    #[test]
+    fn census_accessors_track_queued_packets() {
+        let mut icnt = small();
+        icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0); // expects reply, 1 flit
+        icnt.try_send_fwd(1, pkt(PacketKind::Writeback, 0), 0); // no reply, 5 flits
+        icnt.try_send_ret(1, pkt(PacketKind::ReadReply, 0), 0); // 5 flits
+        assert_eq!(icnt.fwd_expecting_reply(), 1);
+        assert_eq!(icnt.ret_in_flight(), 1);
+        assert_eq!(icnt.fwd_queue_depths(), vec![1, 1]);
+        assert_eq!(icnt.ret_queue_depths(), vec![0, 1]);
+        assert_eq!(icnt.in_flight_flits(), (6, 5));
+    }
+
+    use crate::fault::{FaultConfig, FaultInjector, FaultKind, FaultSite};
+
+    #[test]
+    fn drop_fault_counts_flits_but_delivers_nothing() {
+        let mut icnt = small();
+        icnt.set_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Drop,
+            FaultSite::IcntForward,
+            1,
+        )));
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0), "sender sees success");
+        assert_eq!(icnt.stats().fwd_flits, 1, "flits were serialized");
+        assert_eq!(icnt.in_flight(), 0, "...but the packet vanished");
+        assert_eq!(icnt.faults_injected(), 1);
+        // Subsequent traffic is untouched (max_faults = 1).
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 256), 0));
+        assert_eq!(icnt.in_flight(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let mut icnt = small();
+        icnt.set_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Duplicate,
+            FaultSite::IcntReturn,
+            1,
+        )));
+        assert!(icnt.try_send_ret(0, pkt(PacketKind::ReadReply, 0), 0));
+        assert_eq!(icnt.ret_in_flight(), 2);
+        assert!(icnt.pop_ret(0, 1000).is_some());
+        assert!(icnt.pop_ret(0, 1000).is_some());
+    }
+
+    #[test]
+    fn delay_fault_postpones_delivery() {
+        let mut icnt = small();
+        let cfg = FaultConfig {
+            delay_cycles: 100,
+            ..FaultConfig::single(FaultKind::Delay, FaultSite::IcntForward, 1)
+        };
+        icnt.set_fault_injector(FaultInjector::new(cfg));
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 10));
+        // Nominal arrival would be 15 (1-flit serialization + 4 hop).
+        assert!(icnt.pop_fwd(0, 114).is_none());
+        assert!(icnt.pop_fwd(0, 115).is_some());
+    }
+
+    #[test]
+    fn misroute_fault_diverts_to_neighbouring_port() {
+        let mut icnt = small();
+        icnt.set_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Misroute,
+            FaultSite::IcntForward,
+            1,
+        )));
+        assert!(icnt.try_send_fwd(0, pkt(PacketKind::ReadReq, 0), 0));
+        assert!(icnt.pop_fwd(0, 1000).is_none(), "intended port never sees it");
+        assert!(icnt.pop_fwd(1, 1000).is_some(), "neighbour does");
     }
 }

@@ -21,6 +21,7 @@
 //! store misses fetch-and-allocate, and dirty victims generate
 //! `Writeback` packets — the L1D eviction traffic of Figure 11b.
 
+use crate::error::MemError;
 use crate::mshr::{Mshr, MshrLookup};
 use crate::observer::AccessObserver;
 use crate::packet::{MemReq, MemResp, Packet, PacketKind};
@@ -177,15 +178,15 @@ impl L1dCache {
         }
     }
 
-    /// A reply arrived from the interconnect.
-    pub fn on_reply(&mut self, pkt: Packet, cycle: u64) {
+    /// A reply arrived from the interconnect. Fails with a typed error
+    /// (instead of panicking) when the reply matches no outstanding
+    /// fetch — the symptom of a duplicated or misrouted packet.
+    pub fn on_reply(&mut self, pkt: Packet, cycle: u64) -> Result<(), MemError> {
         let line = self.cfg.geom.line_addr(pkt.addr);
         match pkt.kind {
             PacketKind::ReadReply => {
-                let entry = self
-                    .mshr
-                    .complete(line)
-                    .expect("fill reply must match an outstanding MSHR entry");
+                let entry =
+                    self.mshr.complete(line).ok_or(MemError::MshrMissingFill { line })?;
                 if let Some((set, way)) = entry.target {
                     let dirty = entry.reqs.iter().any(|r| r.is_write);
                     self.tags.fill(set, way, dirty);
@@ -196,12 +197,14 @@ impl L1dCache {
                 for req in entry.reqs {
                     self.schedule_resp(req, cycle + 1);
                 }
+                Ok(())
             }
             PacketKind::BypassReadReply => {
                 // Reply to a bypassed load: route straight to the requester.
                 self.schedule_resp(pkt.req, cycle + 1);
+                Ok(())
             }
-            other => panic!("L1D received unexpected packet kind {other:?}"),
+            other => Err(MemError::UnexpectedPacket { kind: other }),
         }
     }
 
@@ -244,6 +247,31 @@ impl L1dCache {
     /// Outstanding MSHR entries (diagnostics).
     pub fn mshr_occupancy(&self) -> usize {
         self.mshr.occupancy()
+    }
+
+    /// Packets queued toward the interconnect (diagnostics).
+    pub fn outgoing_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Responses ripening or ready for the core (diagnostics).
+    pub fn pending_responses(&self) -> usize {
+        self.pending.len() + self.responses.len()
+    }
+
+    /// Structural self-check for the runtime invariant auditor: MSHR
+    /// integrity, miss-queue bound, and the replacement scheme's own
+    /// invariants (for DLP: protected-life counters within the PD cap).
+    pub fn audit(&self) -> Result<(), String> {
+        self.mshr.audit()?;
+        if self.outgoing.len() > self.cfg.miss_queue {
+            return Err(format!(
+                "miss queue holds {} packets but capacity is {}",
+                self.outgoing.len(),
+                self.cfg.miss_queue
+            ));
+        }
+        self.policy.audit()
     }
 
     /// Nothing in flight anywhere in this cache: no stalled access, no
@@ -471,7 +499,7 @@ mod tests {
                 PacketKind::BypassReadReq => PacketKind::BypassReadReply,
                 _ => continue,
             };
-            c.on_reply(Packet { kind: reply, ..pkt }, cycle);
+            c.on_reply(Packet { kind: reply, ..pkt }, cycle).unwrap();
             served += 1;
         }
         served
@@ -511,7 +539,8 @@ mod tests {
         c.on_reply(
             Packet { kind: PacketKind::ReadReply, addr: 0x2000, req: load(1, 0x2000, 4) },
             5,
-        );
+        )
+        .unwrap();
         let resps = run(&mut c, 6, 3);
         assert_eq!(resps.len(), 2);
     }
@@ -695,6 +724,24 @@ mod tests {
         assert_eq!(c.stats().accesses, 2);
         // Two accesses -> the policy saw exactly two queries too.
         assert_eq!(c.policy_stats().queries, 2);
+    }
+
+    #[test]
+    fn orphan_or_malformed_replies_yield_typed_errors() {
+        let mut c = cache(PolicyKind::Baseline);
+        // A fill with no matching MSHR entry (e.g. a duplicated packet).
+        let err = c
+            .on_reply(Packet { kind: PacketKind::ReadReply, addr: 0x7000, req: load(1, 0x7000, 4) }, 3)
+            .unwrap_err();
+        assert_eq!(err, MemError::MshrMissingFill { line: 0x7000 >> 7 });
+        // A packet kind the L1D can never consume.
+        let err = c
+            .on_reply(Packet { kind: PacketKind::Writeback, addr: 0x7000, req: load(1, 0x7000, 4) }, 4)
+            .unwrap_err();
+        assert_eq!(err, MemError::UnexpectedPacket { kind: PacketKind::Writeback });
+        // Neither corrupted the cache: a normal access still works.
+        assert!(c.submit(load(2, 0x8000, 4), 5));
+        assert_eq!(c.audit(), Ok(()));
     }
 
     #[test]

@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 
 pub mod dram;
+pub mod error;
+pub mod fault;
 pub mod icnt;
 pub mod l1d;
 pub mod mshr;
@@ -39,6 +41,8 @@ pub mod stats;
 pub mod tag_array;
 
 pub use dlp_core::{CacheGeometry, PolicyKind};
+pub use error::MemError;
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultSite};
 pub use icnt::Interconnect;
 pub use l1d::{L1dCache, L1dConfig};
 pub use observer::AccessObserver;

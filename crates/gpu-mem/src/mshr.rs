@@ -102,6 +102,37 @@ impl Mshr {
     pub fn complete(&mut self, line_addr: u64) -> Option<MshrEntry> {
         self.entries.remove(&line_addr)
     }
+
+    /// Total requests (original + merged) waiting across all entries.
+    pub fn outstanding_requests(&self) -> usize {
+        self.entries.values().map(|e| e.reqs.len()).sum()
+    }
+
+    /// Structural self-check for the runtime invariant auditor:
+    /// occupancy within capacity, every entry non-empty and within its
+    /// merge limit.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.entries.len() > self.max_entries {
+            return Err(format!(
+                "MSHR holds {} entries but capacity is {}",
+                self.entries.len(),
+                self.max_entries
+            ));
+        }
+        for (line, e) in &self.entries {
+            if e.reqs.is_empty() {
+                return Err(format!("MSHR entry for line {line:#x} has no waiting requests"));
+            }
+            if e.reqs.len() > self.max_merge {
+                return Err(format!(
+                    "MSHR entry for line {line:#x} holds {} requests, merge limit is {}",
+                    e.reqs.len(),
+                    self.max_merge
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +189,16 @@ mod tests {
         }
         assert_eq!(m.peak_occupancy(), 5);
         assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn audit_accepts_well_formed_state() {
+        let mut m = Mshr::new(4, 2);
+        m.allocate(1, Some((0, 0)), req(0));
+        m.merge(1, req(1));
+        m.allocate(2, None, req(2));
+        assert_eq!(m.audit(), Ok(()));
+        assert_eq!(m.outstanding_requests(), 3);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! the 924 MHz command clock via a fractional accumulator.
 
 use crate::dram::{Dram, DramCmd, DramConfig};
+use crate::error::MemError;
+use crate::fault::FaultInjector;
 use crate::packet::{Packet, PacketKind};
 use crate::stats::CacheStats;
 use crate::tag_array::{Lookup, TagArray};
@@ -154,6 +156,79 @@ impl MemoryPartition {
         self.dram.stats()
     }
 
+    /// Attach a fault injector to this partition's DRAM channel
+    /// ([`crate::fault::FaultSite::Dram`]).
+    pub fn set_dram_fault_injector(&mut self, inj: FaultInjector) {
+        self.dram.set_fault_injector(inj);
+    }
+
+    /// Packets waiting in the input queue (hang diagnostics).
+    pub fn in_queue_len(&self) -> usize {
+        self.in_queue.len()
+    }
+
+    /// Outstanding L2 MSHR entries (hang diagnostics).
+    pub fn l2_mshr_occupancy(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Replies ready for the interconnect (hang diagnostics).
+    pub fn out_queue_len(&self) -> usize {
+        self.out_queue.len()
+    }
+
+    /// Is the DRAM channel idle (hang diagnostics)?
+    pub fn dram_idle(&self) -> bool {
+        self.dram.idle()
+    }
+
+    /// Reply-expecting packets this partition currently holds, in any
+    /// stage: input queue, L2 MSHR merge lists, ripening replies, or
+    /// the output queue. The reply-conservation auditor sums this
+    /// census across partitions.
+    pub fn held_reply_packets(&self) -> usize {
+        self.in_queue.iter().filter(|p| p.kind.expects_reply()).count()
+            + self
+                .mshr
+                .values()
+                .flat_map(|e| e.pkts.iter())
+                .filter(|p| p.kind.expects_reply())
+                .count()
+            + self.pending.len()
+            + self.out_queue.len()
+    }
+
+    /// Structural self-check for the runtime invariant auditor.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.mshr.len() > self.cfg.l2_mshr_entries {
+            return Err(format!(
+                "L2 MSHR holds {} entries but capacity is {}",
+                self.mshr.len(),
+                self.cfg.l2_mshr_entries
+            ));
+        }
+        for (line, e) in &self.mshr {
+            if e.pkts.is_empty() {
+                return Err(format!("L2 MSHR entry for line {line:#x} has no waiting packets"));
+            }
+            if e.pkts.len() > self.cfg.l2_mshr_merge {
+                return Err(format!(
+                    "L2 MSHR entry for line {line:#x} holds {} packets, merge limit is {}",
+                    e.pkts.len(),
+                    self.cfg.l2_mshr_merge
+                ));
+            }
+        }
+        if self.in_queue.len() > self.cfg.input_queue {
+            return Err(format!(
+                "partition input queue holds {} packets but capacity is {}",
+                self.in_queue.len(),
+                self.cfg.input_queue
+            ));
+        }
+        Ok(())
+    }
+
     fn schedule_reply(&mut self, pkt: Packet, ready: u64) {
         self.seq += 1;
         self.pending.push(Reverse(PendingReply { ready, seq: self.seq, pkt }));
@@ -167,8 +242,10 @@ impl MemoryPartition {
         }
     }
 
-    /// Advance one interconnect cycle.
-    pub fn cycle(&mut self, now: u64) {
+    /// Advance one interconnect cycle. Fails with a typed error when a
+    /// DRAM completion matches no outstanding L2 fetch — the symptom of
+    /// a duplicated or address-corrupted command.
+    pub fn cycle(&mut self, now: u64) -> Result<(), MemError> {
         // 1. DRAM advances at its own clock.
         self.dram_acc += self.cfg.dram_clock_khz;
         while self.dram_acc >= self.cfg.icnt_clock_khz {
@@ -183,10 +260,8 @@ impl MemoryPartition {
                 continue;
             }
             let line = self.cfg.l2_geom.line_addr(cmd.addr);
-            let entry = self
-                .mshr
-                .remove(&line)
-                .expect("DRAM read completion without matching L2 MSHR entry");
+            let entry =
+                self.mshr.remove(&line).ok_or(MemError::L2MshrMissingFill { line })?;
             let dirty = entry
                 .pkts
                 .iter()
@@ -218,6 +293,7 @@ impl MemoryPartition {
                 self.in_queue.pop_front();
             }
         }
+        Ok(())
     }
 
     /// Returns true if the packet was fully handled.
@@ -336,7 +412,7 @@ mod tests {
 
     fn run_until_reply(p: &mut MemoryPartition, start: u64, max: u64) -> (u64, Packet) {
         for now in start..start + max {
-            p.cycle(now);
+            p.cycle(now).unwrap();
             if let Some(r) = p.pop_reply() {
                 return (now, r);
             }
@@ -382,11 +458,11 @@ mod tests {
     fn concurrent_reads_to_same_line_merge() {
         let mut p = part();
         p.enqueue(read_pkt(PacketKind::ReadReq, 0x4000, 1));
-        p.cycle(0); // processes first -> MSHR allocated
+        p.cycle(0).unwrap(); // processes first -> MSHR allocated
         p.enqueue(read_pkt(PacketKind::BypassReadReq, 0x4000, 2));
         let mut replies = Vec::new();
         for now in 1..500 {
-            p.cycle(now);
+            p.cycle(now).unwrap();
             while let Some(r) = p.pop_reply() {
                 replies.push(r);
             }
@@ -414,7 +490,7 @@ mod tests {
             req: MemReq { id: 0, addr: 0, is_write: true, pc: 0, sm: 0, warp: 0, dst_reg: 0, born: 0 },
         };
         p.enqueue(wb);
-        p.cycle(0);
+        p.cycle(0).unwrap();
         assert_eq!(p.dram_stats().reads + p.dram_stats().writes, 0);
         assert_eq!(p.l2_stats().misses_allocated, 1);
 
@@ -423,18 +499,45 @@ mod tests {
         let mut now = 1;
         for i in 1..=8u64 {
             while !p.can_accept() {
-                p.cycle(now);
+                p.cycle(now).unwrap();
                 now += 1;
             }
             p.enqueue(read_pkt(PacketKind::ReadReq, i * stride, i));
             for _ in 0..200 {
-                p.cycle(now);
+                p.cycle(now).unwrap();
                 now += 1;
                 p.pop_reply();
             }
         }
         assert!(p.l2_stats().evictions >= 1);
         assert_eq!(p.dram_stats().writes, 1, "the dirty victim was written back");
+    }
+
+    #[test]
+    fn duplicated_dram_completion_yields_typed_error() {
+        use crate::fault::{FaultConfig, FaultKind, FaultSite};
+        let mut p = part();
+        p.set_dram_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Duplicate,
+            FaultSite::Dram,
+            3,
+        )));
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x8000, 1));
+        let err = (0..500)
+            .find_map(|now| p.cycle(now).err())
+            .expect("the duplicated completion must surface as an error");
+        assert_eq!(err, MemError::L2MshrMissingFill { line: 0x8000 >> 7 });
+    }
+
+    #[test]
+    fn audit_accepts_busy_partition() {
+        let mut p = part();
+        p.enqueue(read_pkt(PacketKind::ReadReq, 0x8000, 1));
+        for now in 0..50 {
+            p.cycle(now).unwrap();
+            assert_eq!(p.audit(), Ok(()));
+        }
+        assert!(p.held_reply_packets() > 0, "the fetch is still in flight somewhere");
     }
 
     #[test]

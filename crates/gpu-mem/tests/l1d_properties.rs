@@ -49,7 +49,7 @@ impl ScriptedMemory {
         let mut rest = VecDeque::new();
         while let Some((ready, pkt)) = self.in_flight.pop_front() {
             if ready <= now {
-                l1.on_reply(pkt, now);
+                l1.on_reply(pkt, now).unwrap();
             } else {
                 rest.push_back((ready, pkt));
             }

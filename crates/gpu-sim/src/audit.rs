@@ -1,0 +1,100 @@
+//! Runtime invariant auditor: conservation laws checked mid-run.
+//!
+//! The clock loop keeps a small set of flow counters
+//! ([`FlowCounters`]); every `audit_interval` cycles the auditor
+//! compares them against a census of the machine's queues. Three
+//! families of checks run:
+//!
+//! 1. **Reply conservation** — every reply-expecting packet injected
+//!    into the crossbar is either delivered back, or accounted for in
+//!    exactly one place (a crossbar queue, a partition stage, or an L2
+//!    MSHR merge list). A dropped or duplicated packet breaks the
+//!    equality within one audit period.
+//! 2. **Flit conservation** — cumulative flits injected per direction
+//!    equal flits delivered plus flits bound up in undelivered packets.
+//! 3. **Structural audits** — each component checks its own bounds
+//!    (MSHR occupancy and merge limits, DLP's PL ≤ PD cap, VTA reach),
+//!    via the `audit()` methods on caches, partitions and policies.
+//!
+//! The checks are census-based (they never mutate state), so a passing
+//! audit is free of side effects and a failing one pinpoints which law
+//! broke and by how much.
+
+/// Cumulative flow counters maintained by the clock loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowCounters {
+    /// Reply-expecting packets accepted into the forward crossbar.
+    pub fetches_sent: u64,
+    /// Reply packets handed to an L1D.
+    pub replies_delivered: u64,
+    /// Flits of packets delivered out of the forward direction.
+    pub fwd_flits_delivered: u64,
+    /// Flits of packets delivered out of the return direction.
+    pub ret_flits_delivered: u64,
+}
+
+/// Reply conservation: `sent = delivered + in-network + in-partition`.
+/// `held` must census every reply-expecting packet between the two
+/// counters exactly once.
+pub(crate) fn check_reply_conservation(
+    sent: u64,
+    delivered: u64,
+    in_network: usize,
+    in_partitions: usize,
+) -> Result<(), String> {
+    let held = in_network as u64 + in_partitions as u64;
+    if sent != delivered + held {
+        return Err(format!(
+            "{sent} reply-expecting packets sent, but {delivered} delivered + {held} held \
+             ({in_network} in crossbar, {in_partitions} in partitions) = {}",
+            delivered + held
+        ));
+    }
+    Ok(())
+}
+
+/// Flit conservation for one direction: cumulative injected flits equal
+/// delivered flits plus flits still queued.
+pub(crate) fn check_flit_conservation(
+    direction: &str,
+    injected: u64,
+    delivered: u64,
+    in_flight: u64,
+) -> Result<(), String> {
+    if injected != delivered + in_flight {
+        return Err(format!(
+            "{direction}: {injected} flits injected, but {delivered} delivered + {in_flight} in flight = {}",
+            delivered + in_flight
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_flows_pass() {
+        assert_eq!(check_reply_conservation(10, 7, 2, 1), Ok(()));
+        assert_eq!(check_flit_conservation("fwd", 100, 90, 10), Ok(()));
+    }
+
+    #[test]
+    fn a_dropped_packet_breaks_reply_conservation() {
+        // 10 sent, 7 delivered, but only 2 found anywhere: one vanished.
+        let err = check_reply_conservation(10, 7, 2, 0).unwrap_err();
+        assert!(err.contains("10 reply-expecting packets sent"), "{err}");
+    }
+
+    #[test]
+    fn a_duplicated_packet_breaks_reply_conservation() {
+        // 10 sent but 11 accounted for: one exists twice.
+        assert!(check_reply_conservation(10, 8, 2, 1).is_err());
+    }
+
+    #[test]
+    fn missing_flits_break_flit_conservation() {
+        assert!(check_flit_conservation("ret", 100, 90, 5).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration — Table 1 of the paper, transcribed.
 
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
+use gpu_mem::fault::FaultConfig;
 use gpu_mem::icnt::IcntConfig;
 use gpu_mem::l1d::L1dConfig;
 use gpu_mem::partition::PartitionConfig;
@@ -39,6 +40,18 @@ pub struct SimConfig {
     pub sample_insn_cap: u64,
     /// Safety valve: abort the run after this many core cycles.
     pub max_cycles: u64,
+    /// Forward-progress watchdog: abort with a hang report when no
+    /// instruction retires and no memory reply arrives for this many
+    /// consecutive cycles. 0 disables the watchdog.
+    pub watchdog_cycles: u64,
+    /// Run the invariant auditor every this many cycles (0 = off).
+    /// Building `gpu-sim` with the `audit` cargo feature turns it on by
+    /// default; any build can enable it per run by setting this field.
+    pub audit_interval: u64,
+    /// Deterministic fault injection into the memory system — used by
+    /// the integrity tests to prove the watchdog and auditor catch
+    /// corruption. `None` (the default) simulates faithfully.
+    pub fault: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -59,6 +72,12 @@ impl SimConfig {
             ldst_queue: 64,
             sample_insn_cap: 4096,
             max_cycles: 30_000_000,
+            // Generous: the deepest legitimate stall (a full DRAM bank
+            // queue behind a row-miss storm) resolves within hundreds
+            // of cycles, so 50k quiet cycles means a real deadlock.
+            watchdog_cycles: 50_000,
+            audit_interval: if cfg!(feature = "audit") { 4096 } else { 0 },
+            fault: None,
         }
     }
 

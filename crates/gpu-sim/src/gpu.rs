@@ -11,10 +11,13 @@
 //! 5. injects partition replies back into the crossbar,
 //! 6. delivers arrived replies to the owning SM's L1D.
 
+use crate::audit::{check_flit_conservation, check_reply_conservation, FlowCounters};
 use crate::config::SimConfig;
+use crate::error::{HangReport, PartitionSnapshot, SimError, SmSnapshot};
 use crate::kernel::Kernel;
 use crate::sm::Sm;
 use crate::stats::RunStats;
+use gpu_mem::fault::{FaultInjector, FaultSite};
 use gpu_mem::icnt::Interconnect;
 use gpu_mem::observer::AccessObserver;
 use gpu_mem::partition::MemoryPartition;
@@ -30,6 +33,11 @@ pub struct Gpu {
     pending_ctas: VecDeque<usize>,
     launch_cursor: usize,
     now: u64,
+    counters: FlowCounters,
+    /// Progress metric (insns issued + replies delivered) at the last
+    /// cycle it changed, and that cycle — the watchdog's state.
+    last_progress: u64,
+    last_progress_cycle: u64,
 }
 
 impl Gpu {
@@ -43,14 +51,32 @@ impl Gpu {
             grid.warps_per_cta,
             slots
         );
+        let mut icnt = Interconnect::new(cfg.icnt);
+        let mut parts: Vec<MemoryPartition> =
+            (0..cfg.icnt.num_partitions).map(|_| MemoryPartition::new(cfg.partition)).collect();
+        if let Some(f) = cfg.fault {
+            match f.site {
+                FaultSite::IcntForward | FaultSite::IcntReturn => {
+                    icnt.set_fault_injector(FaultInjector::new(f));
+                }
+                FaultSite::Dram => {
+                    for (i, p) in parts.iter_mut().enumerate() {
+                        p.set_dram_fault_injector(FaultInjector::with_salt(f, i as u64));
+                    }
+                }
+            }
+        }
         Gpu {
             sms: (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect(),
-            icnt: Interconnect::new(cfg.icnt),
-            parts: (0..cfg.icnt.num_partitions).map(|_| MemoryPartition::new(cfg.partition)).collect(),
+            icnt,
+            parts,
             kernel,
             pending_ctas: (0..grid.num_ctas).collect(),
             launch_cursor: 0,
             now: 0,
+            counters: FlowCounters::default(),
+            last_progress: 0,
+            last_progress_cycle: 0,
             cfg,
         }
     }
@@ -96,7 +122,7 @@ impl Gpu {
     }
 
     /// One core/interconnect cycle.
-    fn step(&mut self) {
+    fn step(&mut self) -> Result<(), SimError> {
         self.now += 1;
         let now = self.now;
 
@@ -112,8 +138,12 @@ impl Gpu {
         for sm in &mut self.sms {
             while let Some(pkt) = sm.l1d.peek_outgoing() {
                 let dst = self.icnt.partition_of(pkt.addr);
+                let expects_reply = pkt.kind.expects_reply();
                 if self.icnt.try_send_fwd(dst, *pkt, now) {
                     sm.l1d.pop_outgoing();
+                    if expects_reply {
+                        self.counters.fetches_sent += 1;
+                    }
                 } else {
                     break;
                 }
@@ -124,11 +154,29 @@ impl Gpu {
         for (p, part) in self.parts.iter_mut().enumerate() {
             while part.can_accept() {
                 match self.icnt.pop_fwd(p, now) {
-                    Some(pkt) => part.enqueue(pkt),
+                    Some(pkt) => {
+                        // Misrouting is cheap to detect and always fatal:
+                        // the wrong partition would service the address.
+                        let expected = self.icnt.partition_of(pkt.addr);
+                        if expected != p {
+                            return Err(SimError::PacketMisrouted {
+                                port: p,
+                                expected,
+                                addr: pkt.addr,
+                                cycle: now,
+                            });
+                        }
+                        self.counters.fwd_flits_delivered += pkt.flits();
+                        part.enqueue(pkt);
+                    }
                     None => break,
                 }
             }
-            part.cycle(now);
+            part.cycle(now).map_err(|source| SimError::PartitionFault {
+                partition: p,
+                source,
+                cycle: now,
+            })?;
             // Partition replies -> crossbar (return direction).
             while let Some(pkt) = part.pop_reply() {
                 let dst = pkt.req.sm as usize;
@@ -142,8 +190,117 @@ impl Gpu {
         // Crossbar -> L1Ds.
         for (s, sm) in self.sms.iter_mut().enumerate() {
             while let Some(pkt) = self.icnt.pop_ret(s, now) {
-                sm.l1d.on_reply(pkt, now);
+                self.counters.ret_flits_delivered += pkt.flits();
+                self.counters.replies_delivered += 1;
+                sm.l1d
+                    .on_reply(pkt, now)
+                    .map_err(|source| SimError::MshrViolation { sm: s, source, cycle: now })?;
             }
+        }
+
+        // Forward-progress watchdog.
+        let metric = self.counters.replies_delivered
+            + self.sms.iter().map(|sm| sm.stats().warp_insns).sum::<u64>();
+        if metric != self.last_progress {
+            self.last_progress = metric;
+            self.last_progress_cycle = now;
+        } else if self.cfg.watchdog_cycles > 0
+            && now - self.last_progress_cycle >= self.cfg.watchdog_cycles
+            && !self.finished()
+        {
+            return Err(SimError::Hang(Box::new(self.hang_report())));
+        }
+
+        // Periodic invariant audit.
+        if self.cfg.audit_interval > 0 && now % self.cfg.audit_interval == 0 {
+            self.run_audit()?;
+        }
+        Ok(())
+    }
+
+    /// Run every conservation and structural check once, at the current
+    /// cycle. Exposed so tests can audit at a chosen instant.
+    pub fn run_audit(&self) -> Result<(), SimError> {
+        let now = self.now;
+        let fail = |check: &'static str, detail: String| SimError::InvariantViolation {
+            check,
+            detail,
+            cycle: now,
+        };
+
+        let in_partitions: usize = self.parts.iter().map(|p| p.held_reply_packets()).sum();
+        let in_network = self.icnt.fwd_expecting_reply() + self.icnt.ret_in_flight();
+        check_reply_conservation(
+            self.counters.fetches_sent,
+            self.counters.replies_delivered,
+            in_network,
+            in_partitions,
+        )
+        .map_err(|d| fail("reply conservation", d))?;
+
+        let (fwd_in_flight, ret_in_flight) = self.icnt.in_flight_flits();
+        let stats = self.icnt.stats();
+        check_flit_conservation(
+            "forward",
+            stats.fwd_flits,
+            self.counters.fwd_flits_delivered,
+            fwd_in_flight,
+        )
+        .map_err(|d| fail("flit conservation", d))?;
+        check_flit_conservation(
+            "return",
+            stats.ret_flits,
+            self.counters.ret_flits_delivered,
+            ret_in_flight,
+        )
+        .map_err(|d| fail("flit conservation", d))?;
+
+        for (s, sm) in self.sms.iter().enumerate() {
+            sm.l1d.audit().map_err(|d| fail("L1D structural audit", format!("SM {s}: {d}")))?;
+        }
+        for (p, part) in self.parts.iter().enumerate() {
+            part.audit()
+                .map_err(|d| fail("partition structural audit", format!("partition {p}: {d}")))?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the whole machine for a failure diagnostic.
+    pub fn hang_report(&self) -> HangReport {
+        HangReport {
+            cycle: self.now,
+            last_progress_cycle: self.last_progress_cycle,
+            pending_ctas: self.pending_ctas.len(),
+            fetches_sent: self.counters.fetches_sent,
+            replies_delivered: self.counters.replies_delivered,
+            icnt_in_flight: self.icnt.in_flight(),
+            icnt_fwd_depths: self.icnt.fwd_queue_depths(),
+            icnt_ret_depths: self.icnt.ret_queue_depths(),
+            sms: self
+                .sms
+                .iter()
+                .map(|sm| SmSnapshot {
+                    id: sm.id,
+                    active_warps: sm.active_warps(),
+                    warp_insns: sm.stats().warp_insns,
+                    ldst_queue: sm.ldst_queue_len(),
+                    mshr_occupancy: sm.l1d.mshr_occupancy(),
+                    outgoing: sm.l1d.outgoing_len(),
+                    input_blocked: sm.l1d.input_blocked(),
+                })
+                .collect(),
+            partitions: self
+                .parts
+                .iter()
+                .enumerate()
+                .map(|(id, p)| PartitionSnapshot {
+                    id,
+                    in_queue: p.in_queue_len(),
+                    l2_mshr: p.l2_mshr_occupancy(),
+                    out_queue: p.out_queue_len(),
+                    dram_idle: p.dram_idle(),
+                })
+                .collect(),
         }
     }
 
@@ -154,22 +311,28 @@ impl Gpu {
             && self.parts.iter().all(MemoryPartition::idle)
     }
 
-    /// Run to completion (or the cycle cap) and report.
-    pub fn run(&mut self) -> RunStats {
-        while !self.finished() && self.now < self.cfg.max_cycles {
-            self.step();
+    /// Run to completion and report, or abort with a typed error: a
+    /// hang report from the watchdog, a cycle-cap overrun, or the first
+    /// invariant violation found.
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        while !self.finished() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleCapExceeded(Box::new(self.hang_report())));
+            }
+            self.step()?;
         }
-        self.collect(self.finished())
+        Ok(self.collect(true))
     }
 
     /// Run at most `cycles` more cycles (incremental driving for tests
-    /// and interactive exploration).
-    pub fn run_for(&mut self, cycles: u64) -> RunStats {
+    /// and interactive exploration). Unlike [`Gpu::run`], reaching the
+    /// requested horizon is success, not an error.
+    pub fn run_for(&mut self, cycles: u64) -> Result<RunStats, SimError> {
         let end = self.now + cycles;
         while !self.finished() && self.now < end {
-            self.step();
+            self.step()?;
         }
-        self.collect(self.finished())
+        Ok(self.collect(self.finished()))
     }
 
     fn collect(&self, completed: bool) -> RunStats {
@@ -235,7 +398,7 @@ mod tests {
         for kind in PolicyKind::ALL {
             let cfg = SimConfig::tesla_m2090(kind).scaled_down(2);
             let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 4, warps: 2, iters: 3 }));
-            let stats = gpu.run();
+            let stats = gpu.run().unwrap();
             assert!(stats.completed, "{kind:?} did not complete");
             assert_eq!(stats.warp_insns, 4 * 2 * 3 * 3, "{kind:?} wrong insn count");
             assert_eq!(stats.l1d.accesses, stats.mem_transactions);
@@ -249,8 +412,8 @@ mod tests {
             let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
             Gpu::new(cfg, Box::new(Stream { ctas: 6, warps: 3, iters: 4 }))
         };
-        let a = mk().run();
-        let b = mk().run();
+        let a = mk().run().unwrap();
+        let b = mk().run().unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l1d, b.l1d);
         assert_eq!(a.icnt, b.icnt);
@@ -260,7 +423,7 @@ mod tests {
     fn memory_bound_kernel_touches_dram() {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
         let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 2, warps: 2, iters: 4 }));
-        let stats = gpu.run();
+        let stats = gpu.run().unwrap();
         assert!(stats.dram.reads > 0);
         assert!(stats.icnt.total_flits() > 0);
         assert!(stats.l2.accesses > 0);
@@ -271,7 +434,7 @@ mod tests {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
         // 1 SM × 48 slots, 8-warp CTAs -> 6 resident; 20 CTAs queue up.
         let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 20, warps: 8, iters: 2 }));
-        let stats = gpu.run();
+        let stats = gpu.run().unwrap();
         assert!(stats.completed);
         assert_eq!(stats.warp_insns, 20 * 8 * 2 * 3);
     }
@@ -282,7 +445,7 @@ mod tests {
         // resident per SM; the kernel still completes.
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1).with_warp_limit(2);
         let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 6, warps: 2, iters: 2 }));
-        let stats = gpu.run();
+        let stats = gpu.run().unwrap();
         assert!(stats.completed);
         assert_eq!(stats.warp_insns, 6 * 2 * 2 * 3);
         // Throttled runs serialize CTAs, so they take longer than the
@@ -291,7 +454,8 @@ mod tests {
             SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1),
             Box::new(Stream { ctas: 6, warps: 2, iters: 2 }),
         )
-        .run();
+        .run()
+        .unwrap();
         assert!(stats.cycles > full.cycles);
     }
 
@@ -315,7 +479,7 @@ mod tests {
             }
         }
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);
-        let stats = Gpu::new(cfg, Box::new(Reuse)).run();
+        let stats = Gpu::new(cfg, Box::new(Reuse)).run().unwrap();
         assert_eq!(stats.l1d.accesses, 64);
         assert_eq!(stats.l1d.hits, 62, "all but the two compulsory misses hit");
     }

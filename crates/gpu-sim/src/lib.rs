@@ -36,16 +36,23 @@
 //! }
 //!
 //! let mut gpu = Gpu::new(SimConfig::tesla_m2090(PolicyKind::Dlp), Box::new(Tiny));
-//! let stats = gpu.run();
+//! let stats = gpu.run().expect("simulation is fault-free");
 //! assert!(stats.completed);
 //! assert!(stats.ipc() > 0.0);
 //! ```
+//!
+//! [`Gpu::run`] returns `Result<RunStats, SimError>`: a forward-progress
+//! watchdog and (optionally) a periodic invariant auditor convert
+//! simulator hangs and conservation-law violations into typed errors
+//! carrying a [`HangReport`] snapshot of the stuck machine.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod coalescer;
 pub mod config;
+pub mod error;
 pub mod gpu;
 pub mod isa;
 pub mod kernel;
@@ -55,6 +62,7 @@ pub mod stats;
 pub mod warp;
 
 pub use config::SimConfig;
+pub use error::{HangReport, SimError};
 pub use gpu::Gpu;
 pub use kernel::{GridDesc, Kernel};
 pub use stats::RunStats;

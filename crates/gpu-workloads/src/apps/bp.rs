@@ -56,7 +56,7 @@ impl Kernel for Bp {
         let mut ops = Vec::new();
         let mut apc = 64;
         let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp as u64);
+        desync(&mut ops, &mut apc, gwarp);
         for i in 0..self.iters as u64 {
             // Stream a fresh weight row segment...
             let rb = 1 + ((i % 2) as u8) * 8;

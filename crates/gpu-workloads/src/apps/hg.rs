@@ -54,7 +54,7 @@ impl Kernel for Hg {
         let mut ops = Vec::new();
         let mut apc = 64; // ALU pcs live above the memory-pc space
         let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp as u64);
+        desync(&mut ops, &mut apc, gwarp);
         for i in 0..self.iters {
             // Rotate registers so consecutive batches overlap in flight.
             let r = 1 + ((i % 2) as u8) * 8;

@@ -47,7 +47,7 @@ impl Kernel for Sc {
         let mut ops = Vec::new();
         let mut apc = 64;
         let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp as u64);
+        desync(&mut ops, &mut apc, gwarp);
         let row = gwarp % 512;
         let seg0 = gwarp / 512;
         for i in 0..self.iters as u64 {

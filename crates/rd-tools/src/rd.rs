@@ -28,10 +28,7 @@ impl SetRdTracker {
             self.counts[set] += 1;
             self.counts[set]
         };
-        match self.last[set].insert(line, idx) {
-            Some(prev) => Some(idx - prev),
-            None => None,
-        }
+        self.last[set].insert(line, idx).map(|prev| idx - prev)
     }
 
     /// Accesses seen in `set` so far.

@@ -116,7 +116,7 @@ fn run_stream(policy: Box<dyn ReplacementPolicy>, addrs: &[u64]) -> (f64, u64) {
                 PacketKind::BypassReadReq => PacketKind::BypassReadReply,
                 _ => continue,
             };
-            l1.on_reply(Packet { kind: reply, ..pkt }, cycle);
+            l1.on_reply(Packet { kind: reply, ..pkt }, cycle).unwrap();
         }
     }
     (l1.stats().hit_rate(), l1.stats().bypassed_loads)

@@ -14,7 +14,7 @@ fn run(app: &str, scale: Scale, protection: Option<ProtectionConfig>) -> (f64, f
     let mut cfg = SimConfig::tesla_m2090(PolicyKind::Dlp);
     cfg.protection_override = protection;
     let mut gpu = Gpu::new(cfg, build(app, scale));
-    let stats = gpu.run();
+    let stats = gpu.run().unwrap();
     assert!(stats.completed);
     (stats.ipc(), stats.l1d.hit_rate(), stats.policy.avg_pd())
 }
@@ -31,7 +31,7 @@ fn main() {
     let mut base_cfg = SimConfig::tesla_m2090(PolicyKind::Baseline);
     base_cfg.protection_override = None;
     let mut gpu = Gpu::new(base_cfg, build(app, scale));
-    let base = gpu.run();
+    let base = gpu.run().unwrap();
     println!("{app} ({scale:?}); baseline LRU IPC = {:.1}\n", base.ipc());
     println!("{:<44} {:>8} {:>7} {:>7}", "DLP variant", "IPC/base", "hit%", "avgPD");
 

@@ -23,7 +23,7 @@ fn main() {
     for kind in [PolicyKind::Baseline, PolicyKind::Dlp] {
         let cfg = SimConfig::tesla_m2090(kind);
         let mut gpu = Gpu::new(cfg, build(app, scale));
-        let stats = gpu.run();
+        let stats = gpu.run().unwrap();
         assert!(stats.completed, "{kind:?} hit the cycle cap");
         println!("== {:?} ==", kind);
         println!("  cycles            {:>12}", stats.cycles);

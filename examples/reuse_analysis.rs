@@ -30,7 +30,7 @@ fn main() {
     for sm in 0..cfg.num_sms {
         gpu.set_l1d_observer(sm, Box::new(RdProfiler::new(cfg.l1d.geom.num_sets, sink.clone())));
     }
-    let stats = gpu.run();
+    let stats = gpu.run().unwrap();
     assert!(stats.completed);
 
     let prof = sink.lock();

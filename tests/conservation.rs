@@ -11,7 +11,7 @@ fn l1d_access_conservation() {
     for spec in registry() {
         for kind in PolicyKind::ALL {
             let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
-            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run();
+            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run().unwrap();
             assert!(s.completed);
             // Submitted transactions all reached the cache...
             assert_eq!(s.l1d.accesses, s.mem_transactions, "{} {kind:?}", spec.abbr);
@@ -33,7 +33,7 @@ fn eviction_conservation() {
     for spec in registry() {
         for kind in PolicyKind::ALL {
             let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
-            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run();
+            let s = Gpu::new(cfg, build(spec.abbr, Scale::Tiny)).run().unwrap();
             assert!(
                 s.l1d.evictions <= s.l1d.misses_allocated,
                 "{} {kind:?}: evicted {} > filled {}",
@@ -54,7 +54,7 @@ fn interconnect_flit_conservation() {
     // totals against the cache-level counters.
     for kind in PolicyKind::ALL {
         let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
-        let s = Gpu::new(cfg, build("STR", Scale::Tiny)).run();
+        let s = Gpu::new(cfg, build("STR", Scale::Tiny)).run().unwrap();
         let fetches = s.l1d.misses_allocated + s.l1d.bypass_fetches;
         let writes = s.l1d.dirty_evictions + s.l1d.bypassed_stores;
         assert_eq!(
@@ -79,7 +79,7 @@ fn interconnect_flit_conservation() {
 fn l2_sees_exactly_the_l1_miss_traffic() {
     for kind in PolicyKind::ALL {
         let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
-        let s = Gpu::new(cfg, build("MM", Scale::Tiny)).run();
+        let s = Gpu::new(cfg, build("MM", Scale::Tiny)).run().unwrap();
         let l1_outbound =
             s.l1d.misses_allocated + s.l1d.bypassed_loads + s.l1d.bypassed_stores + s.l1d.dirty_evictions;
         assert_eq!(
@@ -93,7 +93,7 @@ fn l2_sees_exactly_the_l1_miss_traffic() {
 #[test]
 fn compulsory_bounded_by_distinct_lines() {
     let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(4);
-    let s = Gpu::new(cfg, build("KM", Scale::Tiny)).run();
+    let s = Gpu::new(cfg, build("KM", Scale::Tiny)).run().unwrap();
     assert!(s.l1d.compulsory_misses <= s.l1d.accesses);
     assert!(s.l1d.compulsory_misses > 0, "a real workload touches new lines");
 }

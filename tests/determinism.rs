@@ -9,7 +9,7 @@ use gpu_workloads::{build, Scale};
 fn run_once(app: &str, kind: PolicyKind) -> RunStats {
     let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
     let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
-    gpu.run()
+    gpu.run().unwrap()
 }
 
 fn assert_identical(a: &RunStats, b: &RunStats, what: &str) {
@@ -42,11 +42,11 @@ fn incremental_driving_matches_one_shot() {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
         Gpu::new(cfg, build("KM", Scale::Tiny))
     };
-    let one_shot = mk().run();
+    let one_shot = mk().run().unwrap();
     let mut gpu = mk();
-    let mut last = gpu.run_for(137);
+    let mut last = gpu.run_for(137).unwrap();
     while !last.completed {
-        last = gpu.run_for(137);
+        last = gpu.run_for(137).unwrap();
     }
     assert_identical(&one_shot, &last, "incremental vs one-shot");
 }
@@ -61,7 +61,7 @@ fn rd_profiles_are_deterministic() {
         for sm in 0..cfg.num_sms {
             gpu.set_l1d_observer(sm, Box::new(RdProfiler::new(cfg.l1d.geom.num_sets, sink.clone())));
         }
-        gpu.run();
+        gpu.run().unwrap();
         let prof = sink.lock();
         (prof.overall, prof.per_pc.len())
     };
@@ -70,18 +70,37 @@ fn rd_profiles_are_deterministic() {
 }
 
 #[test]
+fn run_many_is_independent_of_worker_count() {
+    // The harness farms jobs out to worker threads; scheduling must not
+    // leak into results. A serial sweep and a parallel sweep of the
+    // same jobs produce byte-identical statistics, job for job.
+    use dlp_bench::harness::{run_many_with_workers, ExperimentConfig};
+    let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
+    let jobs: Vec<_> =
+        ["KM", "MM", "BFS", "STR", "SS"].iter().map(|a| (a.to_string(), cfg)).collect();
+    let serial = run_many_with_workers(&jobs, 1);
+    let parallel = run_many_with_workers(&jobs, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for ((s, p), (app, _)) in serial.iter().zip(&parallel).zip(&jobs) {
+        let s = s.as_ref().unwrap_or_else(|f| panic!("{f}"));
+        let p = p.as_ref().unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(s.stats, p.stats, "{app}: worker count changed the statistics");
+    }
+}
+
+#[test]
 fn different_geometries_differ_but_reproducibly() {
     // STR's tables overflow a 16 KB L1D even at Tiny scale, so doubling
     // the associativity must change the hit pattern.
     let a16 = {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
-        Gpu::new(cfg, build("STR", Scale::Tiny)).run()
+        Gpu::new(cfg, build("STR", Scale::Tiny)).run().unwrap()
     };
     let a32 = {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline)
             .with_l1_geometry(CacheGeometry::fermi_l1d_32k())
             .scaled_down(2);
-        Gpu::new(cfg, build("STR", Scale::Tiny)).run()
+        Gpu::new(cfg, build("STR", Scale::Tiny)).run().unwrap()
     };
     assert_ne!(a16.l1d.hits, a32.l1d.hits, "more ways must change hit behaviour on STR");
 }

@@ -33,7 +33,7 @@ fn every_app_completes_under_every_policy() {
         for kind in PolicyKind::ALL {
             let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
             let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
-            let stats = gpu.run();
+            let stats = gpu.run().unwrap();
             assert!(stats.completed, "{} under {kind:?} hit the cycle cap", spec.abbr);
             assert_eq!(
                 stats.warp_insns, expected.0,
@@ -59,7 +59,7 @@ fn access_accounting_is_exhaustive() {
         for kind in PolicyKind::ALL {
             let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
             let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
-            let s = gpu.run();
+            let s = gpu.run().unwrap();
             let accounted = s.l1d.hits
                 + s.l1d.misses_allocated
                 + s.l1d.mshr_merges
@@ -79,13 +79,13 @@ fn baseline_never_bypasses_and_protection_never_over_evicts() {
     for spec in registry() {
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
         let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
-        let s = gpu.run();
+        let s = gpu.run().unwrap();
         assert_eq!(s.l1d.bypassed_loads, 0, "{}: baseline bypassed loads", spec.abbr);
         assert_eq!(s.l1d.bypassed_stores, 0, "{}: baseline bypassed stores", spec.abbr);
 
         let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
         let mut gpu = Gpu::new(cfg, build(spec.abbr, Scale::Tiny));
-        let d = gpu.run();
+        let d = gpu.run().unwrap();
         assert!(
             d.l1d.evictions <= s.l1d.evictions,
             "{}: DLP must not evict more than baseline ({} vs {})",
@@ -102,7 +102,7 @@ fn dram_only_sees_l2_misses() {
     for kind in PolicyKind::ALL {
         let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
         let mut gpu = Gpu::new(cfg, build("CFD", Scale::Tiny));
-        let s = gpu.run();
+        let s = gpu.run().unwrap();
         assert!(s.dram.reads <= s.l2.accesses, "{kind:?}");
         assert!(s.l2.hits <= s.l2.accesses, "{kind:?}");
     }
@@ -121,7 +121,7 @@ fn geometry_sweep_runs_the_same_trace() {
             .with_l1_geometry(geom)
             .scaled_down(4);
         let mut gpu = Gpu::new(cfg, build("MM", Scale::Tiny));
-        let s = gpu.run();
+        let s = gpu.run().unwrap();
         assert!(s.completed);
         insns.push((s.thread_insns, s.mem_transactions));
     }

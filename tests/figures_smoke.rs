@@ -13,6 +13,7 @@ use gpu_workloads::{registry, Scale};
 fn policy_suite_covers_every_cell() {
     let suite = run_policy_suite(Scale::Tiny);
     assert_eq!(suite.apps.len(), 18);
+    assert!(suite.failures.is_empty(), "{}", suite.failure_digest());
     for spec in &suite.apps {
         let row = &suite.runs[spec.abbr];
         for label in ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", LABEL_32K] {
@@ -31,6 +32,7 @@ fn policy_suite_covers_every_cell() {
 #[test]
 fn size_suite_covers_every_cell() {
     let suite = run_size_suite(Scale::Tiny);
+    assert!(suite.failures.is_empty(), "{}", suite.failure_digest());
     for spec in &suite.apps {
         let row = &suite.runs[spec.abbr];
         for label in SIZE_LABELS {
@@ -49,7 +51,7 @@ fn rdd_profiles_are_normalized() {
             profile_rd: true,
             ..ExperimentConfig::baseline()
         };
-        let run = run_app(spec.abbr, cfg);
+        let run = run_app(spec.abbr, cfg).unwrap();
         let sink = run.rdd.unwrap();
         let prof = sink.lock();
         if prof.overall.total() > 0 {

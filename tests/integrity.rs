@@ -1,0 +1,153 @@
+//! The simulation integrity layer end to end: seeded faults injected
+//! into the interconnect and DRAM must surface as typed errors — via
+//! the forward-progress watchdog, the conservation-law auditor, or the
+//! structural checks at the reply path — and a fault-free machine must
+//! stay silent even with the auditor running continuously.
+
+use dlp_core::PolicyKind;
+use gpu_mem::{FaultConfig, FaultKind, FaultSite, MemError};
+use gpu_sim::{Gpu, SimConfig, SimError};
+use gpu_workloads::{build, Scale};
+
+/// A scaled-down machine with a tight watchdog, suitable for proving
+/// detection latencies without multi-second runs.
+fn cfg_with_fault(kind: FaultKind, site: FaultSite, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
+    cfg.watchdog_cycles = 5_000;
+    cfg.fault = Some(FaultConfig::single(kind, site, seed));
+    cfg
+}
+
+#[test]
+fn dropped_request_hangs_and_the_watchdog_reports_it() {
+    // A dropped forward packet deadlocks the requesting warp: its MSHR
+    // entry never fills. With the auditor off, only the watchdog can
+    // notice — and it must, well before the cycle cap.
+    let mut cfg = cfg_with_fault(FaultKind::Drop, FaultSite::IcntForward, 7);
+    cfg.audit_interval = 0;
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    let err = gpu.run().expect_err("a dropped request must not complete");
+    let report = match &err {
+        SimError::Hang(r) => r,
+        other => panic!("expected a hang, got {other}"),
+    };
+    // Detection latency: one watchdog window after progress stopped,
+    // nowhere near the 30M-cycle cap.
+    assert!(report.cycle < cfg.max_cycles / 100, "hang detected at cycle {}", report.cycle);
+    assert_eq!(report.cycle - report.last_progress_cycle, cfg.watchdog_cycles);
+    // The report names the loss: more fetches went out than replies
+    // came back, and some SM is still waiting.
+    assert!(report.missing_replies() > 0);
+    assert!(report.fetches_sent > report.replies_delivered);
+    assert!(!report.sms.is_empty());
+    let rendered = format!("{report}");
+    assert!(rendered.contains("SM"), "report must list stuck SMs:\n{rendered}");
+}
+
+#[test]
+fn dropped_request_trips_the_conservation_auditor_first() {
+    // Same fault, auditor on: packet conservation (sent = delivered +
+    // in flight) breaks the moment the packet vanishes, so the auditor
+    // reports long before the watchdog window elapses.
+    let mut cfg = cfg_with_fault(FaultKind::Drop, FaultSite::IcntForward, 7);
+    cfg.audit_interval = 256;
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    match gpu.run() {
+        Err(SimError::InvariantViolation { check, cycle, .. }) => {
+            assert!(cycle < cfg.watchdog_cycles, "auditor beat the watchdog: cycle {cycle}");
+            assert!(
+                check.contains("conservation"),
+                "a drop is a conservation violation, got check {check:?}"
+            );
+        }
+        other => panic!("expected an invariant violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicated_reply_is_rejected_at_the_l1d() {
+    // The duplicate's second copy finds its MSHR entry already filled.
+    let cfg = cfg_with_fault(FaultKind::Duplicate, FaultSite::IcntReturn, 11);
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    match gpu.run() {
+        Err(SimError::MshrViolation { source: MemError::MshrMissingFill { .. }, .. }) => {}
+        other => panic!("expected an L1D MSHR violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicated_dram_completion_is_rejected_at_the_partition() {
+    let cfg = cfg_with_fault(FaultKind::Duplicate, FaultSite::Dram, 13);
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    match gpu.run() {
+        Err(SimError::PartitionFault { source: MemError::L2MshrMissingFill { .. }, .. }) => {}
+        other => panic!("expected a partition L2-MSHR fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn misrouted_packet_is_caught_at_ejection() {
+    let cfg = cfg_with_fault(FaultKind::Misroute, FaultSite::IcntForward, 17);
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    match gpu.run() {
+        Err(SimError::PacketMisrouted { port, expected, .. }) => assert_ne!(port, expected),
+        other => panic!("expected a misrouting error, got {other:?}"),
+    }
+}
+
+#[test]
+fn delayed_packet_is_not_a_failure() {
+    // A 2000-cycle delay is indistinguishable from congestion: the run
+    // must complete, and neither watchdog nor auditor may fire.
+    let mut cfg = cfg_with_fault(FaultKind::Delay, FaultSite::IcntReturn, 19);
+    cfg.audit_interval = 256;
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    let stats = gpu.run().expect("a delayed packet still arrives");
+    assert!(stats.completed);
+}
+
+#[test]
+fn fault_free_runs_stay_clean_under_continuous_auditing() {
+    // Zero injected faults, auditor at a tight interval, every policy:
+    // no false positives, and the statistics match an unaudited run.
+    for kind in PolicyKind::ALL {
+        let mut cfg = SimConfig::tesla_m2090(kind).scaled_down(2);
+        cfg.audit_interval = 64;
+        let audited = Gpu::new(cfg, build("BFS", Scale::Tiny))
+            .run()
+            .unwrap_or_else(|e| panic!("{kind:?}: false positive: {e}"));
+        let mut plain_cfg = cfg;
+        plain_cfg.audit_interval = 0;
+        let plain = Gpu::new(plain_cfg, build("BFS", Scale::Tiny)).run().unwrap();
+        assert!(audited.completed);
+        assert_eq!(audited, plain, "{kind:?}: auditing perturbed the simulation");
+    }
+}
+
+#[test]
+fn rate_zero_injector_is_inert() {
+    // An attached injector with rate 0 must behave exactly like no
+    // injector at all.
+    let mut cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
+    cfg.audit_interval = 128;
+    cfg.fault = Some(FaultConfig {
+        rate_ppm: 0,
+        ..FaultConfig::single(FaultKind::Drop, FaultSite::IcntForward, 23)
+    });
+    let stats = Gpu::new(cfg, build("STR", Scale::Tiny)).run().unwrap();
+    assert!(stats.completed);
+}
+
+#[test]
+fn cycle_cap_overrun_carries_a_report() {
+    // Starve the machine of cycles: the cap error carries the same
+    // diagnostic snapshot as a hang.
+    let mut cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2);
+    cfg.max_cycles = 50;
+    cfg.watchdog_cycles = 0;
+    let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+    match gpu.run() {
+        Err(SimError::CycleCapExceeded(report)) => assert_eq!(report.cycle, 50),
+        other => panic!("expected a cycle-cap overrun, got {other:?}"),
+    }
+}

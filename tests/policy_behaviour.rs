@@ -14,7 +14,7 @@ use gpu_workloads::{build, registry, AppClass, Scale};
 fn run(app: &str, kind: PolicyKind) -> RunStats {
     let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
     let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
-    gpu.run()
+    gpu.run().unwrap()
 }
 
 #[test]
@@ -96,13 +96,13 @@ fn bigger_cache_never_reduces_hits_on_reuse_apps() {
     for app in ["MM", "KM", "SS", "STR"] {
         let small = {
             let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(4);
-            Gpu::new(cfg, build(app, Scale::Tiny)).run()
+            Gpu::new(cfg, build(app, Scale::Tiny)).run().unwrap()
         };
         let big = {
             let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline)
                 .with_l1_geometry(CacheGeometry::fermi_l1d_64k())
                 .scaled_down(4);
-            Gpu::new(cfg, build(app, Scale::Tiny)).run()
+            Gpu::new(cfg, build(app, Scale::Tiny)).run().unwrap()
         };
         assert!(
             big.l1d.hits >= small.l1d.hits,
@@ -121,7 +121,7 @@ fn compulsory_misses_are_size_invariant() {
         for geom in [CacheGeometry::fermi_l1d_16k(), CacheGeometry::fermi_l1d_64k()] {
             let cfg =
                 SimConfig::tesla_m2090(PolicyKind::Baseline).with_l1_geometry(geom).scaled_down(4);
-            per_size.push(Gpu::new(cfg, build(app, Scale::Tiny)).run().l1d.compulsory_misses);
+            per_size.push(Gpu::new(cfg, build(app, Scale::Tiny)).run().unwrap().l1d.compulsory_misses);
         }
         assert_eq!(per_size[0], per_size[1], "{app}: compulsory misses depend only on the trace");
     }

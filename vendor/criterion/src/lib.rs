@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`: same macro and builder surface,
+//! but measurement is plain wall-clock timing with a fixed per-bench
+//! time budget and a single reported mean — no statistics, plotting, or
+//! saved baselines. Under `cargo test` (the harness passes `--test`)
+//! each benchmark body runs exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one sample: `iter` executes the routine `iters` times.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, executing it as many times as the current sample
+    /// requests.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test`;
+        // run each body once there instead of timing it.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, budget: Duration::from_millis(60) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the stub's sampling is time-boxed,
+    /// so the count only scales the budget coarsely.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.budget = Duration::from_millis(20) * (n.clamp(10, 100) as u32) / 10;
+        self
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: &mut F) {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b); // warm-up; also the only run in test mode
+        if self.test_mode {
+            println!("bench {name}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let mut total = b.elapsed;
+        let mut iters = 1u64;
+        while total < self.budget && b.elapsed < self.budget {
+            // Grow the per-sample batch until one sample fills ~1/4 of
+            // the budget, then keep sampling until the budget is spent.
+            if b.elapsed * 4 < self.budget {
+                b.iters = (b.iters * 2).min(1 << 20);
+            }
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let ns = total.as_nanos() as f64 / iters as f64;
+        println!("bench {name}: {ns:.1} ns/iter ({iters} iterations)");
+    }
+}
+
+/// Group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility (see [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.budget = Duration::from_millis(20) * (n.clamp(10, 100) as u32) / 10;
+        self
+    }
+
+    /// Benchmark one parameterised case.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&name, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { test_mode: true, budget: Duration::from_millis(1) };
+        let mut ran = 0u32;
+        c.bench_function("probe", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_passes_input_through() {
+        let mut c = Criterion { test_mode: true, budget: Duration::from_millis(1) };
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &v| {
+                b.iter(|| seen = v + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(seen, 42);
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic stand-in for the `rand 0.8` API surface the workloads
+//! use: `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64` and
+//! `rngs::StdRng`. The generator is SplitMix64 — statistically fine for
+//! synthetic address streams and, crucially, identical on every run and
+//! platform. It is NOT the upstream ChaCha12 `StdRng`, so absolute
+//! streams differ from real `rand`.
+
+#![forbid(unsafe_code)]
+
+/// Construct a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types drawable uniformly from a bounded range. The
+/// upstream split between `SampleUniform` (the element type) and
+/// `SampleRange` (the range form) is kept so type inference works the
+/// same way: `lo + rng.gen_range(0..n)` unifies the literal with `lo`.
+pub trait SampleUniform: Sized {
+    /// Draw from `[low, high)` using the supplied 64 bits of entropy.
+    fn sample_from(low: Self, high: Self, next: u64) -> Self;
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value using the supplied 64-bit entropy source.
+    fn sample(self, next: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: u64) -> T {
+        T::sample_from(self.start, self.end, next)
+    }
+}
+
+macro_rules! unsigned_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(low: $t, high: $t, next: u64) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let width = (high - low) as u128;
+                low + (next as u128 % width) as $t
+            }
+        }
+    )*};
+}
+unsigned_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(low: $t, high: $t, next: u64) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let width = (high as i128 - low as i128) as u128;
+                (low as i128 + (next as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_uniform!(i8, i16, i32, i64, isize);
+
+/// Types [`Rng::gen`] can produce (upstream: the `Standard`
+/// distribution).
+pub trait GenValue: Sized {
+    /// Build a uniformly distributed value from 64 bits of entropy.
+    fn from_bits(next: u64) -> Self;
+}
+
+impl GenValue for u64 {
+    fn from_bits(next: u64) -> u64 {
+        next
+    }
+}
+
+impl GenValue for u32 {
+    fn from_bits(next: u64) -> u32 {
+        (next >> 32) as u32
+    }
+}
+
+impl GenValue for bool {
+    fn from_bits(next: u64) -> bool {
+        next >> 63 == 1
+    }
+}
+
+/// The subset of `rand::Rng` the workloads rely on.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw over a type's whole domain.
+    fn gen<T: GenValue>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Uniform draw from a half-open integer range.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 high bits -> uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: Rng + ?Sized> Rng for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// SplitMix64 generator (deterministic stand-in for `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,16 @@
+//! Marker-trait stand-in for `serde`. Blanket impls make every type
+//! `Serialize`/`Deserialize`, matching the no-op derives in the
+//! sibling `serde_derive` stub. Nothing in the workspace actually
+//! serializes; the traits exist so `#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize` bounds keep compiling offline.
+
+/// Marker for "this type could be serialized".
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "this type could be deserialized".
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives. The workspace never
+//! serializes anything; the derives only have to compile. The matching
+//! `serde` stub provides blanket trait impls, so emitting no code here
+//! is sound.
+
+use proc_macro::TokenStream;
+
+/// Accepts (and ignores) `#[derive(Serialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts (and ignores) `#[derive(Deserialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
