@@ -52,12 +52,31 @@ fn must_run(res: Result<AppRun, RunFailure>) -> AppRun {
     })
 }
 
+/// Where the telemetry JSON goes: `DLP_TELEMETRY_PATH` if set, else
+/// `BENCH_figures.json` in the working directory (the repo root when
+/// invoked through `cargo run`).
+fn telemetry_path() -> std::path::PathBuf {
+    std::env::var_os("DLP_TELEMETRY_PATH")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_figures.json"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale =
         if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Full };
     let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
+    dlp_bench::telemetry::sweep(&format!("figures {what}"), || run_artifact(what, scale, &args));
+
+    let path = telemetry_path();
+    match dlp_bench::telemetry::write_json(&path) {
+        Ok(()) => eprintln!("telemetry: {}", path.display()),
+        Err(e) => eprintln!("telemetry: failed to write {}: {e}", path.display()),
+    }
+}
+
+fn run_artifact(what: &str, scale: Scale, args: &[String]) {
     match what {
         "tab1" => tab1(),
         "tab2" => tab2(scale),

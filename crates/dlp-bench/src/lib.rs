@@ -17,6 +17,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod telemetry;
 
 pub use harness::{
     run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,

@@ -1,0 +1,230 @@
+//! Machine-readable performance telemetry for figure regeneration.
+//!
+//! Every simulation job the harness executes (or satisfies from the
+//! run cache) appends one record to a process-wide collector; named
+//! sweeps add aggregate records. [`write_json`] renders the collected
+//! data as `BENCH_figures.json` so CI and the experiment docs can track
+//! simulator throughput (wall time, simulated cycles per second, cache
+//! hit counts) across revisions without scraping stdout.
+//!
+//! The JSON is hand-rolled: the workspace's vendored serde stack has no
+//! `serde_json`, and the schema is flat enough that an escaper plus two
+//! array writers keep the format honest.
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// One simulation job, timed.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Benchmark abbreviation ("BFS").
+    pub app: String,
+    /// Scheme label ("DLP").
+    pub policy: String,
+    /// Cache geometry label ("16KB/4-way").
+    pub geom: String,
+    /// Workload scale ("Tiny" / "Full").
+    pub scale: String,
+    /// True when the run cache supplied the result without simulating.
+    pub cached: bool,
+    /// Wall-clock milliseconds spent producing the result.
+    pub wall_ms: f64,
+    /// Simulated core cycles of the result (0 for failed jobs).
+    pub sim_cycles: u64,
+}
+
+impl JobRecord {
+    /// Simulated cycles per wall-clock second (0 when no time elapsed,
+    /// e.g. a cache hit).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+}
+
+/// Aggregate record for one named sweep (a `run_policy_suite` call, a
+/// whole `figures all` invocation, ...).
+#[derive(Clone, Debug)]
+pub struct SweepRecord {
+    /// Sweep name ("policy_suite", "figures all", ...).
+    pub name: String,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+    /// Jobs the sweep asked for.
+    pub jobs: usize,
+    /// Jobs satisfied by the run cache.
+    pub cached: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Total simulated cycles across the sweep's jobs.
+    pub sim_cycles: u64,
+}
+
+#[derive(Default)]
+struct Collector {
+    jobs: Vec<JobRecord>,
+    sweeps: Vec<SweepRecord>,
+}
+
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> R {
+    static COLLECTOR: std::sync::OnceLock<Mutex<Collector>> = std::sync::OnceLock::new();
+    let mut guard = COLLECTOR.get_or_init(|| Mutex::new(Collector::default())).lock();
+    f(&mut guard)
+}
+
+/// Append one job record.
+pub fn record_job(job: JobRecord) {
+    with_collector(|c| c.jobs.push(job));
+}
+
+/// Append one sweep record.
+pub fn record_sweep(sweep: SweepRecord) {
+    with_collector(|c| c.sweeps.push(sweep));
+}
+
+/// Time `f` as a named sweep, aggregating the job records it produces.
+pub fn sweep<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let before = with_collector(|c| c.jobs.len());
+    let start = Instant::now();
+    let out = f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (jobs, cached, failed, sim_cycles) = with_collector(|c| {
+        let new = &c.jobs[before..];
+        (
+            new.len(),
+            new.iter().filter(|j| j.cached).count(),
+            new.iter().filter(|j| !j.cached && j.sim_cycles == 0).count(),
+            new.iter().map(|j| j.sim_cycles).sum(),
+        )
+    });
+    record_sweep(SweepRecord { name: name.to_string(), wall_ms, jobs, cached, failed, sim_cycles });
+    out
+}
+
+/// Number of job records collected so far (tests, progress reports).
+pub fn jobs_recorded() -> usize {
+    with_collector(|c| c.jobs.len())
+}
+
+/// Copy of every job record collected so far.
+pub fn jobs_snapshot() -> Vec<JobRecord> {
+    with_collector(|c| c.jobs.clone())
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-point float rendering: JSON numbers must not come out as
+/// `inf`/`NaN`, and 3 decimals is plenty for milliseconds.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Render everything collected so far as a JSON document.
+pub fn render_json() -> String {
+    with_collector(|c| {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v1\",\n");
+        let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
+        let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
+        out.push_str(&format!("  \"total_sweep_wall_ms\": {},\n", num(total_ms)));
+        out.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
+        out.push_str("  \"sweeps\": [\n");
+        for (i, s) in c.sweeps.iter().enumerate() {
+            let cps = if s.wall_ms > 0.0 { s.sim_cycles as f64 / (s.wall_ms / 1000.0) } else { 0.0 };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"jobs\": {}, \"cached\": {}, \"failed\": {}, \"sim_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
+                esc(&s.name),
+                num(s.wall_ms),
+                s.jobs,
+                s.cached,
+                s.failed,
+                s.sim_cycles,
+                num(cps),
+                if i + 1 < c.sweeps.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"jobs\": [\n");
+        for (i, j) in c.jobs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
+                esc(&j.app),
+                esc(&j.policy),
+                esc(&j.geom),
+                esc(&j.scale),
+                j.cached,
+                num(j.wall_ms),
+                j.sim_cycles,
+                num(j.cycles_per_sec()),
+                if i + 1 < c.jobs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    })
+}
+
+/// Write the collected telemetry to `path`.
+pub fn write_json(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, render_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_record_computes_throughput() {
+        let j = JobRecord {
+            app: "KM".into(),
+            policy: "DLP".into(),
+            geom: "16KB/4-way".into(),
+            scale: "Tiny".into(),
+            cached: false,
+            wall_ms: 500.0,
+            sim_cycles: 1_000_000,
+        };
+        assert!((j.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+        let cached = JobRecord { cached: true, wall_ms: 0.0, ..j };
+        assert_eq!(cached.cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn render_escapes_and_structures() {
+        record_job(JobRecord {
+            app: "A\"pp".into(),
+            policy: "base\\line".into(),
+            geom: "16KB/4-way".into(),
+            scale: "Tiny".into(),
+            cached: true,
+            wall_ms: 1.25,
+            sim_cycles: 42,
+        });
+        let out = sweep("test_sweep", render_json);
+        assert!(out.contains("\\\"pp"), "{out}");
+        assert!(out.contains("base\\\\line"), "{out}");
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v1\""));
+        let out2 = render_json();
+        assert!(out2.contains("\"name\": \"test_sweep\""), "{out2}");
+    }
+}

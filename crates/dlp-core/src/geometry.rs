@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Set-index function applied to the line address.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IndexFunction {
     /// `set = line_addr % num_sets` — used by the L2 slices (Table 1).
     Linear,
@@ -21,7 +21,7 @@ pub enum IndexFunction {
 
 /// Static shape of one cache: line size, number of sets, associativity,
 /// and the set-index function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheGeometry {
     /// Bytes per cache line. The paper's GPU uses 128-byte lines at both
     /// levels.

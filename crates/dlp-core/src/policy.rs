@@ -134,6 +134,16 @@ pub trait ReplacementPolicy: Send {
     /// write-evict). Protection schemes push it into the VTA.
     fn on_evict(&mut self, set: usize, way: usize, tag: u64);
 
+    /// The miss for `tag` was ultimately **bypassed** — the line will
+    /// never enter the tag array. Protection schemes restore the victim
+    /// tag their [`ReplacementPolicy::on_miss`] probe consumed, so a
+    /// later re-reference of the bypassed line still registers as a VTA
+    /// hit (otherwise bypasses would silently erase reuse evidence and
+    /// deflate the measured PDs).
+    fn on_bypass(&mut self, set: usize, tag: u64, ctx: &AccessCtx) {
+        let _ = (set, tag, ctx);
+    }
+
     /// The fill for an earlier `Allocate` decision landed in `way`.
     fn on_fill(&mut self, set: usize, way: usize, tag: u64, ctx: &AccessCtx);
 

@@ -21,7 +21,7 @@ use crate::vta::VictimTagArray;
 /// Tunable parameters of the protection machinery. The paper's values
 /// are produced by [`ProtectionConfig::paper_default`]; the ablation
 /// benches sweep the rest.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ProtectionConfig {
     /// Geometry of the protected cache (TDA).
     pub geom: CacheGeometry,
@@ -206,6 +206,13 @@ struct ProtectionPolicy<M: PdModel> {
     /// Instruction ID per TDA entry (7-bit field in hardware).
     line_insn: Vec<InsnId>,
     vta: VictimTagArray,
+    /// The VTA entry consumed by the most recent [`ReplacementPolicy::on_miss`]
+    /// probe, kept as `(set, tag, owner)` until the miss resolves. If the
+    /// miss is bypassed the line never enters the TDA, so the entry is
+    /// restored in [`ReplacementPolicy::on_bypass`]; any allocation or a
+    /// newer miss clears it. The controller serializes misses through its
+    /// pipeline register, so one slot suffices.
+    pending_vta: Option<(usize, u64, InsnId)>,
     accesses_this_sample: u32,
     stats: PolicyStats,
 }
@@ -218,6 +225,7 @@ impl<M: PdModel> ProtectionPolicy<M> {
             pl: vec![0; lines],
             line_insn: vec![0; lines],
             vta: VictimTagArray::new(cfg.geom.num_sets, cfg.vta_assoc),
+            pending_vta: None,
             accesses_this_sample: 0,
             stats: PolicyStats::default(),
             cfg,
@@ -282,10 +290,14 @@ impl<M: PdModel> ReplacementPolicy for ProtectionPolicy<M> {
     }
 
     fn on_miss(&mut self, set: usize, tag: u64, _ctx: &AccessCtx) {
-        if let Some(owner) = self.vta.probe_remove(set, tag) {
-            self.model.credit_vta(owner);
-            self.stats.vta_hits += 1;
-        }
+        self.pending_vta = match self.vta.probe_remove(set, tag) {
+            Some(owner) => {
+                self.model.credit_vta(owner);
+                self.stats.vta_hits += 1;
+                Some((set, tag, owner))
+            }
+            None => None,
+        };
     }
 
     fn decide_replacement(&mut self, set: usize, ways: &[WayView], _ctx: &AccessCtx) -> MissDecision {
@@ -309,6 +321,21 @@ impl<M: PdModel> ReplacementPolicy for ProtectionPolicy<M> {
         let owner = self.line_insn[self.idx(set, way)];
         self.vta.insert(set, tag, owner);
         self.stats.vta_insertions += 1;
+    }
+
+    fn on_bypass(&mut self, set: usize, tag: u64, _ctx: &AccessCtx) {
+        // The on_miss probe consumed this line's victim tag, but the line
+        // is being bypassed and will never enter the TDA. Restore the
+        // entry (with its original owner) so a later re-reference still
+        // scores a VTA hit instead of the reuse evidence vanishing.
+        match self.pending_vta {
+            Some((s, t, owner)) if s == set && t == tag => {
+                self.pending_vta = None;
+                self.vta.insert(set, tag, owner);
+                self.stats.vta_reinserted += 1;
+            }
+            _ => {}
+        }
     }
 
     fn on_fill(&mut self, set: usize, way: usize, _tag: u64, ctx: &AccessCtx) {
@@ -400,6 +427,9 @@ impl ReplacementPolicy for Dlp {
     fn on_evict(&mut self, set: usize, way: usize, tag: u64) {
         self.inner.on_evict(set, way, tag);
     }
+    fn on_bypass(&mut self, set: usize, tag: u64, ctx: &AccessCtx) {
+        self.inner.on_bypass(set, tag, ctx);
+    }
     fn on_fill(&mut self, set: usize, way: usize, tag: u64, ctx: &AccessCtx) {
         self.inner.on_fill(set, way, tag, ctx);
     }
@@ -465,11 +495,20 @@ impl ReplacementPolicy for GlobalProtection {
     fn on_evict(&mut self, set: usize, way: usize, tag: u64) {
         self.inner.on_evict(set, way, tag);
     }
+    fn on_bypass(&mut self, set: usize, tag: u64, ctx: &AccessCtx) {
+        self.inner.on_bypass(set, tag, ctx);
+    }
     fn on_fill(&mut self, set: usize, way: usize, tag: u64, ctx: &AccessCtx) {
         self.inner.on_fill(set, way, tag, ctx);
     }
     fn force_sample(&mut self) {
         self.inner.force_sample();
+    }
+    fn pd_snapshot(&self) -> Option<Vec<(InsnId, u8)>> {
+        // One global PD — report it as a single row under a synthetic
+        // instruction id so figures/reports render the same shape as
+        // DLP's per-instruction table.
+        Some(vec![(0, self.inner.model.pd)])
     }
     fn kind(&self) -> PolicyKind {
         self.inner.kind()
@@ -664,6 +703,59 @@ mod tests {
         let ways = vec![WayView::reserved(); 4];
         assert_eq!(p.decide_replacement(0, &ways, &ctx(0)), MissDecision::Bypass);
         assert!(!p.bypass_on_stall(), "structural MSHR stalls still park");
+    }
+
+    #[test]
+    fn bypassed_miss_restores_vta_entry_for_re_reference() {
+        // Regression for the bypass/VTA interaction: the on_miss probe
+        // consumes the victim tag, but if the miss is then bypassed the
+        // line never re-enters the TDA — the entry must be restored so a
+        // re-reference of the same line still scores a VTA hit.
+        let mut p = Dlp::new(cfg());
+        fill_set(&mut p, 0, 1);
+        // Evict one line so its tag (100) lands in the VTA.
+        p.on_evict(0, 0, 100);
+        assert_eq!(p.stats().vta_insertions, 1);
+
+        // Re-reference tag 100: VTA hit, entry consumed...
+        p.on_query(0);
+        p.on_miss(0, 100, &ctx(1));
+        assert_eq!(p.stats().vta_hits, 1);
+        // ...and the controller bypasses the miss (e.g. protected set).
+        p.on_bypass(0, 100, &ctx(1));
+        assert_eq!(p.stats().vta_reinserted, 1);
+
+        // A second re-reference must still find the tag in the VTA.
+        p.on_query(0);
+        p.on_miss(0, 100, &ctx(1));
+        assert_eq!(p.stats().vta_hits, 2, "bypass must not erase the victim tag");
+
+        // Without a bypass (the miss allocated), a later miss to the
+        // same tag finds nothing: the entry really was consumed.
+        p.on_query(0);
+        p.on_miss(0, 100, &ctx(1));
+        assert_eq!(p.stats().vta_hits, 2);
+    }
+
+    #[test]
+    fn on_bypass_ignores_unrelated_tags() {
+        let mut p = Dlp::new(cfg());
+        fill_set(&mut p, 0, 1);
+        p.on_evict(0, 0, 100);
+        p.on_query(0);
+        p.on_miss(0, 100, &ctx(1));
+        // A bypass of a *different* line must not resurrect tag 100.
+        p.on_bypass(0, 999, &ctx(1));
+        assert_eq!(p.stats().vta_reinserted, 0);
+        p.on_query(0);
+        p.on_miss(0, 100, &ctx(1));
+        assert_eq!(p.stats().vta_hits, 1, "consumed entry stays consumed");
+    }
+
+    #[test]
+    fn global_protection_snapshot_is_single_row() {
+        let p = GlobalProtection::new(cfg());
+        assert_eq!(p.pd_snapshot(), Some(vec![(0, 0)]));
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub struct PolicyStats {
     pub vta_hits: u64,
     /// Lines inserted into the victim tag array (TDA evictions seen).
     pub vta_insertions: u64,
+    /// Victim tags restored after a bypassed miss (the on-miss VTA probe
+    /// consumed the entry but the line never entered the TDA).
+    pub vta_reinserted: u64,
     /// Completed sampling periods (PD recomputations considered).
     pub samples: u64,
     /// Samples that took the PD-increase path of Figure 9.
@@ -47,6 +50,7 @@ impl PolicyStats {
         self.protected_bypasses += other.protected_bypasses;
         self.vta_hits += other.vta_hits;
         self.vta_insertions += other.vta_insertions;
+        self.vta_reinserted += other.vta_reinserted;
         self.samples += other.samples;
         self.pd_increases += other.pd_increases;
         self.pd_decreases += other.pd_decreases;

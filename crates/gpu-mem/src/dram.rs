@@ -94,6 +94,15 @@ pub struct Dram {
     bus_busy_until: u64,
     now: u64,
     rr_next_bank: usize,
+    /// Commands sitting in bank queues (all banks), maintained
+    /// incrementally so [`Dram::idle`] is O(1).
+    queued: usize,
+    /// Earliest command-clock cycle at which any bank with queued work
+    /// could start its next burst (`u64::MAX` when no bank has work).
+    /// Lets [`Dram::tick`] skip the round-robin scan while every queued
+    /// bank is still busy — a pure fast path, since no command could
+    /// start in that window anyway.
+    earliest_start: u64,
     completed: VecDeque<(u64, DramCmd)>,
     /// Optional deterministic corruption of read completions.
     fault: Option<FaultInjector>,
@@ -110,6 +119,8 @@ impl Dram {
             bus_busy_until: 0,
             now: 0,
             rr_next_bank: 0,
+            queued: 0,
+            earliest_start: u64::MAX,
             completed: VecDeque::new(),
             fault: None,
             stats: DramStats::default(),
@@ -162,12 +173,20 @@ impl Dram {
         let b = self.bank_of(cmd.addr);
         assert!(self.banks[b].queue.len() < self.cfg.queue_depth, "DRAM bank queue overflow");
         self.banks[b].queue.push_back(cmd);
+        self.queued += 1;
+        self.earliest_start = self.earliest_start.min(self.banks[b].busy_until);
     }
 
     /// Advance one command-clock cycle: start at most one new burst (the
     /// bus admits one transfer at a time) and retire finished ones.
     pub fn tick(&mut self) {
         self.now += 1;
+        if self.earliest_start > self.now {
+            // No bank with queued work can start yet: the scan below
+            // would find nothing, so skip it (round-robin state only
+            // changes on a successful start).
+            return;
+        }
         let n = self.banks.len();
         for i in 0..n {
             let b = (self.rr_next_bank + i) % n;
@@ -176,6 +195,13 @@ impl Dram {
                 break;
             }
         }
+        self.earliest_start = self
+            .banks
+            .iter()
+            .filter(|b| !b.queue.is_empty())
+            .map(|b| b.busy_until)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     fn try_start(&mut self, b: usize) -> bool {
@@ -200,6 +226,7 @@ impl Dram {
         bank.busy_until = done;
         bank.open_row = Some(row);
         bank.queue.pop_front();
+        self.queued -= 1;
         if cmd.is_write {
             self.stats.writes += 1;
         } else {
@@ -243,9 +270,23 @@ impl Dram {
         }
     }
 
-    /// Outstanding work (queued + in flight)?
+    /// Outstanding work (queued + in flight)? O(1): the queue census is
+    /// maintained incrementally, so idle-skip can poll this every cycle.
     pub fn idle(&self) -> bool {
-        self.completed.is_empty() && self.banks.iter().all(|b| b.queue.is_empty())
+        self.completed.is_empty() && self.queued == 0
+    }
+
+    /// Fast-forward an **idle** channel by `ticks` command-clock cycles.
+    ///
+    /// When nothing is queued or completing, [`Dram::tick`] reduces to
+    /// `now += 1` (every bank's arbitration check sees an empty queue),
+    /// so an idle stretch can be accounted arithmetically. Bank and bus
+    /// `busy_until` marks as well as open rows are left untouched —
+    /// exactly what repeated idle ticks would have done — which keeps
+    /// skipped runs byte-identical to fully ticked ones.
+    pub fn advance_idle(&mut self, ticks: u64) {
+        debug_assert!(self.idle(), "advance_idle on a busy channel");
+        self.now += ticks;
     }
 
     /// Counter snapshot.

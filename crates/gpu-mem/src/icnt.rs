@@ -68,6 +68,10 @@ pub struct Interconnect {
     ret: Vec<Port>,
     /// Optional deterministic packet corruption (integrity testing).
     fault: Option<FaultInjector>,
+    /// Undelivered packets across all ports, maintained incrementally so
+    /// [`Interconnect::in_flight`] is O(1) (it is polled every cycle by
+    /// the GPU's `finished()` check).
+    in_flight_count: usize,
     stats: IcntStats,
 }
 
@@ -78,6 +82,7 @@ impl Interconnect {
             fwd: (0..cfg.num_partitions).map(|_| Port::new()).collect(),
             ret: (0..cfg.num_sms).map(|_| Port::new()).collect(),
             fault: None,
+            in_flight_count: 0,
             stats: IcntStats::default(),
             cfg,
         }
@@ -131,10 +136,13 @@ impl Interconnect {
             }
             None => {}
         }
-        let port = if forward { &mut self.fwd[dst] } else { &mut self.ret[dst] };
         let mut flits = 0;
         for _ in 0..copies {
-            flits += Self::try_send(port, &self.cfg, pkt, now, extra).unwrap_or(0);
+            let port = if forward { &mut self.fwd[dst] } else { &mut self.ret[dst] };
+            if let Some(f) = Self::try_send(port, &self.cfg, pkt, now, extra) {
+                flits += f;
+                self.in_flight_count += 1;
+            }
         }
         flits
     }
@@ -170,17 +178,30 @@ impl Interconnect {
     /// Eject the next delivered packet at partition `dst`, if one has
     /// arrived by `now`.
     pub fn pop_fwd(&mut self, dst: usize, now: u64) -> Option<Packet> {
-        Self::pop(&mut self.fwd[dst], now)
+        let pkt = Self::pop(&mut self.fwd[dst], now);
+        if pkt.is_some() {
+            self.in_flight_count -= 1;
+        }
+        pkt
     }
 
     /// Eject the next delivered packet at SM `dst`.
     pub fn pop_ret(&mut self, dst: usize, now: u64) -> Option<Packet> {
-        Self::pop(&mut self.ret[dst], now)
+        let pkt = Self::pop(&mut self.ret[dst], now);
+        if pkt.is_some() {
+            self.in_flight_count -= 1;
+        }
+        pkt
     }
 
-    /// Packets still somewhere in the network (either direction).
+    /// Packets still somewhere in the network (either direction). O(1).
     pub fn in_flight(&self) -> usize {
-        self.fwd.iter().chain(self.ret.iter()).map(|p| p.queue.len()).sum()
+        debug_assert_eq!(
+            self.in_flight_count,
+            self.fwd.iter().chain(self.ret.iter()).map(|p| p.queue.len()).sum::<usize>(),
+            "incremental in-flight census out of sync"
+        );
+        self.in_flight_count
     }
 
     /// Per-partition forward-queue depths (hang diagnostics).

@@ -394,9 +394,10 @@ impl L1dCache {
             self.policy.on_miss(set, tag, &ctx);
         }
 
-        // 3. Line reservation via the policy.
+        // 3. Line reservation via the policy. The views live in the tag
+        // array's scratch buffer — no allocation on the access path.
         let views = self.tags.view_set(set);
-        match self.policy.decide_replacement(set, &views, &ctx) {
+        match self.policy.decide_replacement(set, views, &ctx) {
             MissDecision::Allocate { way } => {
                 let victim = self.tags.line(set, way);
                 let needed = 1 + (victim.valid && victim.dirty) as usize;
@@ -437,6 +438,9 @@ impl L1dCache {
                     self.stats.stall_miss_queue += 1;
                     return Outcome::Stalled;
                 }
+                // The line will never enter the TDA: let the policy
+                // restore the victim tag its on_miss probe consumed.
+                self.policy.on_bypass(set, tag, &ctx);
                 if req.is_write {
                     self.do_bypass(req, cycle);
                 } else {

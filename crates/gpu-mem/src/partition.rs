@@ -95,6 +95,12 @@ pub struct MemoryPartition {
     out_queue: VecDeque<Packet>,
     dram: Dram,
     dram_acc: u64,
+    /// Interconnect cycle of the last [`MemoryPartition::cycle`] call.
+    /// When the caller skips cycling this partition while it is idle,
+    /// the gap is caught up arithmetically (DRAM-clock accumulation and
+    /// idle DRAM ticks are pure counter advances), keeping skipped runs
+    /// byte-identical to fully ticked ones.
+    last_now: Option<u64>,
     stats: CacheStats,
 }
 
@@ -111,6 +117,7 @@ impl MemoryPartition {
             out_queue: VecDeque::new(),
             dram: Dram::new(cfg.dram),
             dram_acc: 0,
+            last_now: None,
             stats: CacheStats::default(),
             cfg,
         }
@@ -246,6 +253,32 @@ impl MemoryPartition {
     /// DRAM completion matches no outstanding L2 fetch — the symptom of
     /// a duplicated or address-corrupted command.
     pub fn cycle(&mut self, now: u64) -> Result<(), MemError> {
+        // 0. Catch up on cycles the caller skipped while we were idle.
+        //    An idle DRAM tick is a pure `now += 1`, so the skipped
+        //    interval collapses to one division on the fractional clock
+        //    accumulator — exactly what ticking every cycle would do.
+        // A partition that has never been cycled has been idle since
+        // cycle 0 — it must catch up from there, or its fractional DRAM
+        // clock would start out of phase with a fully ticked run.
+        let prev = self.last_now.unwrap_or(0);
+        let skipped = now.saturating_sub(prev).saturating_sub(1);
+        self.last_now = Some(now);
+        if skipped > 0 {
+            // Input packets may have just arrived (that is what woke us
+            // up); everything that would have *evolved* during the gap
+            // must have been quiet.
+            debug_assert!(
+                self.mshr.is_empty()
+                    && self.pending.is_empty()
+                    && self.out_queue.is_empty()
+                    && self.dram.idle(),
+                "cycles were skipped on a busy partition"
+            );
+            let total = self.dram_acc + skipped * self.cfg.dram_clock_khz;
+            self.dram.advance_idle(total / self.cfg.icnt_clock_khz);
+            self.dram_acc = total % self.cfg.icnt_clock_khz;
+        }
+
         // 1. DRAM advances at its own clock.
         self.dram_acc += self.cfg.dram_clock_khz;
         while self.dram_acc >= self.cfg.icnt_clock_khz {
@@ -336,9 +369,10 @@ impl MemoryPartition {
             return false;
         }
 
-        // Allocate a victim way.
+        // Allocate a victim way (views live in the tag array's scratch
+        // buffer — no allocation on the access path).
         let views = self.tags.view_set(set);
-        let way = match self.policy.decide_replacement(set, &views, &ctx) {
+        let way = match self.policy.decide_replacement(set, views, &ctx) {
             MissDecision::Allocate { way } => way,
             MissDecision::Stall => {
                 self.stats.accesses -= 1;

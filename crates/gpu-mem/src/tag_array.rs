@@ -39,12 +39,19 @@ pub enum Lookup {
 pub struct TagArray {
     geom: CacheGeometry,
     lines: Vec<Line>,
+    /// Reusable per-set snapshot buffer so `view_set` never allocates on
+    /// the access path (it is called once per miss on every L1D/L2 probe).
+    view_scratch: Vec<WayView>,
 }
 
 impl TagArray {
     /// All-invalid array for the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        TagArray { geom, lines: vec![Line::default(); geom.num_lines()] }
+        TagArray {
+            geom,
+            lines: vec![Line::default(); geom.num_lines()],
+            view_scratch: vec![WayView::invalid(); geom.assoc],
+        }
     }
 
     /// Geometry this array was built with.
@@ -80,13 +87,18 @@ impl TagArray {
     }
 
     /// Snapshot the set as the policy-facing [`WayView`]s.
-    pub fn view_set(&self, set: usize) -> Vec<WayView> {
-        (0..self.geom.assoc)
-            .map(|way| {
-                let l = self.lines[self.idx(set, way)];
-                WayView { valid: l.valid, reserved: l.reserved, tag: l.tag }
-            })
-            .collect()
+    ///
+    /// The views are written into an internal scratch buffer sized at
+    /// construction, so repeated calls are allocation-free; each call
+    /// overwrites the previous snapshot.
+    pub fn view_set(&mut self, set: usize) -> &[WayView] {
+        let base = set * self.geom.assoc;
+        debug_assert!(set < self.geom.num_sets);
+        for (way, view) in self.view_scratch.iter_mut().enumerate() {
+            let l = self.lines[base + way];
+            *view = WayView { valid: l.valid, reserved: l.reserved, tag: l.tag };
+        }
+        &self.view_scratch
     }
 
     /// Evict the current occupant of `way` (caller already told the

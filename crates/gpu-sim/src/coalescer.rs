@@ -9,16 +9,23 @@
 /// Coalesce lane byte-addresses into unique 128-byte-aligned sector
 /// addresses, ordered by first touching lane.
 pub fn coalesce(addrs: &[u64], sector_bytes: u64) -> Vec<u64> {
+    let mut sectors = Vec::with_capacity(4);
+    coalesce_into(addrs, sector_bytes, &mut sectors);
+    sectors
+}
+
+/// [`coalesce`] into a caller-supplied buffer (cleared first), so the
+/// SM's issue path can reuse one allocation across instructions.
+pub fn coalesce_into(addrs: &[u64], sector_bytes: u64, sectors: &mut Vec<u64>) {
     debug_assert!(sector_bytes.is_power_of_two());
     let mask = !(sector_bytes - 1);
-    let mut sectors = Vec::with_capacity(4);
+    sectors.clear();
     for &a in addrs {
         let s = a & mask;
         if !sectors.contains(&s) {
             sectors.push(s);
         }
     }
-    sectors
 }
 
 #[cfg(test)]

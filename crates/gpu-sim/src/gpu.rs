@@ -23,6 +23,7 @@ use gpu_mem::observer::AccessObserver;
 use gpu_mem::partition::MemoryPartition;
 use std::collections::VecDeque;
 
+
 /// A configured GPU with a kernel to run.
 pub struct Gpu {
     cfg: SimConfig,
@@ -38,6 +39,18 @@ pub struct Gpu {
     /// cycle it changed, and that cycle — the watchdog's state.
     last_progress: u64,
     last_progress_cycle: u64,
+    /// Idle-skip state: which SMs / partitions have work. A component is
+    /// promoted to busy at the event that gives it work (CTA launch,
+    /// packet enqueue, reply delivery) and demoted after a cycle in
+    /// which it reports idle — quiescent components are not ticked at
+    /// all, and the busy counts make [`Gpu::finished`] O(1).
+    sm_busy: Vec<bool>,
+    part_busy: Vec<bool>,
+    busy_sms: usize,
+    busy_parts: usize,
+    /// Running total of warp instructions issued (the watchdog metric's
+    /// SM half, maintained incrementally).
+    total_warp_insns: u64,
 }
 
 impl Gpu {
@@ -77,7 +90,20 @@ impl Gpu {
             counters: FlowCounters::default(),
             last_progress: 0,
             last_progress_cycle: 0,
+            sm_busy: vec![false; cfg.num_sms],
+            part_busy: vec![false; cfg.icnt.num_partitions],
+            busy_sms: 0,
+            busy_parts: 0,
+            total_warp_insns: 0,
             cfg,
+        }
+    }
+
+    #[inline]
+    fn mark_sm_busy(sm_busy: &mut [bool], busy_sms: &mut usize, s: usize) {
+        if !sm_busy[s] {
+            sm_busy[s] = true;
+            *busy_sms += 1;
         }
     }
 
@@ -113,6 +139,7 @@ impl Gpu {
                 let cta = self.pending_ctas.pop_front().unwrap();
                 let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
                 self.sms[idx].launch_cta(cta, warps);
+                Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, idx);
                 denied = 0;
             } else {
                 denied += 1;
@@ -128,14 +155,24 @@ impl Gpu {
 
         self.launch_ctas();
 
-        for sm in &mut self.sms {
-            sm.cycle(now);
+        // Cycle only SMs with work; an idle SM's cycle is a no-op, so
+        // skipping it changes nothing but wall time.
+        for (s, sm) in self.sms.iter_mut().enumerate() {
+            if !self.sm_busy[s] {
+                continue;
+            }
+            self.total_warp_insns += sm.cycle(now);
             // CTA completions free slots; successors launch next cycle.
             sm.take_finished_ctas();
         }
 
-        // L1D miss queues -> crossbar (forward direction).
-        for sm in &mut self.sms {
+
+        // L1D miss queues -> crossbar (forward direction). Idle SMs have
+        // empty miss queues by definition.
+        for (s, sm) in self.sms.iter_mut().enumerate() {
+            if !self.sm_busy[s] {
+                continue;
+            }
             while let Some(pkt) = sm.l1d.peek_outgoing() {
                 let dst = self.icnt.partition_of(pkt.addr);
                 let expects_reply = pkt.kind.expects_reply();
@@ -148,9 +185,19 @@ impl Gpu {
                     break;
                 }
             }
+            // All traffic is drained above; demote the SM once it has
+            // nothing left anywhere (warps, queues, cache machinery).
+            if self.sm_busy[s] && sm.idle() {
+                self.sm_busy[s] = false;
+                self.busy_sms -= 1;
+            }
         }
 
-        // Crossbar -> partitions, then partition internals.
+
+        // Crossbar -> partitions, then partition internals. Ejection is
+        // polled for every partition (packets arrive regardless of the
+        // partition's own state); the partition machinery itself is only
+        // cycled while busy, with its DRAM clock caught up on wake.
         for (p, part) in self.parts.iter_mut().enumerate() {
             while part.can_accept() {
                 match self.icnt.pop_fwd(p, now) {
@@ -168,9 +215,16 @@ impl Gpu {
                         }
                         self.counters.fwd_flits_delivered += pkt.flits();
                         part.enqueue(pkt);
+                        if !self.part_busy[p] {
+                            self.part_busy[p] = true;
+                            self.busy_parts += 1;
+                        }
                     }
                     None => break,
                 }
+            }
+            if !self.part_busy[p] {
+                continue;
             }
             part.cycle(now).map_err(|source| SimError::PartitionFault {
                 partition: p,
@@ -185,7 +239,12 @@ impl Gpu {
                     break;
                 }
             }
+            if self.part_busy[p] && part.idle() {
+                self.part_busy[p] = false;
+                self.busy_parts -= 1;
+            }
         }
+
 
         // Crossbar -> L1Ds.
         for (s, sm) in self.sms.iter_mut().enumerate() {
@@ -195,12 +254,17 @@ impl Gpu {
                 sm.l1d
                     .on_reply(pkt, now)
                     .map_err(|source| SimError::MshrViolation { sm: s, source, cycle: now })?;
+                // The reply gives the SM work (a response to ripen); an
+                // outstanding fetch implies a non-quiescent L1D, so the
+                // SM should already be busy — keep it that way cheaply.
+                Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, s);
             }
         }
 
-        // Forward-progress watchdog.
-        let metric = self.counters.replies_delivered
-            + self.sms.iter().map(|sm| sm.stats().warp_insns).sum::<u64>();
+
+        // Forward-progress watchdog (the metric is maintained
+        // incrementally instead of re-summed across SMs every cycle).
+        let metric = self.counters.replies_delivered + self.total_warp_insns;
         if metric != self.last_progress {
             self.last_progress = metric;
             self.last_progress_cycle = now;
@@ -305,10 +369,20 @@ impl Gpu {
     }
 
     fn finished(&self) -> bool {
-        self.pending_ctas.is_empty()
+        // O(1): busy counts are maintained by step(); a component is
+        // demoted only after a cycle in which it reported idle, so the
+        // counts reaching zero implies the full scans would too.
+        let done = self.pending_ctas.is_empty()
             && self.icnt.in_flight() == 0
-            && self.sms.iter().all(Sm::idle)
-            && self.parts.iter().all(MemoryPartition::idle)
+            && self.busy_sms == 0
+            && self.busy_parts == 0;
+        debug_assert!(
+            !done
+                || (self.sms.iter().all(Sm::idle)
+                    && self.parts.iter().all(MemoryPartition::idle)),
+            "busy counts report finished but a component still has work"
+        );
+        done
     }
 
     /// Run to completion and report, or abort with a typed error: a

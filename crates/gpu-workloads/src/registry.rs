@@ -32,7 +32,7 @@ pub struct BenchSpec {
 
 /// Model size: `Tiny` for unit tests (sub-second), `Full` for the
 /// experiment harness (matches the figures in EXPERIMENTS.md).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// A few CTAs — enough to exercise every code path.
     Tiny,

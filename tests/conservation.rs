@@ -80,13 +80,18 @@ fn l2_sees_exactly_the_l1_miss_traffic() {
     for kind in PolicyKind::ALL {
         let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
         let s = Gpu::new(cfg, build("MM", Scale::Tiny)).run().unwrap();
+        // Bypassed loads that merge into an in-flight bypass fetch send
+        // no packet of their own, so the packet-level census uses
+        // `bypass_fetches` (fetches actually emitted), not
+        // `bypassed_loads` (accesses logically bypassed).
         let l1_outbound =
-            s.l1d.misses_allocated + s.l1d.bypassed_loads + s.l1d.bypassed_stores + s.l1d.dirty_evictions;
+            s.l1d.misses_allocated + s.l1d.bypass_fetches + s.l1d.bypassed_stores + s.l1d.dirty_evictions;
         assert_eq!(
             s.l2.accesses, l1_outbound,
             "{kind:?}: L2 accesses {} vs L1 outbound {}",
             s.l2.accesses, l1_outbound
         );
+        assert!(s.l1d.bypass_fetches <= s.l1d.bypassed_loads);
     }
 }
 

@@ -88,6 +88,42 @@ fn run_many_is_independent_of_worker_count() {
     }
 }
 
+/// FNV-1a, enough to fingerprint a canonical stats rendering without
+/// pulling a hash crate into the workspace.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn fig10_policy_suite_digest_is_golden() {
+    // End-to-end lock on the figure-10 sweep: every statistic of every
+    // (app, scheme) cell, fingerprinted. Any change to the simulation
+    // engine that alters behaviour — idle-skip ticking, the run cache,
+    // replacement-policy scratch buffers — must NOT move this digest;
+    // a deliberate fidelity change must update it alongside an entry in
+    // CHANGES.md explaining the delta.
+    use dlp_bench::harness::{run_policy_suite, LABEL_32K};
+    let suite = run_policy_suite(Scale::Tiny);
+    assert!(suite.failures.is_empty(), "{}", suite.failure_digest());
+    let mut canon = String::new();
+    for spec in &suite.apps {
+        let row = &suite.runs[spec.abbr];
+        for label in PolicyKind::ALL.map(|k| k.label()).iter().chain([&LABEL_32K]) {
+            canon.push_str(&format!("{}/{}: {:?}\n", spec.abbr, label, row[label].stats));
+        }
+    }
+    let digest = fnv1a(canon.as_bytes());
+    assert_eq!(
+        digest, 0x4e25_bd31_86d4_d866,
+        "fig10 sweep statistics changed (digest {digest:#018x})"
+    );
+}
+
 #[test]
 fn different_geometries_differ_but_reproducibly() {
     // STR's tables overflow a 16 KB L1D even at Tiny scale, so doubling

@@ -91,6 +91,40 @@ fn protection_schemes_track_pd_within_hardware_width() {
 }
 
 #[test]
+fn both_protection_schemes_expose_pd_snapshots() {
+    // The figures binary renders learned PDs from `pd_snapshot()`; both
+    // protecting schemes must produce one. DLP reports one row per
+    // active instruction; GlobalProtection reports its single global PD
+    // as a synthetic row so the table machinery is shared.
+    for (kind, per_insn) in [(PolicyKind::GlobalProtection, false), (PolicyKind::Dlp, true)] {
+        let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+        let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+        gpu.run().unwrap();
+        let snap = gpu
+            .l1d(0)
+            .policy()
+            .pd_snapshot()
+            .unwrap_or_else(|| panic!("{kind:?} must expose a PD snapshot"));
+        if per_insn {
+            assert!(!snap.is_empty(), "DLP's PDPT saw activity on a CI app");
+        } else {
+            assert_eq!(snap.len(), 1, "GlobalProtection reports one global PD row");
+            assert_eq!(snap[0].0, 0, "synthetic instruction id for the global PD");
+        }
+        for &(insn, pd) in &snap {
+            assert!(pd <= 15, "{kind:?}: PD {pd} for insn {insn} exceeds the 4-bit field");
+        }
+    }
+    // Non-protecting schemes keep no PDs at all.
+    for kind in [PolicyKind::Baseline, PolicyKind::StallBypass] {
+        let cfg = SimConfig::tesla_m2090(kind).scaled_down(4);
+        let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+        gpu.run().unwrap();
+        assert!(gpu.l1d(0).policy().pd_snapshot().is_none(), "{kind:?} keeps no PDs");
+    }
+}
+
+#[test]
 fn bigger_cache_never_reduces_hits_on_reuse_apps() {
     use dlp_core::CacheGeometry;
     for app in ["MM", "KM", "SS", "STR"] {
