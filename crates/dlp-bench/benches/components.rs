@@ -74,7 +74,7 @@ fn bench_mshr(c: &mut Criterion) {
             let line = i % 64;
             match m.probe(line) {
                 MshrLookup::Absent => m.allocate(line, Some((0, 0)), req(i)),
-                MshrLookup::Merged => m.merge(line, req(i)),
+                MshrLookup::Merged => m.merge(line, req(i)).unwrap(),
                 _ => {
                     m.complete(line);
                 }

@@ -73,7 +73,10 @@ impl VictimTagArray {
             .find(|&w| self.entries[base + w].valid && self.entries[base + w].tag == tag)
             .or_else(|| (0..self.assoc).find(|&w| !self.entries[base + w].valid))
             .or_else(|| self.recency.lru_among(set, |_| true));
-        let w = slot.expect("VTA set has at least one way");
+        debug_assert!(slot.is_some(), "VTA set has at least one way");
+        // An unfiltered LRU scan over a non-empty set always yields a
+        // victim, so the fallback to way 0 is unreachable.
+        let w = slot.unwrap_or(0);
         self.entries[base + w] = VtaEntry { valid: true, tag, insn_id };
         self.recency.touch(set, w);
     }

@@ -2,6 +2,11 @@
 //! sequence of cache events, the schemes must uphold their structural
 //! invariants (no reserved way chosen, PLs bounded, determinism, ...).
 
+// Integration tests assert on failure paths directly; the
+// unwrap_used/expect_used denies target shipping simulator code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use dlp_core::{
     build_policy, pd_adjustment, AccessCtx, CacheGeometry, Dlp, MissDecision, PolicyKind,
     ProtectionConfig, ReplacementPolicy, VictimTagArray, WayView,

@@ -1,0 +1,200 @@
+//! The analysis engine: ties lexer + rules + suppressions together
+//! and scopes them to the simulator tier of the workspace.
+
+use std::path::Path;
+
+use crate::diag::Finding;
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::rules::{rule_by_id, scan, RawFinding};
+
+/// Crates whose `src/` trees carry the full D/F/E rule set. Harness,
+/// figure-rendering, and tooling crates (dlp-bench, rd-tools, …) are
+/// exempt: wall-clock telemetry, float rendering, and env shims are
+/// *supposed* to live there.
+const SIM_CRATES: &[&str] = &["dlp-core", "gpu-mem", "gpu-sim"];
+
+/// Does the full rule set apply to this workspace-relative path?
+pub fn is_sim_tier(rel: &str) -> bool {
+    SIM_CRATES
+        .iter()
+        .any(|c| rel.strip_prefix(&format!("crates/{c}/src/")).is_some_and(|rest| !rest.is_empty()))
+}
+
+/// Lint one source file given its workspace-relative path. Returns an
+/// empty list for files outside the simulator tier.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    if !is_sim_tier(rel) {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let is_test = test_token_mask(&lexed.tokens);
+    let mut raw = scan(&lexed.tokens, &is_test);
+    let (suppressions, mut directive_findings) = parse_directives(&lexed.comments);
+    raw.retain(|f| {
+        !suppressions.iter().any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line))
+    });
+    raw.append(&mut directive_findings);
+    raw.sort_by_key(|f| (f.line, f.col, f.rule));
+    raw.into_iter()
+        .map(|f| Finding {
+            rule: f.rule,
+            file: rel.to_string(),
+            line: f.line,
+            col: f.col,
+            token: f.token,
+            message: f.message,
+            baselined: false,
+        })
+        .collect()
+}
+
+/// Result of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Number of files lexed and scanned (sim tier only).
+    pub files_scanned: usize,
+}
+
+/// Walk `root` and lint every simulator-tier source file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for file in rd_tools::walk::walk_rust_sources(root)? {
+        if !is_sim_tier(&file.rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file.abs)?;
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(&file.rel, &src));
+    }
+    // Walk order is sorted by rel path and per-file findings are
+    // position-sorted, so the report is already deterministic.
+    Ok(report)
+}
+
+/// Mark every token inside a `#[cfg(test)]` item. Test modules are
+/// exempt from all rule groups: unwraps and ad-hoc iteration are fine
+/// in assertions, and clippy's `unwrap_used` restriction is likewise
+/// relaxed there via `cfg_attr`.
+fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_attr = p(&tokens[i], '#')
+            && p(&tokens[i + 1], '[')
+            && id(&tokens[i + 2], "cfg")
+            && p(&tokens[i + 3], '(')
+            && id(&tokens[i + 4], "test")
+            && p(&tokens[i + 5], ')')
+            && p(&tokens[i + 6], ']');
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Mark from the attribute through the end of the annotated
+        // item: to the matching `}` of its first brace block, or to a
+        // `;` if one comes first (e.g. `#[cfg(test)] use …;`).
+        let start = i;
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut entered = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    ";" if !entered => break,
+                    "{" => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len() - 1);
+        for m in &mut mask[start..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// A parsed `// dlp-lint: allow(<rule>) -- <reason>` directive.
+struct Suppression {
+    rule: &'static str,
+    /// Line the directive sits on; it suppresses findings on this
+    /// line (trailing style) and the next (preceding style).
+    line: u32,
+}
+
+/// Parse suppression directives out of the comment stream. Malformed
+/// directives become X001 findings so typos fail loudly instead of
+/// silently not suppressing.
+fn parse_directives(comments: &[Comment]) -> (Vec<Suppression>, Vec<RawFinding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("dlp-lint:") else {
+            continue;
+        };
+        let mut fail = |why: &str| {
+            bad.push(RawFinding {
+                rule: "X001",
+                line: c.line,
+                col: 1,
+                token: "dlp-lint".to_string(),
+                message: format!("malformed dlp-lint directive: {why}"),
+            });
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            fail("expected `allow(<rule>)` after `dlp-lint:`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("unclosed `allow(` rule list");
+            continue;
+        };
+        let (rule_list, tail) = rest.split_at(close);
+        let tail = &tail[1..]; // drop `)`
+        let Some(reason) = tail.trim_start().strip_prefix("--") else {
+            fail("missing ` -- <reason>` after the rule list");
+            continue;
+        };
+        if reason.trim().is_empty() {
+            fail("empty reason after `--`");
+            continue;
+        }
+        let mut ok = true;
+        for raw_rule in rule_list.split(',') {
+            let rid = raw_rule.trim();
+            match rule_by_id(rid) {
+                Some(rule) => sups.push(Suppression { rule: rule.id, line: c.line }),
+                None => {
+                    fail(&format!("unknown rule `{rid}`"));
+                    ok = false;
+                }
+            }
+        }
+        let _ = ok;
+    }
+    (sups, bad)
+}
+
+fn p(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c)
+}
+
+fn id(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}

@@ -1,0 +1,397 @@
+//! A minimal, self-contained Rust token scanner.
+//!
+//! The lint rules only need a *token-level* view of a source file:
+//! identifiers, punctuation, literals, and line comments — each with a
+//! line/column position. Crucially the scanner must never mistake the
+//! contents of a string, raw string, char literal, or comment for
+//! code, and must tell a lifetime (`'a`) apart from a char literal
+//! (`'a'`). That is the entire job; no parsing, no `syn`, no external
+//! dependencies (consistent with the workspace's vendored-offline
+//! policy).
+
+/// Classification of a scanned token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`line_addr`, `for`, `as`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// String literal, including raw and byte strings (text excludes quotes).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`0x4e25`, `1_000`, `3.5f64`).
+    Num,
+    /// Lifetime (`'a`, `'static`), without the leading quote.
+    Lifetime,
+}
+
+/// One scanned token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (see [`TokenKind`] for what is included).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+/// A comment, kept separately from the code token stream so rules can
+/// scan for `dlp-lint:` suppression directives.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan `src` into tokens and comments. Never fails: unterminated
+/// literals simply consume to end of file, which is good enough for a
+/// linter that runs on code `rustc` already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+        } else if c == '/' && s.peek(1) == Some('/') {
+            out.comments.push(Comment { text: scan_line_comment(&mut s), line });
+        } else if c == '/' && s.peek(1) == Some('*') {
+            out.comments.push(Comment { text: scan_block_comment(&mut s), line });
+        } else if c == 'r' && matches!(s.peek(1), Some('"') | Some('#')) {
+            scan_r_prefixed(&mut s, &mut out, line, col);
+        } else if c == 'b' && matches!(s.peek(1), Some('"') | Some('\'')) {
+            s.bump(); // consume `b`, then scan the plain literal
+            match s.peek(0) {
+                Some('"') => {
+                    let text = scan_string(&mut s);
+                    out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+                }
+                _ => {
+                    let text = scan_char(&mut s);
+                    out.tokens.push(Token { kind: TokenKind::Char, text, line, col });
+                }
+            }
+        } else if c == 'b' && s.peek(1) == Some('r') && matches!(s.peek(2), Some('"') | Some('#'))
+        {
+            s.bump(); // consume `b`; `r…` handled like a raw string
+            scan_r_prefixed(&mut s, &mut out, line, col);
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = s.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token { kind: TokenKind::Ident, text, line, col });
+        } else if c.is_ascii_digit() {
+            let text = scan_number(&mut s);
+            out.tokens.push(Token { kind: TokenKind::Num, text, line, col });
+        } else if c == '"' {
+            let text = scan_string(&mut s);
+            out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+        } else if c == '\'' {
+            scan_quote(&mut s, &mut out, line, col);
+        } else {
+            s.bump();
+            out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line, col });
+        }
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, or a raw identifier `r#ident`. The scanner sits
+/// on the `r`.
+fn scan_r_prefixed(s: &mut Scanner, out: &mut Lexed, line: u32, col: u32) {
+    s.bump(); // `r`
+    let mut hashes = 0usize;
+    while s.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if s.peek(hashes) == Some('"') {
+        for _ in 0..hashes {
+            s.bump();
+        }
+        let text = scan_raw_string(s, hashes);
+        out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+    } else if hashes == 1 && s.peek(1).is_some_and(is_ident_start) {
+        s.bump(); // `#`
+        let mut text = String::new();
+        while let Some(c) = s.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                s.bump();
+            } else {
+                break;
+            }
+        }
+        out.tokens.push(Token { kind: TokenKind::Ident, text, line, col });
+    } else {
+        // Bare `r` identifier followed by `#` punctuation (e.g. `r#`
+        // in macro-ish code) — treat `r` as an ident and move on.
+        out.tokens.push(Token { kind: TokenKind::Ident, text: "r".into(), line, col });
+    }
+}
+
+/// `'a` lifetime vs `'x'` char literal. The scanner sits on the `'`.
+fn scan_quote(s: &mut Scanner, out: &mut Lexed, line: u32, col: u32) {
+    // Lifetime: quote, ident-start, and the char after the ident run
+    // is NOT another quote (`'a'` is a char, `'a,` is a lifetime).
+    if s.peek(1).is_some_and(is_ident_start) {
+        let mut len = 1;
+        while s.peek(1 + len).is_some_and(is_ident_continue) {
+            len += 1;
+        }
+        if s.peek(1 + len) != Some('\'') {
+            s.bump(); // quote
+            let mut text = String::new();
+            for _ in 0..len {
+                text.push(s.bump().unwrap_or('_'));
+            }
+            out.tokens.push(Token { kind: TokenKind::Lifetime, text, line, col });
+            return;
+        }
+    }
+    let text = scan_char(s);
+    out.tokens.push(Token { kind: TokenKind::Char, text, line, col });
+}
+
+fn scan_line_comment(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    s.bump();
+    s.bump(); // `//`
+    while let Some(c) = s.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        s.bump();
+    }
+    text
+}
+
+fn scan_block_comment(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    s.bump();
+    s.bump(); // `/*`
+    let mut depth = 1usize;
+    while let Some(c) = s.peek(0) {
+        if c == '/' && s.peek(1) == Some('*') {
+            depth += 1;
+            s.bump();
+            s.bump();
+            text.push_str("/*");
+        } else if c == '*' && s.peek(1) == Some('/') {
+            depth -= 1;
+            s.bump();
+            s.bump();
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    text
+}
+
+fn scan_string(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    s.bump(); // opening quote
+    while let Some(c) = s.peek(0) {
+        if c == '\\' {
+            s.bump();
+            if let Some(esc) = s.bump() {
+                text.push('\\');
+                text.push(esc);
+            }
+        } else if c == '"' {
+            s.bump();
+            break;
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    text
+}
+
+fn scan_raw_string(s: &mut Scanner, hashes: usize) -> String {
+    let mut text = String::new();
+    s.bump(); // opening quote
+    while let Some(c) = s.peek(0) {
+        if c == '"' {
+            let mut matched = true;
+            for i in 0..hashes {
+                if s.peek(1 + i) != Some('#') {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                for _ in 0..=hashes {
+                    s.bump();
+                }
+                break;
+            }
+        }
+        text.push(c);
+        s.bump();
+    }
+    text
+}
+
+fn scan_char(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    s.bump(); // opening quote
+    while let Some(c) = s.peek(0) {
+        if c == '\\' {
+            s.bump();
+            if let Some(esc) = s.bump() {
+                text.push('\\');
+                text.push(esc);
+            }
+        } else if c == '\'' {
+            s.bump();
+            break;
+        } else if c == '\n' {
+            break; // malformed; don't eat the rest of the file
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    text
+}
+
+fn scan_number(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    while let Some(c) = s.peek(0) {
+        // A `.` continues the number only before a digit, and only once
+        // (so `1.2.3` and range expressions like `0..n` split correctly).
+        let fraction_dot =
+            c == '.' && s.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+        if c.is_alphanumeric() || c == '_' || fraction_dot {
+            text.push(c);
+            s.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            let s = "x.unwrap()"; // call .unwrap() here?
+            /* .unwrap() in /* nested */ block */
+            let r = r#"also .unwrap()"#;
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "unwrap"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("call .unwrap() here?"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "b");
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("a\n  bc");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_idents_and_numbers() {
+        let lexed = lex("let r#type = 0x4e25_bd31 + 1.5f64;");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "type"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Num && t.text == "0x4e25_bd31"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Num && t.text == "1.5f64"));
+    }
+
+    #[test]
+    fn method_call_on_number_is_not_swallowed() {
+        let lexed = lex("0.max(x)");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "max"));
+    }
+}

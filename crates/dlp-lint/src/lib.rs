@@ -1,0 +1,36 @@
+//! # dlp-lint — static invariants for the DLP simulator workspace
+//!
+//! A self-contained static analysis pass (hand-rolled lexer, no
+//! `syn`, no network dependencies) that enforces the determinism,
+//! fidelity, and error-handling invariants the reproduction's
+//! headline results rest on — at CI time, before a violation can
+//! corrupt a run:
+//!
+//! * **D rules** — no wall clock, ambient randomness, env reads, or
+//!   std hash-container iteration in `dlp-core`/`gpu-mem`/`gpu-sim`
+//!   (protects the FNV-1a golden digest and byte-identical parallel
+//!   sweeps).
+//! * **F rules** — no truncating casts of address/cycle values, no
+//!   float-typed simulator state (protects the 7-bit insn-ID hash,
+//!   4-bit PL saturation, and sampling-period statistics).
+//! * **E rules** — no `unwrap()`/`expect()`/`panic!` in simulator
+//!   code (steers to the typed `MemError`/`SimError` paths from the
+//!   PR 1 integrity layer).
+//!
+//! Findings can be suppressed inline
+//! (`// dlp-lint: allow(<rule>) -- <reason>`) or accepted via a
+//! checked-in baseline file; CI fails only on *new* findings. See the
+//! `dlp-lint` binary (`cargo dlp-lint`) and the "Determinism &
+//! fidelity invariants" section of DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{json, render_json, render_text, Baseline, Finding, BASELINE_SCHEMA, DIAG_SCHEMA};
+pub use engine::{is_sim_tier, lint_source, lint_workspace, Report};
+pub use rules::{rule_by_id, Group, Rule, RULES};

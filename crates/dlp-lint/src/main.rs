@@ -1,0 +1,150 @@
+//! `dlp-lint` CLI: lint the workspace against the D/F/E invariant
+//! rules and diff the result against an optional baseline.
+//!
+//! ```text
+//! dlp-lint [--root <dir>] [--format text|json] [--baseline <file>]
+//!          [--write-baseline <file>] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or all findings baselined), `1` new
+//! findings, `2` usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dlp_lint::{lint_workspace, render_json, render_text, Baseline, RULES};
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> String {
+    "usage: dlp-lint [--root <dir>] [--format text|json] [--baseline <file>] \
+     [--write-baseline <file>] [--list-rules]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{}", usage())),
+                }
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Ascend from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for r in RULES {
+            println!("{} {:<18} {}", r.id, r.name, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found (run inside the repo or pass --root)")?
+        }
+    };
+
+    let report = lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = report.findings;
+
+    if let Some(path) = &opts.write_baseline {
+        let rendered = Baseline::render(&findings);
+        std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("dlp-lint: wrote {} entries to {}", findings.len(), path.display());
+    }
+
+    let mut stale = 0usize;
+    if let Some(path) = &opts.baseline {
+        // A baseline path that does not exist is treated as empty so
+        // CI can pass the flag unconditionally.
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let baseline =
+                Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            stale = baseline.apply(&mut findings);
+        }
+    }
+
+    match opts.format {
+        Format::Text => print!("{}", render_text(&findings, report.files_scanned)),
+        Format::Json => print!("{}", render_json(&findings, report.files_scanned)),
+    }
+    if stale > 0 {
+        eprintln!("dlp-lint: note: {stale} stale baseline slot(s) no longer match — prune them");
+    }
+
+    let new = findings.iter().filter(|f| !f.baselined).count();
+    Ok(if new == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dlp-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

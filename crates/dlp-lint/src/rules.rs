@@ -1,0 +1,418 @@
+//! The rule set: what each rule protects and how it is detected.
+//!
+//! Rules are grouped by the invariant class they guard (see
+//! DESIGN.md "Determinism & fidelity invariants"):
+//!
+//! * **D — determinism.** The fig10/fig11 sweeps are validated by an
+//!   FNV-1a golden digest and a byte-identical-across-worker-counts
+//!   test; any wall-clock read, ambient randomness, unsanctioned env
+//!   read, or std hash-container iteration in simulator state can
+//!   silently break both.
+//! * **F — fidelity.** Addresses, tags, and cycle counts are `u64` by
+//!   contract; a truncating `as` cast or float accumulation in stats
+//!   state distorts the paper mechanisms (7-bit insn-ID hash, 4-bit PL
+//!   saturation, sampling-period deltas) without failing any test.
+//! * **E — error handling.** PR 1 hardened the L1D/L2/icnt/DRAM reply
+//!   paths to typed `MemError`/`SimError`; a new `unwrap()` on those
+//!   paths re-introduces abort-on-corruption instead of a diagnosable
+//!   failure.
+//!
+//! Detection is token-based (see [`crate::lexer`]): deliberately
+//! simple, tuned to this workspace's idioms, with explicit
+//! `// dlp-lint: allow(<rule>) -- <reason>` escape hatches where a
+//! heuristic is too blunt.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Invariant class a rule belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Group {
+    /// Reproducibility of simulation results.
+    Determinism,
+    /// Numeric faithfulness of the modelled mechanisms.
+    Fidelity,
+    /// Typed-error discipline on memory-system paths.
+    ErrorHandling,
+    /// Lint-infrastructure hygiene (directive syntax).
+    Meta,
+}
+
+/// Static description of one rule.
+#[derive(Debug)]
+pub struct Rule {
+    /// Stable identifier (`D001` …), used in directives and baselines.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Invariant class.
+    pub group: Group,
+    /// One-line description of what the rule protects.
+    pub summary: &'static str,
+    /// Fix hint attached to every finding.
+    pub hint: &'static str,
+}
+
+/// All rules, in ID order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D001",
+        name: "wall-clock",
+        group: Group::Determinism,
+        summary: "wall-clock time source (Instant/SystemTime) in simulator code",
+        hint: "derive timing from the simulated cycle counter; wall-clock reads belong in \
+               dlp-bench telemetry only",
+    },
+    Rule {
+        id: "D002",
+        name: "ambient-randomness",
+        group: Group::Determinism,
+        summary: "ambient randomness (thread_rng/from_entropy/RandomState) in simulator code",
+        hint: "thread all randomness from an explicitly seeded generator owned by the config",
+    },
+    Rule {
+        id: "D003",
+        name: "env-read",
+        group: Group::Determinism,
+        summary: "process-environment read inside a simulator crate",
+        hint: "route configuration through SimConfig/ExperimentConfig; env access lives behind \
+               the OnceLock shims in dlp-bench",
+    },
+    Rule {
+        id: "D004",
+        name: "hash-iteration",
+        group: Group::Determinism,
+        summary: "iteration over a std HashMap/HashSet (nondeterministic order)",
+        hint: "iterate sorted keys (collect + sort) or switch to BTreeMap; for provably \
+               order-independent reductions add an allow directive stating why",
+    },
+    Rule {
+        id: "F101",
+        name: "truncating-cast",
+        group: Group::Fidelity,
+        summary: "truncating `as` cast of an address/cycle-typed value",
+        hint: "keep addresses and cycles u64 end-to-end; mask explicitly before narrowing \
+               (e.g. `(x & mask) as usize`) so the truncation is intentional and visible",
+    },
+    Rule {
+        id: "F102",
+        name: "float-state",
+        group: Group::Fidelity,
+        summary: "float-typed field or parameter in simulator state",
+        hint: "accumulate statistics in integers (counts, sums); compute ratios as f64 only \
+               at report/figure-rendering time",
+    },
+    Rule {
+        id: "E201",
+        name: "unwrap-in-sim",
+        group: Group::ErrorHandling,
+        summary: "`.unwrap()` in simulator code",
+        hint: "propagate a typed MemError/SimError (or restructure with let-else) so memory \
+               corruption is diagnosable instead of aborting",
+    },
+    Rule {
+        id: "E202",
+        name: "expect-in-sim",
+        group: Group::ErrorHandling,
+        summary: "`.expect()` in simulator code",
+        hint: "propagate a typed MemError/SimError carrying the same context the expect \
+               message had",
+    },
+    Rule {
+        id: "E203",
+        name: "panic-in-sim",
+        group: Group::ErrorHandling,
+        summary: "panicking macro (panic!/unreachable!/todo!/unimplemented!) in simulator code",
+        hint: "return a typed error for reachable states; use debug_assert! for genuine \
+               internal invariants",
+    },
+    Rule {
+        id: "X001",
+        name: "bad-directive",
+        group: Group::Meta,
+        summary: "malformed dlp-lint suppression directive",
+        hint: "directives must read `// dlp-lint: allow(<RULE>[, <RULE>…]) -- <reason>` with a \
+               known rule ID and a non-empty reason",
+    },
+];
+
+/// Look up a rule by ID.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A rule hit before suppression/baseline filtering.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// Rule ID (`D004`, …).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending token (identifier/macro name), used for baseline matching.
+    pub token: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "extract_if",
+];
+
+/// Identifiers that carry address or cycle semantics in this
+/// workspace; narrowing one with a bare `as` cast is almost always a
+/// fidelity bug.
+const ADDR_CYCLE_IDENTS: &[&str] = &[
+    "addr",
+    "wb_addr",
+    "line",
+    "line_addr",
+    "tag",
+    "cycle",
+    "now",
+    "ready",
+    "done",
+    "born",
+    "pc",
+    "deadline",
+];
+
+/// Narrow integer types that lose bits from a u64.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "usize"];
+
+fn is_punct(t: Option<&Token>, p: char) -> bool {
+    t.is_some_and(|t| t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(p))
+}
+
+fn is_ident(t: Option<&Token>, s: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+}
+
+fn ident_in(t: Option<&Token>, set: &[&str]) -> bool {
+    t.is_some_and(|t| t.kind == TokenKind::Ident && set.contains(&t.text.as_str()))
+}
+
+/// Run every token-level rule over a file. `is_test[i]` marks tokens
+/// inside `#[cfg(test)]` items, which are exempt from all groups.
+pub fn scan(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let hash_names = collect_hash_container_names(tokens);
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if is_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let at = |rule, token: &str, message: String| RawFinding {
+            rule,
+            line: tok.line,
+            col: tok.col,
+            token: token.to_string(),
+            message,
+        };
+        let name = tok.text.as_str();
+
+        // D001: wall-clock types.
+        if name == "Instant" || name == "SystemTime" {
+            out.push(at("D001", name, format!("wall-clock type `{name}` in simulator code")));
+        }
+
+        // D002: ambient randomness.
+        if matches!(name, "thread_rng" | "from_entropy" | "RandomState") {
+            out.push(at("D002", name, format!("ambient randomness via `{name}`")));
+        }
+
+        // D003: environment reads (`env::var` and friends).
+        if name == "env"
+            && is_punct(tokens.get(i + 1), ':')
+            && is_punct(tokens.get(i + 2), ':')
+            && ident_in(
+                tokens.get(i + 3),
+                &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"],
+            )
+        {
+            let call = &tokens[i + 3].text;
+            out.push(at("D003", call, format!("environment access `env::{call}`")));
+        }
+
+        // D004: iteration over a known hash container.
+        if hash_names.contains(&tok.text) {
+            let method_iter = is_punct(tokens.get(i + 1), '.')
+                && ident_in(tokens.get(i + 2), HASH_ITER_METHODS)
+                && is_punct(tokens.get(i + 3), '(');
+            if method_iter || is_for_loop_subject(tokens, i) {
+                out.push(at(
+                    "D004",
+                    name,
+                    format!("iteration over std hash container `{name}` has nondeterministic order"),
+                ));
+            }
+        }
+
+        // F101: truncating casts of address/cycle values.
+        if name == "as" && ident_in(tokens.get(i + 1), NARROW_TYPES) {
+            if let Some(w) = truncated_watched_ident(tokens, i) {
+                let ty = &tokens[i + 1].text;
+                out.push(at(
+                    "F101",
+                    &w,
+                    format!("truncating cast of address/cycle value `{w}` to `{ty}`"),
+                ));
+            }
+        }
+
+        // F102: float-typed fields/params in simulator state.
+        if (name == "f32" || name == "f64")
+            && is_punct(tokens.get(i.wrapping_sub(1)), ':')
+            && !is_punct(tokens.get(i.wrapping_sub(2)), ':')
+            && tokens.get(i + 1).is_some_and(|t| {
+                t.kind == TokenKind::Punct && matches!(t.text.as_str(), "," | ")" | "}" | "=" | ";")
+            })
+        {
+            out.push(at("F102", name, format!("float-typed state (`{name}`) in simulator code")));
+        }
+
+        // E201/E202: .unwrap() / .expect(...).
+        if (name == "unwrap" || name == "expect")
+            && is_punct(tokens.get(i.wrapping_sub(1)), '.')
+            && is_punct(tokens.get(i + 1), '(')
+        {
+            let (rule, msg) = if name == "unwrap" {
+                ("E201", "`.unwrap()` aborts on corrupted simulator state")
+            } else {
+                ("E202", "`.expect()` aborts on corrupted simulator state")
+            };
+            out.push(at(rule, name, msg.to_string()));
+        }
+
+        // E203: panicking macros.
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && is_punct(tokens.get(i + 1), '!')
+        {
+            out.push(at("E203", name, format!("panicking macro `{name}!` in simulator code")));
+        }
+    }
+
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
+    out
+}
+
+/// Names declared (anywhere in the file) with a `HashMap`/`HashSet`
+/// type annotation or initialised from one of its constructors. A
+/// per-file name set is deliberately coarse — shadowing across
+/// functions can over-match, which the allow directive handles.
+fn collect_hash_container_names(tokens: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || (tok.text != "HashMap" && tok.text != "HashSet") {
+            continue;
+        }
+        // Walk backward over a `::`-separated path (`std::collections::HashMap`).
+        let mut j = i;
+        while j >= 3
+            && is_punct(tokens.get(j - 1), ':')
+            && is_punct(tokens.get(j - 2), ':')
+            && tokens.get(j - 3).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            j -= 3;
+        }
+        // `name: HashMap<..>` (field/param/let-annotation/struct-literal)
+        // or `name = HashMap::new()`.
+        let binder = if j >= 2
+            && (is_punct(tokens.get(j - 1), ':') || is_punct(tokens.get(j - 1), '='))
+            && !is_punct(tokens.get(j - 2), ':')
+        {
+            tokens.get(j - 2)
+        } else {
+            None
+        };
+        if let Some(b) = binder {
+            if b.kind == TokenKind::Ident && !names.contains(&b.text) {
+                names.push(b.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Is token `i` the subject of a `for … in [&][mut] [self.]name` loop?
+fn is_for_loop_subject(tokens: &[Token], i: usize) -> bool {
+    // Skip backward over borrow/deref/path noise directly before the name.
+    let mut j = i;
+    while j > 0 {
+        let t = &tokens[j - 1];
+        let skip = (t.kind == TokenKind::Punct && matches!(t.text.as_str(), "&" | "." | "*"))
+            || (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "mut" | "self"));
+        if skip {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j == 0 || !is_ident(tokens.get(j - 1), "in") {
+        return false;
+    }
+    // `for <pattern> in` — the pattern is short; look a few tokens back.
+    let lo = j.saturating_sub(10);
+    tokens[lo..j - 1].iter().any(|t| t.kind == TokenKind::Ident && t.text == "for")
+}
+
+/// For an `as` token at `i` (followed by a narrow type), return the
+/// watched identifier being truncated, if the cast is unmasked.
+fn truncated_watched_ident(tokens: &[Token], i: usize) -> Option<String> {
+    if i == 0 {
+        return None;
+    }
+    let prev = &tokens[i - 1];
+    if prev.kind == TokenKind::Ident && ADDR_CYCLE_IDENTS.contains(&prev.text.as_str()) {
+        return Some(prev.text.clone());
+    }
+    if !is_punct(Some(prev), ')') {
+        return None;
+    }
+    // `( … ) as uN` — scan the parenthesised expression. A masking or
+    // bounding operation inside makes the narrowing intentional.
+    let mut depth = 1usize;
+    let mut j = i - 1;
+    let mut watched: Option<String> = None;
+    let mut bounded = false;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "&" | "%" | ">" => bounded = true,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident {
+            if matches!(t.text.as_str(), "min" | "rem_euclid" | "clamp") {
+                bounded = true;
+            }
+            if watched.is_none() && ADDR_CYCLE_IDENTS.contains(&t.text.as_str()) {
+                watched = Some(t.text.clone());
+            }
+        }
+    }
+    if bounded {
+        None
+    } else {
+        watched
+    }
+}

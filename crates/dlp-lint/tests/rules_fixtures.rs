@@ -1,0 +1,270 @@
+//! Fixture-based tests: one positive and one negative case per rule,
+//! plus suppression-directive and baseline behaviour over real
+//! `lint_source` runs. Fixtures are linted under a simulator-tier path
+//! (`crates/gpu-mem/src/…`) so the full rule set applies.
+
+use dlp_lint::{is_sim_tier, lint_source, Baseline, Finding};
+
+/// Lint a fixture as if it lived in the simulator tier.
+fn lint(src: &str) -> Vec<Finding> {
+    lint_source("crates/gpu-mem/src/fixture.rs", src)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Tier scoping
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sim_tier_covers_exactly_the_three_simulator_crates() {
+    assert!(is_sim_tier("crates/dlp-core/src/vta.rs"));
+    assert!(is_sim_tier("crates/gpu-mem/src/deep/nested.rs"));
+    assert!(is_sim_tier("crates/gpu-sim/src/sm.rs"));
+    // Harness, tooling, tests and examples are exempt.
+    assert!(!is_sim_tier("crates/dlp-bench/src/telemetry.rs"));
+    assert!(!is_sim_tier("crates/rd-tools/src/walk.rs"));
+    assert!(!is_sim_tier("crates/gpu-mem/tests/l1d_properties.rs"));
+    assert!(!is_sim_tier("examples/quickstart.rs"));
+    assert!(!is_sim_tier("crates/gpu-mem/src/"));
+}
+
+#[test]
+fn non_sim_tier_files_produce_no_findings() {
+    let src = "fn f() { let t = Instant::now(); t.elapsed().unwrap(); }";
+    assert!(lint_source("crates/dlp-bench/src/perf.rs", src).is_empty());
+    assert!(!lint_source("crates/gpu-mem/src/perf.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// D — determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d001_flags_wall_clock_types() {
+    let f = lint("fn f() { let t0 = std::time::Instant::now(); }");
+    assert_eq!(rules_of(&f), ["D001"]);
+    assert_eq!(f[0].token, "Instant");
+    let f = lint("fn f() -> SystemTime { SystemTime::now() }");
+    assert!(f.iter().all(|f| f.rule == "D001"));
+    // Simulated time is the cycle counter — not a wall clock.
+    assert!(lint("fn f(now: u64) -> u64 { now + 4 }").is_empty());
+}
+
+#[test]
+fn d002_flags_ambient_randomness() {
+    let f = lint("fn f() { let mut rng = rand::thread_rng(); }");
+    assert_eq!(rules_of(&f), ["D002"]);
+    let f = lint("fn f() { let s = RandomState::new(); }");
+    assert_eq!(rules_of(&f), ["D002"]);
+    // Explicitly seeded generators are the sanctioned pattern.
+    assert!(lint("fn f(seed: u64) { let rng = Lcg::seed_from(seed); }").is_empty());
+}
+
+#[test]
+fn d003_flags_environment_reads() {
+    let f = lint("fn f() { let v = std::env::var(\"DLP_FORCE_FAIL\"); }");
+    assert_eq!(rules_of(&f), ["D003"]);
+    assert_eq!(f[0].token, "var");
+    let f = lint("fn f() { for (k, v) in std::env::vars() {} }");
+    assert_eq!(rules_of(&f), ["D003"]);
+    // Non-read env API (and unrelated `env` idents) pass.
+    assert!(lint("fn f() { let d = std::env::current_dir(); }").is_empty());
+    assert!(lint("fn f(env: &Config) { env.lookup(3); }").is_empty());
+}
+
+#[test]
+fn d004_flags_hash_container_iteration() {
+    // Method-call iteration on a declared HashMap.
+    let f = lint(
+        "struct S { entries: HashMap<u64, u32> }\n\
+         impl S { fn f(&self) -> usize { self.entries.values().count() } }",
+    );
+    assert_eq!(rules_of(&f), ["D004"]);
+    // For-loop iteration on a HashSet local.
+    let f = lint(
+        "fn f() { let seen: HashSet<u64> = HashSet::new();\n\
+         for x in &seen { drop(x); } }",
+    );
+    assert_eq!(rules_of(&f), ["D004"]);
+    // Point lookups are order-free; BTreeMap iteration is sorted.
+    assert!(lint(
+        "struct S { entries: HashMap<u64, u32> }\n\
+         impl S { fn f(&self, k: u64) -> Option<&u32> { self.entries.get(&k) } }",
+    )
+    .is_empty());
+    assert!(lint(
+        "fn f(m: &BTreeMap<u64, u32>) -> usize { m.values().count() }",
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// F — fidelity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn f101_flags_unmasked_narrowing_of_addresses_and_cycles() {
+    let f = lint("fn f(addr: u64) -> u32 { addr as u32 }");
+    assert_eq!(rules_of(&f), ["F101"]);
+    assert_eq!(f[0].token, "addr");
+    let f = lint("fn f(cycle: u64) -> usize { (cycle + 1) as usize }");
+    assert_eq!(rules_of(&f), ["F101"]);
+    // An explicit mask or bound makes the narrowing intentional.
+    assert!(lint("fn f(addr: u64) -> usize { (addr & 0x7f) as usize }").is_empty());
+    assert!(lint("fn f(now: u64) -> u32 { (now % 1024) as u32 }").is_empty());
+    // Widening and non-watched identifiers pass.
+    assert!(lint("fn f(addr: u32) -> u64 { addr as u64 }").is_empty());
+    assert!(lint("fn f(idx: u64) -> usize { idx as usize }").is_empty());
+}
+
+#[test]
+fn f102_flags_float_typed_state() {
+    let f = lint("struct Stats { hit_rate: f64, misses: u64 }");
+    assert_eq!(rules_of(&f), ["F102"]);
+    let f = lint("fn f(alpha: f32) {}");
+    assert_eq!(rules_of(&f), ["F102"]);
+    // Ratios computed at report time (return position / casts) pass.
+    assert!(lint("fn ipc(&self) -> f64 { self.insns as f64 / self.cycles as f64 }").is_empty());
+    assert!(lint("use std::f64::consts::PI;").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// E — error handling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn e201_flags_unwrap_calls() {
+    let f = lint("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+    assert_eq!(rules_of(&f), ["E201"]);
+    // unwrap_or and friends are total — no abort path.
+    assert!(lint("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+    assert!(lint("fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }").is_empty());
+}
+
+#[test]
+fn e202_flags_expect_calls() {
+    let f = lint("fn f(x: Option<u32>) -> u32 { x.expect(\"live warp\") }");
+    assert_eq!(rules_of(&f), ["E202"]);
+    assert!(lint("fn f(x: Option<u32>) -> u32 { x.map_or(0, |v| v) }").is_empty());
+}
+
+#[test]
+fn e203_flags_panicking_macros() {
+    assert_eq!(rules_of(&lint("fn f() { panic!(\"boom\"); }")), ["E203"]);
+    assert_eq!(rules_of(&lint("fn f() { unreachable!(); }")), ["E203"]);
+    assert_eq!(rules_of(&lint("fn f() { todo!(); }")), ["E203"]);
+    // assert!/debug_assert! document invariants without being flagged.
+    assert!(lint("fn f(n: usize) { debug_assert!(n > 0); assert!(n < 64); }").is_empty());
+}
+
+#[test]
+fn cfg_test_items_are_exempt_from_every_rule() {
+    let src = "\
+        fn live() -> u64 { 1 }\n\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n\
+            fn clock() { let t = Instant::now(); panic!(\"{t:?}\"); }\n\
+        }\n";
+    assert!(lint(src).is_empty());
+    // …but code after the test module is scanned again.
+    let trailing = format!("{src}fn late(x: Option<u32>) -> u32 {{ x.unwrap() }}\n");
+    assert_eq!(rules_of(&lint(&trailing)), ["E201"]);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives and X001
+// ---------------------------------------------------------------------------
+
+#[test]
+fn directive_on_preceding_line_suppresses_next_line() {
+    let src = "\
+        fn f(m: &HashMap<u64, u32>) -> usize {\n\
+            let m: HashMap<u64, u32> = HashMap::new();\n\
+            // dlp-lint: allow(D004) -- sum over values is order-independent\n\
+            m.values().count()\n\
+        }\n";
+    assert!(lint(src).is_empty(), "directive should suppress the D004 below it");
+}
+
+#[test]
+fn trailing_directive_suppresses_its_own_line() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // dlp-lint: allow(E201) -- fixture\n";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn directive_for_a_different_rule_does_not_suppress() {
+    let src = "\
+        // dlp-lint: allow(D004) -- wrong rule\n\
+        fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules_of(&lint(src)), ["E201"]);
+}
+
+#[test]
+fn directive_covers_a_comma_separated_rule_list() {
+    let src = "\
+        // dlp-lint: allow(E201, E203) -- fixture exercising both\n\
+        fn f(x: Option<u32>) -> u32 { if x.is_none() { panic!(\"gone\") } x.unwrap() }\n";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn x001_reports_malformed_directives() {
+    // Missing reason.
+    let f = lint("// dlp-lint: allow(D004)\nfn f() {}\n");
+    assert_eq!(rules_of(&f), ["X001"]);
+    // Unknown rule ID.
+    let f = lint("// dlp-lint: allow(Z999) -- because\nfn f() {}\n");
+    assert_eq!(rules_of(&f), ["X001"]);
+    // Not an allow() form at all.
+    let f = lint("// dlp-lint: disable D004 -- nope\nfn f() {}\n");
+    assert_eq!(rules_of(&f), ["X001"]);
+    // Empty reason after the separator.
+    let f = lint("// dlp-lint: allow(D004) --   \nfn f() {}\n");
+    assert_eq!(rules_of(&f), ["X001"]);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline behaviour over real scan output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn baseline_written_from_findings_accepts_exactly_those_findings() {
+    let src = "\
+        fn f(a: Option<u32>, b: Option<u32>) -> u32 { a.unwrap() + b.unwrap() }\n";
+    let mut findings = lint(src);
+    assert_eq!(rules_of(&findings), ["E201", "E201"]);
+
+    // A baseline generated from the findings covers both occurrences…
+    let rendered = Baseline::render(&findings);
+    let baseline = Baseline::parse(&rendered).unwrap();
+    assert_eq!(baseline.entries.len(), 1, "identical findings collapse into one counted entry");
+    assert_eq!(baseline.entries[0].count, 2);
+    let stale = baseline.apply(&mut findings);
+    assert_eq!(stale, 0);
+    assert!(findings.iter().all(|f| f.baselined));
+
+    // …but a third, new unwrap is NOT covered.
+    let grown = "\
+        fn f(a: Option<u32>, b: Option<u32>) -> u32 { a.unwrap() + b.unwrap() }\n\
+        fn g(c: Option<u32>) -> u32 { c.unwrap() }\n";
+    let mut findings = lint(grown);
+    baseline.apply(&mut findings);
+    assert_eq!(findings.iter().filter(|f| !f.baselined).count(), 1);
+}
+
+#[test]
+fn fixed_findings_surface_as_stale_baseline_slots() {
+    let mut findings = lint("fn f(a: Option<u32>) -> u32 { a.unwrap() }");
+    let baseline = Baseline::parse(&Baseline::render(&findings)).unwrap();
+    // The unwrap gets fixed: nothing matches the baseline entry any more.
+    let mut clean = lint("fn f(a: Option<u32>) -> u32 { a.unwrap_or(0) }");
+    assert!(clean.is_empty());
+    assert_eq!(baseline.apply(&mut clean), 1);
+    // Meanwhile the original findings are still covered.
+    assert_eq!(baseline.apply(&mut findings), 0);
+}

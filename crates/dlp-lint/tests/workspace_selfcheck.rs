@@ -1,0 +1,86 @@
+//! Self-check: lint the real workspace the test runs inside. This is
+//! the same gate CI applies (`cargo run -p dlp-lint -- --format json
+//! --baseline lint-baseline.json`), expressed as a library call so a
+//! regression fails `cargo test` too, not just the CI job.
+
+use std::path::{Path, PathBuf};
+
+use dlp_lint::{json, lint_workspace, render_json, Baseline};
+
+fn workspace_root() -> PathBuf {
+    // crates/dlp-lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn load_baseline(root: &Path) -> Baseline {
+    match std::fs::read_to_string(root.join("lint-baseline.json")) {
+        Ok(src) => Baseline::parse(&src).unwrap(),
+        Err(_) => Baseline::default(),
+    }
+}
+
+#[test]
+fn workspace_has_no_unbaselined_findings() {
+    let root = workspace_root();
+    let mut report = lint_workspace(&root).unwrap();
+    load_baseline(&root).apply(&mut report.findings);
+    let fresh: Vec<_> = report.findings.iter().filter(|f| !f.baselined).collect();
+    assert!(
+        fresh.is_empty(),
+        "new dlp-lint findings — fix them or justify in lint-baseline.json:\n{}",
+        fresh
+            .iter()
+            .map(|f| format!("  {}:{}:{}: {} {}", f.file, f.line, f.col, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned >= 30,
+        "suspiciously few files scanned ({}) — walker or tier filter broke",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_report_round_trips_through_the_json_schema() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).unwrap();
+    let out = render_json(&report.findings, report.files_scanned);
+    let v = json::parse(&out).unwrap();
+    let obj = v.as_object().unwrap();
+    let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    assert_eq!(get("schema").and_then(|v| v.as_str()), Some(dlp_lint::DIAG_SCHEMA));
+    assert_eq!(
+        get("files_scanned").and_then(|v| v.as_usize()),
+        Some(report.files_scanned)
+    );
+    let findings = get("findings").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(findings.len(), report.findings.len());
+    for f in findings {
+        let fo = f.as_object().unwrap();
+        for key in ["rule", "name", "file", "token", "message", "hint"] {
+            assert!(
+                fo.iter().any(|(k, v)| k == key && v.as_str().is_some()),
+                "finding missing string field `{key}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_seeded_violation_is_caught_and_suppressible() {
+    // End-to-end through lint_source with a realistic seeded defect:
+    // the exact shape the CI job exists to reject.
+    let seeded = "\
+        pub fn drain(&mut self, now: u64) {\n\
+            let pending: HashMap<u64, Packet> = HashMap::new();\n\
+            for (line, pkt) in pending.iter() {\n\
+                self.out.push(pkt.clone());\n\
+                self.done.insert(*line as u32, now);\n\
+            }\n\
+        }\n";
+    let findings = dlp_lint::lint_source("crates/gpu-mem/src/seeded.rs", seeded);
+    let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"D004"), "seeded hash iteration not caught: {rules:?}");
+    assert!(rules.contains(&"F101"), "seeded truncating cast not caught: {rules:?}");
+}

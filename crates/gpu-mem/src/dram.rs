@@ -246,7 +246,7 @@ impl Dram {
                 self.completed.push_back((done, cmd));
             }
             Some(FaultKind::Delay) => {
-                let delay = self.fault.as_ref().unwrap().delay_cycles();
+                let delay = self.fault.as_ref().map_or(0, |f| f.delay_cycles());
                 self.completed.push_back((done + delay, cmd));
             }
             Some(FaultKind::Misroute) => {

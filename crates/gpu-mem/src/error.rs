@@ -31,6 +31,25 @@ pub enum MemError {
         /// Line address of the orphaned completion.
         line: u64,
     },
+    /// A request was merged into an MSHR entry that does not exist or
+    /// whose merge list is already at capacity — the caller skipped or
+    /// ignored the `probe` step.
+    MshrBadMerge {
+        /// Line address of the bad merge.
+        line: u64,
+    },
+    /// A reply was synthesised for a packet kind that has no reply
+    /// (anything but a read request or writeback).
+    NoReplyKind {
+        /// The offending kind.
+        kind: PacketKind,
+    },
+    /// The L2 replacement policy produced a bypass decision; the L2 is
+    /// plain LRU by construction and has no bypass path.
+    L2BypassUnsupported {
+        /// Line address whose replacement decision went wrong.
+        line: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -44,6 +63,15 @@ impl fmt::Display for MemError {
             }
             MemError::L2MshrMissingFill { line } => {
                 write!(f, "DRAM read completion for line {line:#x} matches no L2 MSHR entry")
+            }
+            MemError::MshrBadMerge { line } => {
+                write!(f, "merge into line {line:#x} without a matching probed MSHR entry")
+            }
+            MemError::NoReplyKind { kind } => {
+                write!(f, "no reply kind exists for packet kind {kind:?}")
+            }
+            MemError::L2BypassUnsupported { line } => {
+                write!(f, "L2 replacement for line {line:#x} chose bypass, but L2 is plain LRU")
             }
         }
     }

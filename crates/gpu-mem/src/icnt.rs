@@ -129,7 +129,9 @@ impl Interconnect {
                 return pkt.flits();
             }
             Some(FaultKind::Duplicate) => copies = 2,
-            Some(FaultKind::Delay) => extra = self.fault.as_ref().unwrap().delay_cycles(),
+            Some(FaultKind::Delay) => {
+                extra = self.fault.as_ref().map_or(0, |f| f.delay_cycles());
+            }
             Some(FaultKind::Misroute) => {
                 let ports = if forward { self.cfg.num_partitions } else { self.cfg.num_sms };
                 dst = (dst + 1) % ports;

@@ -141,41 +141,40 @@ impl L1dCache {
         self.pipeline_reg.is_some()
     }
 
-    /// Present a new transaction. Returns `false` (and leaves the
+    /// Present a new transaction. Returns `Ok(false)` (and leaves the
     /// transaction with the caller) if the pipeline register is occupied
-    /// by a stalled access — the §2 blocking behaviour.
-    pub fn submit(&mut self, mut req: MemReq, cycle: u64) -> bool {
+    /// by a stalled access — the §2 blocking behaviour. An `Err` means
+    /// the cache's own structural state is corrupt (bad MSHR merge).
+    pub fn submit(&mut self, mut req: MemReq, cycle: u64) -> Result<bool, MemError> {
         if self.pipeline_reg.is_some() {
             self.stats.rejected_submits += 1;
-            return false;
+            return Ok(false);
         }
         req.born = cycle;
-        match self.process(req, true, cycle) {
-            Outcome::Consumed => true,
+        match self.process(req, true, cycle)? {
+            Outcome::Consumed => Ok(true),
             Outcome::Stalled => {
                 self.pipeline_reg = Some(req);
-                true
+                Ok(true)
             }
         }
     }
 
     /// Advance one core cycle: retry the stalled access (if any) and
     /// ripen pending responses.
-    pub fn cycle(&mut self, cycle: u64) {
+    pub fn cycle(&mut self, cycle: u64) -> Result<(), MemError> {
         if let Some(req) = self.pipeline_reg.take() {
             self.stats.stall_cycles += 1;
-            match self.process(req, false, cycle) {
+            match self.process(req, false, cycle)? {
                 Outcome::Consumed => {}
                 Outcome::Stalled => self.pipeline_reg = Some(req),
             }
         }
-        while let Some(Reverse(head)) = self.pending.peek() {
-            if head.ready > cycle {
-                break;
-            }
-            let Reverse(p) = self.pending.pop().unwrap();
+        while self.pending.peek().is_some_and(|Reverse(head)| head.ready <= cycle) {
+            let Some(Reverse(p)) = self.pending.pop() else { break };
             self.responses.push_back(p.resp);
         }
+        Ok(())
     }
 
     /// A reply arrived from the interconnect. Fails with a typed error
@@ -316,7 +315,12 @@ impl L1dCache {
         }
     }
 
-    fn process(&mut self, req: MemReq, first_attempt: bool, cycle: u64) -> Outcome {
+    fn process(
+        &mut self,
+        req: MemReq,
+        first_attempt: bool,
+        cycle: u64,
+    ) -> Result<Outcome, MemError> {
         let line = self.cfg.geom.line_addr(req.addr);
         let (set, tag) = (self.cfg.geom.set_of_line(line), self.cfg.geom.tag_of_line(line));
         let ctx = AccessCtx { insn_id: hash_pc(req.pc), is_write: req.is_write };
@@ -340,7 +344,7 @@ impl L1dCache {
                 self.tags.mark_dirty(set, way);
             }
             self.schedule_resp(req, cycle + self.cfg.hit_latency);
-            return Outcome::Consumed;
+            return Ok(Outcome::Consumed);
         }
 
         // 2. MSHR probe (covers the Reserved lookup state).
@@ -355,23 +359,23 @@ impl L1dCache {
                         // would be dropped): write it through instead.
                         return if self.miss_queue_free() >= 1 {
                             self.do_bypass(req, cycle);
-                            Outcome::Consumed
+                            Ok(Outcome::Consumed)
                         } else {
                             self.stats.stall_miss_queue += 1;
-                            Outcome::Stalled
+                            Ok(Outcome::Stalled)
                         };
                     }
-                    self.mshr.merge(line, req);
+                    self.mshr.merge(line, req)?;
                     self.stats.bypassed_loads += 1;
                 } else {
-                    self.mshr.merge(line, req);
+                    self.mshr.merge(line, req)?;
                     self.stats.mshr_merges += 1;
                 }
-                return Outcome::Consumed;
+                return Ok(Outcome::Consumed);
             }
             MshrLookup::MergeFull => {
                 self.stats.stall_merge_full += 1;
-                return Outcome::Stalled;
+                return Ok(Outcome::Stalled);
             }
             MshrLookup::Full => {
                 if first_attempt {
@@ -381,10 +385,10 @@ impl L1dCache {
                 // MSHR entirely; everyone else waits.
                 return if self.policy.bypass_on_stall() && self.miss_queue_free() >= 1 {
                     self.do_bypass(req, cycle);
-                    Outcome::Consumed
+                    Ok(Outcome::Consumed)
                 } else {
                     self.stats.stall_mshr_full += 1;
-                    Outcome::Stalled
+                    Ok(Outcome::Stalled)
                 };
             }
             MshrLookup::Absent => {}
@@ -404,10 +408,10 @@ impl L1dCache {
                 if self.miss_queue_free() < needed {
                     return if self.policy.bypass_on_stall() && self.miss_queue_free() >= 1 {
                         self.do_bypass(req, cycle);
-                        Outcome::Consumed
+                        Ok(Outcome::Consumed)
                     } else {
                         self.stats.stall_miss_queue += 1;
-                        Outcome::Stalled
+                        Ok(Outcome::Stalled)
                     };
                 }
                 if let Some(old) = self.tags.evict_and_reserve(set, way, tag) {
@@ -431,12 +435,12 @@ impl L1dCache {
                 self.mshr.allocate(line, Some((set, way)), req);
                 self.push_packet(PacketKind::ReadReq, req.addr, req);
                 self.stats.misses_allocated += 1;
-                Outcome::Consumed
+                Ok(Outcome::Consumed)
             }
             MissDecision::Bypass => {
                 if self.miss_queue_free() < 1 {
                     self.stats.stall_miss_queue += 1;
-                    return Outcome::Stalled;
+                    return Ok(Outcome::Stalled);
                 }
                 // The line will never enter the TDA: let the policy
                 // restore the victim tag its on_miss probe consumed.
@@ -454,11 +458,11 @@ impl L1dCache {
                     self.stats.bypassed_loads += 1;
                     self.stats.bypass_fetches += 1;
                 }
-                Outcome::Consumed
+                Ok(Outcome::Consumed)
             }
             MissDecision::Stall => {
                 self.stats.stall_all_reserved += 1;
-                Outcome::Stalled
+                Ok(Outcome::Stalled)
             }
         }
     }
@@ -486,7 +490,7 @@ mod tests {
     fn run(c: &mut L1dCache, from: u64, n: u64) -> Vec<MemResp> {
         let mut out = Vec::new();
         for cyc in from..from + n {
-            c.cycle(cyc);
+            c.cycle(cyc).unwrap();
             while let Some(r) = c.pop_response() {
                 out.push(r);
             }
@@ -512,7 +516,7 @@ mod tests {
     #[test]
     fn cold_miss_fetches_then_hits() {
         let mut c = cache(PolicyKind::Baseline);
-        assert!(c.submit(load(1, 0x1000, 4), 0));
+        assert!(c.submit(load(1, 0x1000, 4), 0).unwrap());
         assert_eq!(c.stats().misses_allocated, 1);
         assert_eq!(c.stats().compulsory_misses, 1);
         assert_eq!(serve_memory(&mut c, 5), 1);
@@ -521,7 +525,7 @@ mod tests {
         assert_eq!(resps[0].req.id, 1);
 
         // Second access to the same line hits.
-        assert!(c.submit(load(2, 0x1000 + 64, 4), 10));
+        assert!(c.submit(load(2, 0x1000 + 64, 4), 10).unwrap());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().compulsory_misses, 1, "same line is not compulsory twice");
         let resps = run(&mut c, 11, 10);
@@ -532,8 +536,8 @@ mod tests {
     #[test]
     fn misses_to_same_line_merge_in_mshr() {
         let mut c = cache(PolicyKind::Baseline);
-        assert!(c.submit(load(1, 0x2000, 4), 0));
-        assert!(c.submit(load(2, 0x2000, 8), 1));
+        assert!(c.submit(load(1, 0x2000, 4), 0).unwrap());
+        assert!(c.submit(load(2, 0x2000, 8), 1).unwrap());
         assert_eq!(c.stats().mshr_merges, 1);
         assert_eq!(c.stats().misses_allocated, 1);
         // Only one fetch goes out.
@@ -554,10 +558,10 @@ mod tests {
         let mut c = cache(PolicyKind::Baseline);
         let geom = CacheGeometry::fermi_l1d_16k();
         // Fill a line, dirty it with a store hit.
-        assert!(c.submit(load(1, 0x3000, 4), 0));
+        assert!(c.submit(load(1, 0x3000, 4), 0).unwrap());
         serve_memory(&mut c, 2);
         run(&mut c, 3, 3);
-        assert!(c.submit(store(2, 0x3000, 5), 6));
+        assert!(c.submit(store(2, 0x3000, 5), 6).unwrap());
         assert_eq!(c.stats().hits, 1);
 
         // Now force eviction of that line: fill the set with 4 more
@@ -569,7 +573,7 @@ mod tests {
         while filled < 4 {
             let (s, _) = geom.locate(candidate);
             if s == set0 {
-                assert!(c.submit(load(100 + filled, candidate, 4), cyc));
+                assert!(c.submit(load(100 + filled, candidate, 4), cyc).unwrap());
                 serve_memory(&mut c, cyc + 1);
                 run(&mut c, cyc + 1, 3);
                 filled += 1;
@@ -598,21 +602,21 @@ mod tests {
             candidate += 128;
         }
         for (i, &a) in addrs[..4].iter().enumerate() {
-            assert!(c.submit(load(i as u64, a, 4), i as u64));
+            assert!(c.submit(load(i as u64, a, 4), i as u64).unwrap());
         }
         assert_eq!(c.stats().misses_allocated, 4);
-        assert!(c.submit(load(99, addrs[4], 4), 10), "submit accepts, then stalls internally");
+        assert!(c.submit(load(99, addrs[4], 4), 10).unwrap(), "submit accepts, then stalls internally");
         assert!(c.input_blocked());
         // Younger accesses are rejected while stalled.
-        assert!(!c.submit(load(100, 0x9999 * 128, 4), 11));
+        assert!(!c.submit(load(100, 0x9999 * 128, 4), 11).unwrap());
         assert_eq!(c.stats().rejected_submits, 1);
         // Retry burns stall cycles.
-        c.cycle(12);
-        c.cycle(13);
+        c.cycle(12).unwrap();
+        c.cycle(13).unwrap();
         assert!(c.stats().stall_cycles >= 2);
         // A fill frees a way; the stalled access then allocates it.
         serve_memory(&mut c, 14);
-        c.cycle(15);
+        c.cycle(15).unwrap();
         assert!(!c.input_blocked());
         assert_eq!(c.stats().misses_allocated, 5);
     }
@@ -632,9 +636,9 @@ mod tests {
             candidate += 128;
         }
         for (i, &a) in addrs[..4].iter().enumerate() {
-            assert!(c.submit(load(i as u64, a, 4), i as u64));
+            assert!(c.submit(load(i as u64, a, 4), i as u64).unwrap());
         }
-        assert!(c.submit(load(99, addrs[4], 4), 10));
+        assert!(c.submit(load(99, addrs[4], 4), 10).unwrap());
         assert!(!c.input_blocked(), "Stall-Bypass must not block");
         assert_eq!(c.stats().bypassed_loads, 1);
         // The bypassed fetch is MSHR-tracked (no fill target); its reply
@@ -662,9 +666,9 @@ mod tests {
             candidate += 128;
         }
         for (i, &a) in addrs[..4].iter().enumerate() {
-            assert!(c.submit(load(i as u64, a, 4), i as u64));
+            assert!(c.submit(load(i as u64, a, 4), i as u64).unwrap());
         }
-        assert!(c.submit(store(99, addrs[4], 4), 10));
+        assert!(c.submit(store(99, addrs[4], 4), 10).unwrap());
         assert_eq!(c.stats().bypassed_stores, 1);
         // Store retires without a memory round trip.
         let resps = run(&mut c, 11, 3);
@@ -679,13 +683,13 @@ mod tests {
             build_policy(PolicyKind::Baseline, CacheGeometry::fermi_l1d_16k()),
         );
         // Two misses fill the queue (never drained), third stalls.
-        assert!(c.submit(load(1, 0, 4), 0));
-        assert!(c.submit(load(2, 128 * 1000, 4), 1));
-        assert!(c.submit(load(3, 128 * 2000, 4), 2));
+        assert!(c.submit(load(1, 0, 4), 0).unwrap());
+        assert!(c.submit(load(2, 128 * 1000, 4), 1).unwrap());
+        assert!(c.submit(load(3, 128 * 2000, 4), 2).unwrap());
         assert!(c.input_blocked());
         // Draining the queue lets the retry through.
         c.pop_outgoing();
-        c.cycle(3);
+        c.cycle(3).unwrap();
         assert!(!c.input_blocked());
         assert_eq!(c.stats().misses_allocated, 3);
     }
@@ -702,9 +706,9 @@ mod tests {
         let mut sb = mk(PolicyKind::StallBypass);
         for (i, c) in [&mut base, &mut sb].into_iter().enumerate() {
             let _ = i;
-            assert!(c.submit(load(1, 0, 4), 0));
-            assert!(c.submit(load(2, 128 * 1000, 4), 1));
-            assert!(c.submit(load(3, 128 * 2000, 4), 2));
+            assert!(c.submit(load(1, 0, 4), 0).unwrap());
+            assert!(c.submit(load(2, 128 * 1000, 4), 1).unwrap());
+            assert!(c.submit(load(3, 128 * 2000, 4), 2).unwrap());
         }
         assert!(base.input_blocked());
         assert!(!sb.input_blocked());
@@ -719,11 +723,11 @@ mod tests {
             build_policy(PolicyKind::Baseline, CacheGeometry::fermi_l1d_16k()),
         );
         c.set_observer(Box::new(CountingObserver::default()));
-        assert!(c.submit(load(1, 0, 4), 0));
-        assert!(c.submit(load(2, 128 * 1000, 4), 1)); // stalls: queue full
+        assert!(c.submit(load(1, 0, 4), 0).unwrap());
+        assert!(c.submit(load(2, 128 * 1000, 4), 1).unwrap()); // stalls: queue full
         assert!(c.input_blocked());
         for cyc in 2..6 {
-            c.cycle(cyc); // retries do not re-observe
+            c.cycle(cyc).unwrap(); // retries do not re-observe
         }
         assert_eq!(c.stats().accesses, 2);
         // Two accesses -> the policy saw exactly two queries too.
@@ -744,7 +748,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, MemError::UnexpectedPacket { kind: PacketKind::Writeback });
         // Neither corrupted the cache: a normal access still works.
-        assert!(c.submit(load(2, 0x8000, 4), 5));
+        assert!(c.submit(load(2, 0x8000, 4), 5).unwrap());
         assert_eq!(c.audit(), Ok(()));
     }
 
@@ -753,9 +757,9 @@ mod tests {
         let mut c = cache(PolicyKind::Baseline);
         // Miss at cycle 0, hit at cycle 1: the hit (latency 4) ripens at
         // 5; the fill (arrives at 2) ripens at 3.
-        assert!(c.submit(load(1, 0x5000, 4), 0));
+        assert!(c.submit(load(1, 0x5000, 4), 0).unwrap());
         serve_memory(&mut c, 2);
-        assert!(c.submit(load(2, 0x5000, 4), 10));
+        assert!(c.submit(load(2, 0x5000, 4), 10).unwrap());
         let resps = run(&mut c, 3, 20);
         assert_eq!(resps.len(), 2);
         assert_eq!(resps[0].req.id, 1);

@@ -4,6 +4,7 @@
 //! already being fetched merge into the existing entry (up to a merge
 //! limit). A full MSHR is one of the structural stall conditions of §2.
 
+use crate::error::MemError;
 use crate::packet::MemReq;
 use std::collections::HashMap;
 
@@ -75,11 +76,18 @@ impl Mshr {
     }
 
     /// Merge `req` into the existing entry for `line_addr`.
-    /// Caller must have seen `MshrLookup::Merged` from [`Mshr::probe`].
-    pub fn merge(&mut self, line_addr: u64, req: MemReq) {
-        let e = self.entries.get_mut(&line_addr).expect("merge target exists");
-        assert!(e.reqs.len() < self.max_merge, "merge beyond capacity");
+    /// Caller must have seen `MshrLookup::Merged` from [`Mshr::probe`];
+    /// merging without a matching entry (or past the merge limit) is a
+    /// structural violation reported as a typed error.
+    pub fn merge(&mut self, line_addr: u64, req: MemReq) -> Result<(), MemError> {
+        let Some(e) = self.entries.get_mut(&line_addr) else {
+            return Err(MemError::MshrBadMerge { line: line_addr });
+        };
+        if e.reqs.len() >= self.max_merge {
+            return Err(MemError::MshrBadMerge { line: line_addr });
+        }
         e.reqs.push(req);
+        Ok(())
     }
 
     /// Allocate a new entry for `line_addr`, fetching into `target`
@@ -105,12 +113,14 @@ impl Mshr {
 
     /// Total requests (original + merged) waiting across all entries.
     pub fn outstanding_requests(&self) -> usize {
+        // dlp-lint: allow(D004) -- integer sum over values is order-independent
         self.entries.values().map(|e| e.reqs.len()).sum()
     }
 
     /// Structural self-check for the runtime invariant auditor:
     /// occupancy within capacity, every entry non-empty and within its
-    /// merge limit.
+    /// merge limit. Entries are visited in sorted line order so the
+    /// *first* violation reported is deterministic across runs.
     pub fn audit(&self) -> Result<(), String> {
         if self.entries.len() > self.max_entries {
             return Err(format!(
@@ -119,7 +129,11 @@ impl Mshr {
                 self.max_entries
             ));
         }
-        for (line, e) in &self.entries {
+        // dlp-lint: allow(D004) -- keys are collected and sorted before use
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let e = &self.entries[&line];
             if e.reqs.is_empty() {
                 return Err(format!("MSHR entry for line {line:#x} has no waiting requests"));
             }
@@ -149,8 +163,8 @@ mod tests {
         assert_eq!(m.probe(10), MshrLookup::Absent);
         m.allocate(10, Some((2, 1)), req(0));
         assert_eq!(m.probe(10), MshrLookup::Merged);
-        m.merge(10, req(1));
-        m.merge(10, req(2));
+        m.merge(10, req(1)).unwrap();
+        m.merge(10, req(2)).unwrap();
         let e = m.complete(10).unwrap();
         assert_eq!(e.target, Some((2, 1)));
         assert_eq!(e.reqs.len(), 3);
@@ -162,8 +176,18 @@ mod tests {
     fn merge_limit_reported() {
         let mut m = Mshr::new(4, 2);
         m.allocate(10, Some((0, 0)), req(0));
-        m.merge(10, req(1));
+        m.merge(10, req(1)).unwrap();
         assert_eq!(m.probe(10), MshrLookup::MergeFull);
+    }
+
+    #[test]
+    fn merge_without_entry_or_past_limit_is_typed_error() {
+        let mut m = Mshr::new(4, 1);
+        assert_eq!(m.merge(9, req(0)), Err(MemError::MshrBadMerge { line: 9 }));
+        m.allocate(9, Some((0, 0)), req(0));
+        assert_eq!(m.merge(9, req(1)), Err(MemError::MshrBadMerge { line: 9 }));
+        // The failed merges did not disturb the entry.
+        assert_eq!(m.complete(9).map(|e| e.reqs.len()), Some(1));
     }
 
     #[test]
@@ -195,7 +219,7 @@ mod tests {
     fn audit_accepts_well_formed_state() {
         let mut m = Mshr::new(4, 2);
         m.allocate(1, Some((0, 0)), req(0));
-        m.merge(1, req(1));
+        m.merge(1, req(1)).unwrap();
         m.allocate(2, None, req(2));
         assert_eq!(m.audit(), Ok(()));
         assert_eq!(m.outstanding_requests(), 3);

@@ -196,6 +196,7 @@ impl MemoryPartition {
     pub fn held_reply_packets(&self) -> usize {
         self.in_queue.iter().filter(|p| p.kind.expects_reply()).count()
             + self
+                // dlp-lint: allow(D004) -- integer count over values is order-independent
                 .mshr
                 .values()
                 .flat_map(|e| e.pkts.iter())
@@ -214,7 +215,13 @@ impl MemoryPartition {
                 self.cfg.l2_mshr_entries
             ));
         }
-        for (line, e) in &self.mshr {
+        // Visit entries in sorted line order so the *first* violation
+        // reported is deterministic across runs.
+        // dlp-lint: allow(D004) -- keys are collected and sorted before use
+        let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let e = &self.mshr[&line];
             if e.pkts.is_empty() {
                 return Err(format!("L2 MSHR entry for line {line:#x} has no waiting packets"));
             }
@@ -241,11 +248,11 @@ impl MemoryPartition {
         self.pending.push(Reverse(PendingReply { ready, seq: self.seq, pkt }));
     }
 
-    fn reply_kind(req_kind: PacketKind) -> PacketKind {
+    fn reply_kind(req_kind: PacketKind) -> Result<PacketKind, MemError> {
         match req_kind {
-            PacketKind::ReadReq => PacketKind::ReadReply,
-            PacketKind::BypassReadReq => PacketKind::BypassReadReply,
-            other => panic!("no reply kind for {other:?}"),
+            PacketKind::ReadReq => Ok(PacketKind::ReadReply),
+            PacketKind::BypassReadReq => Ok(PacketKind::BypassReadReply),
+            other => Err(MemError::NoReplyKind { kind: other }),
         }
     }
 
@@ -304,33 +311,31 @@ impl MemoryPartition {
             self.policy.on_fill(entry.set, entry.way, line, &ctx);
             for pkt in entry.pkts {
                 if pkt.kind.expects_reply() {
-                    let reply = Packet { kind: Self::reply_kind(pkt.kind), ..pkt };
+                    let reply = Packet { kind: Self::reply_kind(pkt.kind)?, ..pkt };
                     self.schedule_reply(reply, now + 1);
                 }
             }
         }
 
         // 3. Ripen pending replies.
-        while let Some(Reverse(head)) = self.pending.peek() {
-            if head.ready > now {
-                break;
-            }
-            let Reverse(p) = self.pending.pop().unwrap();
+        while self.pending.peek().is_some_and(|Reverse(head)| head.ready <= now) {
+            let Some(Reverse(p)) = self.pending.pop() else { break };
             self.out_queue.push_back(p.pkt);
         }
 
         // 4. Service one input packet; the head blocks on structural
         //    hazards (head-of-line, as in the real ejection port).
         if let Some(&pkt) = self.in_queue.front() {
-            if self.process(pkt, now) {
+            if self.process(pkt, now)? {
                 self.in_queue.pop_front();
             }
         }
         Ok(())
     }
 
-    /// Returns true if the packet was fully handled.
-    fn process(&mut self, pkt: Packet, now: u64) -> bool {
+    /// Returns `Ok(true)` if the packet was fully handled, `Ok(false)`
+    /// if it must retry next cycle behind a structural hazard.
+    fn process(&mut self, pkt: Packet, now: u64) -> Result<bool, MemError> {
         let geom = self.cfg.l2_geom;
         let line = geom.line_addr(pkt.addr);
         let (set, tag) = (geom.set_of_line(line), geom.tag_of_line(line));
@@ -347,26 +352,26 @@ impl MemoryPartition {
             if is_write {
                 self.tags.mark_dirty(set, way);
             } else {
-                let reply = Packet { kind: Self::reply_kind(pkt.kind), ..pkt };
+                let reply = Packet { kind: Self::reply_kind(pkt.kind)?, ..pkt };
                 self.schedule_reply(reply, now + self.cfg.l2_latency);
             }
-            return true;
+            return Ok(true);
         }
 
         // Merge into an in-flight fetch.
         if let Some(entry) = self.mshr.get_mut(&line) {
             if entry.pkts.len() >= self.cfg.l2_mshr_merge {
                 self.stats.accesses -= 1; // retried next cycle, recounted
-                return false;
+                return Ok(false);
             }
             entry.pkts.push(pkt);
             self.stats.mshr_merges += 1;
-            return true;
+            return Ok(true);
         }
 
         if self.mshr.len() >= self.cfg.l2_mshr_entries {
             self.stats.accesses -= 1;
-            return false;
+            return Ok(false);
         }
 
         // Allocate a victim way (views live in the tag array's scratch
@@ -376,9 +381,9 @@ impl MemoryPartition {
             MissDecision::Allocate { way } => way,
             MissDecision::Stall => {
                 self.stats.accesses -= 1;
-                return false;
+                return Ok(false);
             }
-            MissDecision::Bypass => unreachable!("L2 uses plain LRU"),
+            MissDecision::Bypass => return Err(MemError::L2BypassUnsupported { line }),
         };
         let victim = self.tags.line(set, way);
         let victim_dirty = victim.valid && victim.dirty;
@@ -399,7 +404,7 @@ impl MemoryPartition {
         };
         if !admissible {
             self.stats.accesses -= 1;
-            return false;
+            return Ok(false);
         }
 
         if let Some(old) = self.tags.evict_and_reserve(set, way, tag) {
@@ -423,7 +428,7 @@ impl MemoryPartition {
             self.dram.enqueue(DramCmd { addr: pkt.addr, is_write: false, pkt: Some(pkt) });
             self.stats.misses_allocated += 1;
         }
-        true
+        Ok(true)
     }
 }
 

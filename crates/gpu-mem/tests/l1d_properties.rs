@@ -3,6 +3,11 @@
 //! transaction is answered exactly once, accounting is exhaustive, and
 //! the cache drains to quiescence — for all four schemes.
 
+// Integration tests assert on failure paths directly; the
+// unwrap_used/expect_used denies target shipping simulator code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+
 use dlp_core::{build_policy, CacheGeometry, PolicyKind};
 use gpu_mem::l1d::{L1dCache, L1dConfig};
 use gpu_mem::packet::{MemReq, Packet, PacketKind};
@@ -78,7 +83,7 @@ fn run_stream(kind: PolicyKind, reqs: &[Req]) {
     let budget = reqs.len() as u64 * 600 + 10_000;
     while cycle < budget {
         cycle += 1;
-        l1.cycle(cycle);
+        l1.cycle(cycle).unwrap();
         while let Some(pkt) = l1.pop_outgoing() {
             mem.accept(pkt, cycle);
         }
@@ -106,7 +111,7 @@ fn run_stream(kind: PolicyKind, reqs: &[Req]) {
                 dst_reg: 1,
                 born: 0,
             };
-            if l1.submit(mreq, cycle) {
+            if l1.submit(mreq, cycle).unwrap() {
                 if r.is_write {
                     store_acks_expected += 1;
                 } else {

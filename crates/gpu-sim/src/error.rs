@@ -50,6 +50,19 @@ pub enum SimError {
         /// Core cycle of the failure.
         cycle: u64,
     },
+    /// An SM's warp bookkeeping was found corrupt: a memory response or
+    /// scheduler pick named a warp slot that holds no live warp, or a
+    /// retiring warp's CTA is not in the resident list.
+    WarpStateCorrupt {
+        /// The SM whose warp state failed.
+        sm: usize,
+        /// The warp slot involved.
+        slot: usize,
+        /// Which bookkeeping invariant broke.
+        what: &'static str,
+        /// Core cycle of the failure.
+        cycle: u64,
+    },
     /// The periodic invariant auditor found a conservation law broken.
     InvariantViolation {
         /// Which audit check failed.
@@ -82,6 +95,9 @@ impl fmt::Display for SimError {
                 f,
                 "packet for address {addr:#x} (partition {expected}) arrived at partition {port} at cycle {cycle}"
             ),
+            SimError::WarpStateCorrupt { sm, slot, what, cycle } => {
+                write!(f, "SM {sm} warp slot {slot} corrupt at cycle {cycle}: {what}")
+            }
             SimError::InvariantViolation { check, detail, cycle } => {
                 write!(f, "invariant '{check}' violated at cycle {cycle}: {detail}")
             }

@@ -136,7 +136,7 @@ impl Gpu {
         while denied < n && !self.pending_ctas.is_empty() {
             let idx = self.launch_cursor % n;
             if self.sms[idx].can_accept_cta(wpc) {
-                let cta = self.pending_ctas.pop_front().unwrap();
+                let Some(cta) = self.pending_ctas.pop_front() else { break };
                 let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
                 self.sms[idx].launch_cta(cta, warps);
                 Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, idx);
@@ -161,7 +161,7 @@ impl Gpu {
             if !self.sm_busy[s] {
                 continue;
             }
-            self.total_warp_insns += sm.cycle(now);
+            self.total_warp_insns += sm.cycle(now)?;
             // CTA completions free slots; successors launch next cycle.
             sm.take_finished_ctas();
         }

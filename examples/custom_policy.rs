@@ -92,7 +92,7 @@ fn run_stream(policy: Box<dyn ReplacementPolicy>, addrs: &[u64]) -> (f64, u64) {
     let mut cycle = 0u64;
     for (i, &addr) in addrs.iter().enumerate() {
         cycle += 4;
-        l1.cycle(cycle);
+        l1.cycle(cycle).unwrap();
         let req = MemReq {
             id: i as u64,
             addr,
@@ -104,9 +104,9 @@ fn run_stream(policy: Box<dyn ReplacementPolicy>, addrs: &[u64]) -> (f64, u64) {
             born: 0,
         };
         // Retry until the pipeline register frees (structural stalls).
-        while !l1.submit(req, cycle) {
+        while !l1.submit(req, cycle).unwrap() {
             cycle += 1;
-            l1.cycle(cycle);
+            l1.cycle(cycle).unwrap();
         }
         // Serve memory instantly so the experiment isolates replacement
         // behaviour from timing.

@@ -108,19 +108,33 @@ fn fig10_policy_suite_digest_is_golden() {
     // a deliberate fidelity change must update it alongside an entry in
     // CHANGES.md explaining the delta.
     use dlp_bench::harness::{run_policy_suite, LABEL_32K};
+    const GOLDEN: u64 = 0x4e25_bd31_86d4_d866;
     let suite = run_policy_suite(Scale::Tiny);
     assert!(suite.failures.is_empty(), "{}", suite.failure_digest());
     let mut canon = String::new();
+    let mut cells = String::new();
     for spec in &suite.apps {
         let row = &suite.runs[spec.abbr];
         for label in PolicyKind::ALL.map(|k| k.label()).iter().chain([&LABEL_32K]) {
-            canon.push_str(&format!("{}/{}: {:?}\n", spec.abbr, label, row[label].stats));
+            let cell = format!("{}/{}: {:?}\n", spec.abbr, label, row[label].stats);
+            cells.push_str(&format!(
+                "  {:>4}/{:<9} {:#018x}\n",
+                spec.abbr,
+                label,
+                fnv1a(cell.as_bytes())
+            ));
+            canon.push_str(&cell);
         }
     }
     let digest = fnv1a(canon.as_bytes());
+    // On mismatch, print the digest of every (app, scheme) cell so the
+    // change is localizable by diffing against a known-good run's table
+    // instead of bisecting 100+ jobs by hand.
     assert_eq!(
-        digest, 0x4e25_bd31_86d4_d866,
-        "fig10 sweep statistics changed (digest {digest:#018x})"
+        digest, GOLDEN,
+        "fig10 sweep statistics changed (digest {digest:#018x}, golden {GOLDEN:#018x}).\n\
+         Per-cell digests — diff against a pre-change run of this test to find the moved cells:\n\
+         {cells}"
     );
 }
 
