@@ -2,15 +2,23 @@
 //! hashing, coalescing, tag lookup, MSHR bookkeeping, crossbar injection
 //! and DRAM ticking. These are the per-cycle inner loops that bound how
 //! many simulated cycles per second the full model achieves.
+//!
+//! The `next_event` / leap-catch-up group covers the cycle-leap event
+//! core's own overhead: the conservative event-horizon probes run on
+//! every step, so a regression there eats the cycles the leap saves.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dlp_core::CacheGeometry;
+use dlp_core::{build_policy, CacheGeometry, PolicyKind};
 use gpu_mem::dram::{Dram, DramCmd, DramConfig};
 use gpu_mem::icnt::{IcntConfig, Interconnect};
+use gpu_mem::l1d::{L1dCache, L1dConfig};
 use gpu_mem::mshr::{Mshr, MshrLookup};
 use gpu_mem::packet::{MemReq, Packet, PacketKind};
+use gpu_mem::partition::{MemoryPartition, PartitionConfig};
 use gpu_mem::tag_array::TagArray;
 use gpu_sim::coalescer::coalesce;
+use gpu_sim::config::SimConfig;
+use gpu_sim::sm::Sm;
 
 fn req(i: u64) -> MemReq {
     MemReq {
@@ -116,9 +124,82 @@ fn bench_dram(c: &mut Criterion) {
     });
 }
 
+fn bench_next_event(c: &mut Criterion) {
+    // DRAM activity horizon under load — the innermost term of the
+    // partition's event computation.
+    c.bench_function("dram_next_activity", |b| {
+        let mut d = Dram::new(DramConfig::gddr5());
+        for i in 0..8u64 {
+            if d.can_accept(i * 128) {
+                d.enqueue(DramCmd { addr: i * 128, is_write: false, pkt: None });
+            }
+        }
+        d.tick();
+        b.iter(|| black_box(d.next_activity()));
+    });
+
+    // Partition event horizon: the idle fast path the leap scan hits on
+    // most partitions most steps, and the loaded path that must replay
+    // the L2 admission chain (`head_would_process`).
+    c.bench_function("partition_next_event_idle", |b| {
+        let mut p = MemoryPartition::new(PartitionConfig::fermi());
+        b.iter(|| black_box(p.next_event(black_box(1_000))));
+    });
+    c.bench_function("partition_next_event_loaded", |b| {
+        let mut p = MemoryPartition::new(PartitionConfig::fermi());
+        for i in 0..8u64 {
+            if p.can_accept() {
+                p.enqueue(Packet { kind: PacketKind::ReadReq, addr: i * 4096, req: req(i) });
+            }
+        }
+        let mut now = 0u64;
+        for _ in 0..4 {
+            now += 1;
+            p.cycle(now).unwrap();
+        }
+        b.iter(|| black_box(p.next_event(black_box(now))));
+    });
+
+    // Idle SM: no resident warps, nothing outgoing — the cheapest probe
+    // and the one the per-SM sleep gate replaces with an array read.
+    c.bench_function("sm_next_event_idle", |b| {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline);
+        let mut sm = Sm::new(0, &cfg);
+        b.iter(|| black_box(sm.next_event(black_box(1_000))));
+    });
+}
+
+/// An L1D whose pipeline register holds a stalled access (MSHR entries
+/// exhausted by distinct-line misses) — the state the leap core must
+/// classify before it may skip retry cycles.
+fn stalled_l1d() -> L1dCache {
+    let cfg = L1dConfig::fermi_baseline();
+    let mut l1d = L1dCache::new(cfg, build_policy(PolicyKind::Baseline, cfg.geom));
+    let mut i = 0u64;
+    while !l1d.input_blocked() {
+        i += 1;
+        l1d.submit(req(i), i).unwrap();
+    }
+    l1d
+}
+
+fn bench_leap_catchup(c: &mut Criterion) {
+    // Classify + arithmetic catch-up: what the cycle-leap core executes
+    // instead of ticking a stalled L1D through dead cycles.
+    c.bench_function("l1d_classify_stalled_retry", |b| {
+        let mut l1d = stalled_l1d();
+        b.iter(|| black_box(l1d.classify_stalled_retry()));
+    });
+    c.bench_function("l1d_leap_catchup_64", |b| {
+        let mut l1d = stalled_l1d();
+        b.iter(|| l1d.leap_catchup(black_box(64), false));
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_geometry_hash, bench_coalescer, bench_tag_array, bench_mshr, bench_icnt, bench_dram
+    targets = bench_geometry_hash, bench_coalescer, bench_tag_array, bench_mshr, bench_icnt,
+        bench_dram, bench_next_event, bench_leap_catchup
 );
 criterion_main!(benches);

@@ -75,6 +75,11 @@ pub struct AppRun {
     pub spec: BenchSpec,
     /// Simulation statistics.
     pub stats: RunStats,
+    /// Cycles the simulator stepped one at a time; the rest of
+    /// `stats.cycles` was leapt by the cycle-leap event core. Kept out
+    /// of `RunStats` so the statistics stay byte-identical between the
+    /// leap and reference paths (only this number legitimately differs).
+    pub ticked_cycles: u64,
     /// RD profile, if requested.
     pub rdd: Option<SharedRdd>,
 }
@@ -155,7 +160,7 @@ pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> 
         panic!("{abbr}: forced failure ({FORCE_FAIL_ENV} is set)");
     }
     let start = Instant::now();
-    let record = |cached: bool, sim_cycles: u64| {
+    let record = |cached: bool, sim_cycles: u64, ticked_cycles: u64| {
         telemetry::record_job(JobRecord {
             app: abbr.to_string(),
             policy: cfg.policy.label().to_string(),
@@ -164,20 +169,21 @@ pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> 
             cached,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             sim_cycles,
+            ticked_cycles,
         });
     };
     let key = (abbr.to_string(), cfg);
     if let Some(hit) = run_cache().lock().get(&key).cloned() {
-        record(true, hit.stats.cycles);
+        record(true, hit.stats.cycles, hit.ticked_cycles);
         return Ok(hit);
     }
     let run = run_app_uncached(abbr, cfg);
     match &run {
         Ok(r) => {
-            record(false, r.stats.cycles);
+            record(false, r.stats.cycles, r.ticked_cycles);
             run_cache().lock().insert(key, r.clone());
         }
-        Err(_) => record(false, 0),
+        Err(_) => record(false, 0, 0),
     }
     run
 }
@@ -208,10 +214,11 @@ fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFail
         None
     };
     let stats = gpu.run().map_err(|e| fail(e.to_string()))?;
+    let ticked_cycles = gpu.ticked_cycles();
     if !stats.completed {
         return Err(fail("run stopped before kernel completion".to_string()));
     }
-    Ok(AppRun { spec, stats, rdd })
+    Ok(AppRun { spec, stats, ticked_cycles, rdd })
 }
 
 /// `run_app` behind `catch_unwind`, so a panicking job becomes a

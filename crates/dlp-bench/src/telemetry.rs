@@ -31,6 +31,11 @@ pub struct JobRecord {
     pub wall_ms: f64,
     /// Simulated core cycles of the result (0 for failed jobs).
     pub sim_cycles: u64,
+    /// Cycles the simulator actually stepped through one at a time;
+    /// `sim_cycles - ticked_cycles` is what the cycle-leap event core
+    /// skipped. Equals `sim_cycles` in reference (tick-every-cycle)
+    /// mode, 0 for failed jobs.
+    pub ticked_cycles: u64,
 }
 
 impl JobRecord {
@@ -41,6 +46,16 @@ impl JobRecord {
             0.0
         } else {
             self.sim_cycles as f64 / (self.wall_ms / 1000.0)
+        }
+    }
+
+    /// Fraction of simulated cycles the cycle-leap event core skipped
+    /// (0.0 when nothing was skipped or nothing was simulated).
+    pub fn leap_efficiency(&self) -> f64 {
+        if self.sim_cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.ticked_cycles as f64 / self.sim_cycles as f64
         }
     }
 }
@@ -61,6 +76,8 @@ pub struct SweepRecord {
     pub failed: usize,
     /// Total simulated cycles across the sweep's jobs.
     pub sim_cycles: u64,
+    /// Total cycles actually stepped (see [`JobRecord::ticked_cycles`]).
+    pub ticked_cycles: u64,
 }
 
 #[derive(Default)]
@@ -91,16 +108,25 @@ pub fn sweep<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let start = Instant::now();
     let out = f();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (jobs, cached, failed, sim_cycles) = with_collector(|c| {
+    let (jobs, cached, failed, sim_cycles, ticked_cycles) = with_collector(|c| {
         let new = &c.jobs[before..];
         (
             new.len(),
             new.iter().filter(|j| j.cached).count(),
             new.iter().filter(|j| !j.cached && j.sim_cycles == 0).count(),
             new.iter().map(|j| j.sim_cycles).sum(),
+            new.iter().map(|j| j.ticked_cycles).sum(),
         )
     });
-    record_sweep(SweepRecord { name: name.to_string(), wall_ms, jobs, cached, failed, sim_cycles });
+    record_sweep(SweepRecord {
+        name: name.to_string(),
+        wall_ms,
+        jobs,
+        cached,
+        failed,
+        sim_cycles,
+        ticked_cycles,
+    });
     out
 }
 
@@ -144,22 +170,31 @@ fn num(v: f64) -> String {
 pub fn render_json() -> String {
     with_collector(|c| {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v1\",\n");
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v2\",\n");
         let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
         let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
+        let total_ticked: u64 = c.jobs.iter().map(|j| j.ticked_cycles).sum();
+        let efficiency = if total_cycles == 0 {
+            0.0
+        } else {
+            1.0 - total_ticked as f64 / total_cycles as f64
+        };
         out.push_str(&format!("  \"total_sweep_wall_ms\": {},\n", num(total_ms)));
         out.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
+        out.push_str(&format!("  \"total_ticked_cycles\": {total_ticked},\n"));
+        out.push_str(&format!("  \"leap_efficiency\": {},\n", num(efficiency)));
         out.push_str("  \"sweeps\": [\n");
         for (i, s) in c.sweeps.iter().enumerate() {
             let cps = if s.wall_ms > 0.0 { s.sim_cycles as f64 / (s.wall_ms / 1000.0) } else { 0.0 };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"jobs\": {}, \"cached\": {}, \"failed\": {}, \"sim_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"jobs\": {}, \"cached\": {}, \"failed\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
                 esc(&s.name),
                 num(s.wall_ms),
                 s.jobs,
                 s.cached,
                 s.failed,
                 s.sim_cycles,
+                s.ticked_cycles,
                 num(cps),
                 if i + 1 < c.sweeps.len() { "," } else { "" },
             ));
@@ -167,7 +202,7 @@ pub fn render_json() -> String {
         out.push_str("  ],\n  \"jobs\": [\n");
         for (i, j) in c.jobs.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}}}{}\n",
                 esc(&j.app),
                 esc(&j.policy),
                 esc(&j.geom),
@@ -175,7 +210,9 @@ pub fn render_json() -> String {
                 j.cached,
                 num(j.wall_ms),
                 j.sim_cycles,
+                j.ticked_cycles,
                 num(j.cycles_per_sec()),
+                num(j.leap_efficiency()),
                 if i + 1 < c.jobs.len() { "," } else { "" },
             ));
         }
@@ -203,10 +240,14 @@ mod tests {
             cached: false,
             wall_ms: 500.0,
             sim_cycles: 1_000_000,
+            ticked_cycles: 250_000,
         };
         assert!((j.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((j.leap_efficiency() - 0.75).abs() < 1e-9, "3/4 of the cycles were leapt");
         let cached = JobRecord { cached: true, wall_ms: 0.0, ..j };
         assert_eq!(cached.cycles_per_sec(), 0.0);
+        let failed = JobRecord { sim_cycles: 0, ticked_cycles: 0, ..cached };
+        assert_eq!(failed.leap_efficiency(), 0.0, "no cycles -> no efficiency claim");
     }
 
     #[test]
@@ -219,11 +260,13 @@ mod tests {
             cached: true,
             wall_ms: 1.25,
             sim_cycles: 42,
+            ticked_cycles: 7,
         });
         let out = sweep("test_sweep", render_json);
         assert!(out.contains("\\\"pp"), "{out}");
         assert!(out.contains("base\\\\line"), "{out}");
-        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v1\""));
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v2\""));
+        assert!(out.contains("\"ticked_cycles\": 7"), "{out}");
         let out2 = render_json();
         assert!(out2.contains("\"name\": \"test_sweep\""), "{out2}");
     }

@@ -21,7 +21,14 @@ impl LruBaseline {
         LruBaseline { recency: RecencyArray::new(geom.num_sets, geom.assoc), stats: PolicyStats::default() }
     }
 
-    fn pick_victim(&mut self, set: usize, ways: &[WayView]) -> MissDecision {
+    /// The replacement decision [`ReplacementPolicy::decide_replacement`]
+    /// will make for this set, computed without touching any state.
+    ///
+    /// Public because LRU victim selection is side-effect-free: the L2
+    /// partition's cycle-leap event mirror peeks the decision (including
+    /// the victim way, to replay the DRAM-admission check) to predict
+    /// whether the queued head access would progress.
+    pub fn peek_victim(&self, set: usize, ways: &[WayView]) -> MissDecision {
         // Prefer an invalid (and unreserved) way, then LRU among valid
         // unreserved ways.
         if let Some(way) = ways.iter().position(|w| !w.valid && !w.reserved) {
@@ -46,13 +53,17 @@ impl ReplacementPolicy for LruBaseline {
     fn on_miss(&mut self, _set: usize, _tag: u64, _ctx: &AccessCtx) {}
 
     fn decide_replacement(&mut self, set: usize, ways: &[WayView], _ctx: &AccessCtx) -> MissDecision {
-        self.pick_victim(set, ways)
+        self.peek_victim(set, ways)
     }
 
     fn on_evict(&mut self, _set: usize, _way: usize, _tag: u64) {}
 
     fn on_fill(&mut self, set: usize, way: usize, _tag: u64, _ctx: &AccessCtx) {
         self.recency.touch(set, way);
+    }
+
+    fn replacement_would_stall(&self, set: usize, ways: &[WayView]) -> bool {
+        matches!(self.peek_victim(set, ways), MissDecision::Stall)
     }
 
     fn kind(&self) -> PolicyKind {
@@ -189,6 +200,19 @@ mod tests {
         let ways = vec![WayView::invalid(); 4];
         assert_eq!(p.decide_replacement(0, &ways, &ctx()), MissDecision::Allocate { way: 0 });
         assert_eq!(p.kind(), PolicyKind::StallBypass);
+    }
+
+    #[test]
+    fn would_stall_peek_matches_decide_replacement() {
+        let mut p = LruBaseline::new(small_geom());
+        let free = vec![WayView::invalid(); 4];
+        assert!(!p.replacement_would_stall(0, &free));
+        let reserved = vec![WayView::reserved(); 4];
+        assert!(p.replacement_would_stall(0, &reserved));
+        assert_eq!(p.decide_replacement(0, &reserved, &ctx()), MissDecision::Stall);
+        // Stall-Bypass never stalls, so the read-only peek must agree.
+        let sb = StallBypass::new(small_geom());
+        assert!(!sb.replacement_would_stall(0, &reserved));
     }
 
     #[test]

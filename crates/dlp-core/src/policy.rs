@@ -153,6 +153,19 @@ pub trait ReplacementPolicy: Send {
         false
     }
 
+    /// Would [`ReplacementPolicy::decide_replacement`] return
+    /// [`MissDecision::Stall`] for this set **without mutating any
+    /// state**? Used by the cycle-leap event core to classify a parked
+    /// access's stall reason read-only. The default `false` is correct
+    /// for every scheme that never stalls (Stall-Bypass converts stalls
+    /// to bypasses; the protection schemes treat a fully reserved set
+    /// like a fully protected one and bypass, §4.1.1); only plain LRU
+    /// overrides it.
+    fn replacement_would_stall(&self, set: usize, ways: &[WayView]) -> bool {
+        let _ = (set, ways);
+        false
+    }
+
     /// Force the current sampling period to end (used to bound sampling
     /// time for cache-sufficient kernels with few loads, §4.1.4).
     /// No-op for schemes without sampling.

@@ -28,7 +28,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     }
     let lexed = lex(src);
     let is_test = test_token_mask(&lexed.tokens);
-    let mut raw = scan(&lexed.tokens, &is_test);
+    let in_hot = hot_fn_token_mask(&lexed.tokens);
+    let mut raw = scan(&lexed.tokens, &is_test, &in_hot);
     let (suppressions, mut directive_findings) = parse_directives(&lexed.comments);
     raw.retain(|f| {
         !suppressions.iter().any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line))
@@ -115,6 +116,56 @@ fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
                         }
                     }
                     _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(tokens.len() - 1);
+        for m in &mut mask[start..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Mark every token inside the body of a per-cycle hot function —
+/// `fn cycle`, `fn step`, or `fn tick` — where P301 flags heap
+/// allocation. The mask covers the brace-matched body only; the
+/// signature and the rest of the file stay unmasked. A trait method
+/// declaration (`fn cycle(…) -> …;`) has no body and marks nothing.
+fn hot_fn_token_mask(tokens: &[Token]) -> Vec<bool> {
+    const HOT_FNS: &[&str] = &["cycle", "step", "tick"];
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        let is_hot_fn = id(&tokens[i], "fn")
+            && tokens[i + 1].kind == TokenKind::Ident
+            && HOT_FNS.contains(&tokens[i + 1].text.as_str());
+        if !is_hot_fn {
+            i += 1;
+            continue;
+        }
+        // Walk to the body's opening brace. A `;` first means a
+        // bodyless declaration. Signatures hold no braces in this
+        // workspace (no brace-typed const generics or defaults).
+        let mut j = i + 2;
+        while j < tokens.len() && !p(&tokens[j], '{') && !p(&tokens[j], ';') {
+            j += 1;
+        }
+        if j >= tokens.len() || p(&tokens[j], ';') {
+            i = j + 1;
+            continue;
+        }
+        let start = j;
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if p(&tokens[j], '{') {
+                depth += 1;
+            } else if p(&tokens[j], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
                 }
             }
             j += 1;

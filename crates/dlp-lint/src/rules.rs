@@ -16,6 +16,11 @@
 //!   paths to typed `MemError`/`SimError`; a new `unwrap()` on those
 //!   paths re-introduces abort-on-corruption instead of a diagnosable
 //!   failure.
+//! * **P — performance.** The access path is zero-alloc by design
+//!   (PR 2) and the cycle-leap event core probes `next_event` millions
+//!   of times per run; a heap allocation inside a per-cycle function
+//!   body (`fn cycle`/`fn step`/`fn tick`) silently costs throughput
+//!   on every simulated cycle.
 //!
 //! Detection is token-based (see [`crate::lexer`]): deliberately
 //! simple, tuned to this workspace's idioms, with explicit
@@ -33,6 +38,8 @@ pub enum Group {
     Fidelity,
     /// Typed-error discipline on memory-system paths.
     ErrorHandling,
+    /// Per-cycle hot-path performance discipline.
+    Perf,
     /// Lint-infrastructure hygiene (directive syntax).
     Meta,
 }
@@ -126,6 +133,15 @@ pub const RULES: &[Rule] = &[
                internal invariants",
     },
     Rule {
+        id: "P301",
+        name: "hot-path-alloc",
+        group: Group::Perf,
+        summary: "heap allocation inside a per-cycle hot function (fn cycle / fn step / fn tick)",
+        hint: "preallocate in the constructor and reuse the buffer (clear + extend), or move \
+               the allocation off the per-cycle path; for cold error/report arms add an allow \
+               directive stating why the allocation cannot run per cycle",
+    },
+    Rule {
         id: "X001",
         name: "bad-directive",
         group: Group::Meta,
@@ -203,8 +219,10 @@ fn ident_in(t: Option<&Token>, set: &[&str]) -> bool {
 }
 
 /// Run every token-level rule over a file. `is_test[i]` marks tokens
-/// inside `#[cfg(test)]` items, which are exempt from all groups.
-pub fn scan(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
+/// inside `#[cfg(test)]` items, which are exempt from all groups;
+/// `in_hot[i]` marks tokens inside per-cycle hot function bodies
+/// (`fn cycle`/`fn step`/`fn tick`), where P301 applies.
+pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFinding> {
     let mut out = Vec::new();
     let hash_names = collect_hash_container_names(tokens);
 
@@ -299,6 +317,36 @@ pub fn scan(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
             && is_punct(tokens.get(i + 1), '!')
         {
             out.push(at("E203", name, format!("panicking macro `{name}!` in simulator code")));
+        }
+
+        // P301: heap allocation inside a per-cycle hot function body.
+        if in_hot.get(i).copied().unwrap_or(false) {
+            let alloc = match name {
+                "Vec" | "Box"
+                    if is_punct(tokens.get(i + 1), ':')
+                        && is_punct(tokens.get(i + 2), ':')
+                        && is_ident(tokens.get(i + 3), "new") =>
+                {
+                    Some(format!("{name}::new"))
+                }
+                "vec" if is_punct(tokens.get(i + 1), '!') => Some("vec!".to_string()),
+                // `.to_vec()` / `.collect()` / `.collect::<..>()`.
+                "to_vec" | "collect"
+                    if is_punct(tokens.get(i.wrapping_sub(1)), '.')
+                        && (is_punct(tokens.get(i + 1), '(')
+                            || is_punct(tokens.get(i + 1), ':')) =>
+                {
+                    Some(format!(".{name}()"))
+                }
+                _ => None,
+            };
+            if let Some(what) = alloc {
+                out.push(at(
+                    "P301",
+                    name,
+                    format!("heap allocation `{what}` inside a per-cycle hot function"),
+                ));
+            }
         }
     }
 

@@ -160,6 +160,61 @@ fn e203_flags_panicking_macros() {
     assert!(lint("fn f(n: usize) { debug_assert!(n > 0); assert!(n < 64); }").is_empty());
 }
 
+// ---------------------------------------------------------------------------
+// P — hot-path performance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p301_flags_heap_allocation_in_hot_functions() {
+    let f = lint("fn cycle(&mut self, now: u64) { let buf: Vec<u64> = Vec::new(); drop(buf); }");
+    assert_eq!(rules_of(&f), ["P301"]);
+    assert_eq!(f[0].token, "Vec");
+    let f = lint("fn tick(&mut self) { let v = vec![0u64; 4]; drop(v); }");
+    assert_eq!(rules_of(&f), ["P301"]);
+    let f = lint("fn step(&mut self) { let b = Box::new(Report::default()); drop(b); }");
+    assert_eq!(rules_of(&f), ["P301"]);
+    let f = lint("fn cycle(&mut self, lines: &[u64]) { let c = lines.to_vec(); drop(c); }");
+    assert_eq!(rules_of(&f), ["P301"]);
+    let f = lint(
+        "fn step(&mut self) { let ids: Vec<u64> = self.warps.ids().collect(); drop(ids); }",
+    );
+    assert_eq!(rules_of(&f), ["P301"]);
+}
+
+#[test]
+fn p301_only_applies_inside_hot_function_bodies() {
+    // The same allocations are fine in constructors and cold helpers.
+    assert!(lint("fn new() -> Self { Self { buf: Vec::new(), q: vec![0; 8] } }").is_empty());
+    assert!(lint("fn report(&self) -> Vec<u64> { self.lines.to_vec() }").is_empty());
+    // A bodyless trait declaration marks nothing …
+    assert!(lint("trait Clocked { fn cycle(&mut self, now: u64); }").is_empty());
+    // … and the mask ends at the hot body's closing brace.
+    let f = lint(
+        "fn cycle(&mut self) { self.n += 1; }\n\
+         fn drain(&mut self) -> Vec<u64> { self.q.drain(..).collect() }",
+    );
+    assert!(f.is_empty(), "allocation after the hot body must not be flagged: {f:?}");
+    // Reused preallocated buffers — the sanctioned pattern — pass.
+    assert!(lint("fn cycle(&mut self) { self.scratch.clear(); self.scratch.push(1); }").is_empty());
+}
+
+#[test]
+fn p301_respects_suppression_directives_and_cfg_test() {
+    let src = "\
+        fn step(&mut self) {\n\
+            // dlp-lint: allow(P301) -- cold hang-report arm, runs once per abort\n\
+            let r = Box::new(Report::default());\n\
+            drop(r);\n\
+        }\n";
+    assert!(lint(src).is_empty());
+    let src = "\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            fn cycle_harness() { fn cycle() { let v: Vec<u64> = Vec::new(); drop(v); } }\n\
+        }\n";
+    assert!(lint(src).is_empty());
+}
+
 #[test]
 fn cfg_test_items_are_exempt_from_every_rule() {
     let src = "\

@@ -276,16 +276,43 @@ impl Dram {
         self.completed.is_empty() && self.queued == 0
     }
 
-    /// Fast-forward an **idle** channel by `ticks` command-clock cycles.
+    /// Earliest command-clock cycle at which this channel could do
+    /// anything observable: retire the oldest completed burst (the
+    /// completion queue is FIFO in data order, so its head gates
+    /// [`Dram::pop_completed`]) or start a queued command (the
+    /// `earliest_start` watermark). `None` when the channel is idle.
     ///
-    /// When nothing is queued or completing, [`Dram::tick`] reduces to
-    /// `now += 1` (every bank's arbitration check sees an empty queue),
-    /// so an idle stretch can be accounted arithmetically. Bank and bus
+    /// Conservative by construction: every [`Dram::tick`] strictly
+    /// before the returned cycle reduces to `now += 1` — no bank can
+    /// start (the watermark says so) and no completion can surface
+    /// (the head is not ready) — which is what licenses
+    /// [`Dram::advance_quiet`] over the gap.
+    pub fn next_activity(&self) -> Option<u64> {
+        let mut t = u64::MAX;
+        if let Some(&(ready, _)) = self.completed.front() {
+            t = t.min(ready.max(self.now + 1));
+        }
+        if self.queued > 0 {
+            t = t.min(self.earliest_start.max(self.now + 1));
+        }
+        (t != u64::MAX).then_some(t)
+    }
+
+    /// Fast-forward a **quiet** channel by `ticks` command-clock cycles.
+    ///
+    /// Generalizes the idle-skip of PR 2: whenever every skipped tick
+    /// falls strictly before [`Dram::next_activity`], each [`Dram::tick`]
+    /// reduces to `now += 1` (no bank can start, no completion ripens),
+    /// so the stretch can be accounted arithmetically. Bank and bus
     /// `busy_until` marks as well as open rows are left untouched —
-    /// exactly what repeated idle ticks would have done — which keeps
-    /// skipped runs byte-identical to fully ticked ones.
-    pub fn advance_idle(&mut self, ticks: u64) {
-        debug_assert!(self.idle(), "advance_idle on a busy channel");
+    /// exactly what repeated quiet ticks would have done — which keeps
+    /// leapt runs byte-identical to fully ticked ones.
+    pub fn advance_quiet(&mut self, ticks: u64) {
+        debug_assert!(
+            self.next_activity().is_none_or(|a| a > self.now + ticks),
+            "advance_quiet across a scheduled DRAM event (now {}, ticks {ticks})",
+            self.now
+        );
         self.now += ticks;
     }
 
@@ -416,6 +443,45 @@ mod tests {
         }
         assert_eq!(d.stats().reads, 1, "the burst was issued and counted");
         assert_eq!(d.faults_injected(), 1);
+    }
+
+    #[test]
+    fn next_activity_predicts_first_observable_tick() {
+        let mut d = Dram::new(DramConfig::gddr5());
+        assert_eq!(d.next_activity(), None);
+        d.enqueue(read(0));
+        let start = d.next_activity().unwrap();
+        d.advance_quiet(start - d.now() - 1);
+        d.tick();
+        assert_eq!(d.stats().reads, 1, "command starts at the predicted cycle");
+        let done = d.next_activity().unwrap();
+        d.advance_quiet(done - d.now() - 1);
+        assert!(d.pop_completed().is_none(), "completion must not surface early");
+        d.tick();
+        assert!(d.pop_completed().is_some(), "completion surfaces at the predicted cycle");
+        assert_eq!(d.next_activity(), None);
+    }
+
+    #[test]
+    fn next_activity_covers_delayed_completions() {
+        use crate::fault::FaultConfig;
+        let mut d = Dram::new(DramConfig::gddr5());
+        d.set_fault_injector(FaultInjector::new(FaultConfig::single(
+            FaultKind::Delay,
+            FaultSite::Dram,
+            5,
+        )));
+        d.enqueue(read(0));
+        // Tick until the burst starts, then the completion (including the
+        // injected delay) must be exactly where next_activity says.
+        while d.stats().reads == 0 {
+            d.tick();
+        }
+        let done = d.next_activity().unwrap();
+        d.advance_quiet(done - d.now() - 1);
+        assert!(d.pop_completed().is_none());
+        d.tick();
+        assert!(d.pop_completed().is_some());
     }
 
     #[test]

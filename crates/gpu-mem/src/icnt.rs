@@ -206,6 +206,22 @@ impl Interconnect {
         self.in_flight_count
     }
 
+    /// Ready cycle of the oldest undelivered forward packet for
+    /// partition `dst`, if any. Ejection is FIFO ([`Interconnect::pop_fwd`]
+    /// only ever examines the queue head), so the head's ready cycle is
+    /// exactly the earliest cycle at which this port can deliver — even
+    /// when an injected delay gives the head a later ready cycle than
+    /// its followers. Used by the cycle-leap event core.
+    pub fn next_fwd_ready(&self, dst: usize) -> Option<u64> {
+        self.fwd[dst].queue.front().map(|&(ready, _)| ready)
+    }
+
+    /// Ready cycle of the oldest undelivered return packet for SM
+    /// `dst`, if any (see [`Interconnect::next_fwd_ready`]).
+    pub fn next_ret_ready(&self, dst: usize) -> Option<u64> {
+        self.ret[dst].queue.front().map(|&(ready, _)| ready)
+    }
+
     /// Per-partition forward-queue depths (hang diagnostics).
     pub fn fwd_queue_depths(&self) -> Vec<usize> {
         self.fwd.iter().map(|p| p.queue.len()).collect()

@@ -67,6 +67,26 @@ enum Outcome {
     Stalled,
 }
 
+/// Why a parked access would stall again this cycle, as classified by
+/// [`L1dCache::classify_stalled_retry`]. Each variant names the stall
+/// counter a tick-by-tick retry would have bumped, letting the
+/// cycle-leap event core replay a skipped window of retries
+/// arithmetically (`counter += skipped`) with byte-identical statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallClass {
+    /// The line is in flight and its merge list is full
+    /// (`stall_merge_full`).
+    MergeFull,
+    /// No MSHR entry is free for a new line (`stall_mshr_full`).
+    MshrFull,
+    /// Every way of the set is reserved by in-flight fills
+    /// (`stall_all_reserved`).
+    AllReserved,
+    /// The miss queue toward the interconnect is full
+    /// (`stall_miss_queue`).
+    MissQueue,
+}
+
 struct PendingResp {
     ready: u64,
     seq: u64,
@@ -281,6 +301,99 @@ impl L1dCache {
             && self.outgoing.is_empty()
             && self.pending.is_empty()
             && self.responses.is_empty()
+    }
+
+    /// Ready cycle of the earliest ripening response, if any. One input
+    /// to the owning SM's cycle-leap `next_event` bound.
+    pub fn next_pending_ready(&self) -> Option<u64> {
+        self.pending.peek().map(|Reverse(head)| head.ready)
+    }
+
+    /// Are responses already ripe and waiting for the core to pop?
+    pub fn has_ready_responses(&self) -> bool {
+        !self.responses.is_empty()
+    }
+
+    /// Classify why the access parked in the pipeline register would
+    /// stall *again* this cycle, without mutating anything — a read-only
+    /// mirror of the [`Self::process`] retry path. `None` means the
+    /// retry would make progress (so the next cycle is an event and must
+    /// not be leapt over).
+    ///
+    /// The mirror is **exact** whenever the miss queue is empty — which
+    /// is always the case when the cycle-leap event core consults it,
+    /// since a non-empty miss queue already forces the SM's `next_event`
+    /// to `now + 1`. With packets in the queue the `Absent` arm answers
+    /// conservatively (`MissQueue`) rather than replaying the policy's
+    /// (potentially mutating) `decide_replacement`.
+    pub fn classify_stalled_retry(&mut self) -> Option<StallClass> {
+        let req = self.pipeline_reg?;
+        let line = self.cfg.geom.line_addr(req.addr);
+        let (set, tag) = (self.cfg.geom.set_of_line(line), self.cfg.geom.tag_of_line(line));
+        if matches!(self.tags.lookup(set, tag), Lookup::Hit { .. }) {
+            return None;
+        }
+        match self.mshr.probe(line) {
+            MshrLookup::Merged => {
+                if self.mshr.is_bypass(line) && req.is_write {
+                    // A store cannot ride the no-fill fetch: it needs a
+                    // miss-queue slot to write through.
+                    return (self.miss_queue_free() < 1).then_some(StallClass::MissQueue);
+                }
+                None
+            }
+            MshrLookup::MergeFull => Some(StallClass::MergeFull),
+            MshrLookup::Full => {
+                if self.policy.bypass_on_stall() && self.miss_queue_free() >= 1 {
+                    None
+                } else {
+                    Some(StallClass::MshrFull)
+                }
+            }
+            MshrLookup::Absent => {
+                let views = self.tags.view_set(set);
+                if self.policy.replacement_would_stall(set, views) {
+                    return Some(StallClass::AllReserved);
+                }
+                // An allocation needs up to 2 slots (fetch + dirty
+                // victim writeback), a bypass needs 1. With ≥ 2 free the
+                // retry progresses no matter what the policy decides;
+                // below that, be conservative instead of consulting the
+                // mutating `decide_replacement`.
+                if self.miss_queue_free() < 2 {
+                    Some(StallClass::MissQueue)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Replay `skipped` provably-no-op cycles arithmetically after a
+    /// leap. The only L1D state a dead-time tick mutates is the aging
+    /// counters: each skipped cycle would have burned one retry of the
+    /// parked access (`stall_cycles` plus exactly one stall-class
+    /// counter) and — when the LD/ST queue had a transaction waiting
+    /// behind it (`submits_pending`) — one rejected submit.
+    pub fn leap_catchup(&mut self, skipped: u64, submits_pending: bool) {
+        debug_assert!(
+            self.outgoing.is_empty(),
+            "leapt while packets waited for the interconnect"
+        );
+        if self.pipeline_reg.is_none() {
+            return;
+        }
+        self.stats.stall_cycles += skipped;
+        match self.classify_stalled_retry() {
+            Some(StallClass::MergeFull) => self.stats.stall_merge_full += skipped,
+            Some(StallClass::MshrFull) => self.stats.stall_mshr_full += skipped,
+            Some(StallClass::AllReserved) => self.stats.stall_all_reserved += skipped,
+            Some(StallClass::MissQueue) => self.stats.stall_miss_queue += skipped,
+            None => debug_assert!(false, "leapt across a retry that would have progressed"),
+        }
+        if submits_pending {
+            self.stats.rejected_submits += skipped;
+        }
     }
 
     fn schedule_resp(&mut self, req: MemReq, ready: u64) {
@@ -750,6 +863,114 @@ mod tests {
         // Neither corrupted the cache: a normal access still works.
         assert!(c.submit(load(2, 0x8000, 4), 5).unwrap());
         assert_eq!(c.audit(), Ok(()));
+    }
+
+    /// Addresses of distinct lines all mapping to the set of address 0.
+    fn same_set_addrs(n: usize) -> Vec<u64> {
+        let geom = CacheGeometry::fermi_l1d_16k();
+        let (set0, _) = geom.locate(0);
+        let mut addrs = Vec::new();
+        let mut candidate = 0u64;
+        while addrs.len() < n {
+            let (s, _) = geom.locate(candidate);
+            if s == set0 {
+                addrs.push(candidate);
+            }
+            candidate += 128;
+        }
+        addrs
+    }
+
+    #[test]
+    fn classify_stalled_retry_names_the_counter_a_retry_would_bump() {
+        // All ways reserved -> AllReserved, and classification is pure:
+        // repeated calls agree, and a real retry bumps the named counter.
+        let mut c = cache(PolicyKind::Baseline);
+        let addrs = same_set_addrs(5);
+        for (i, &a) in addrs[..4].iter().enumerate() {
+            assert!(c.submit(load(i as u64, a, 4), i as u64).unwrap());
+        }
+        for _ in 0..4 {
+            c.pop_outgoing();
+        }
+        assert!(c.submit(load(99, addrs[4], 4), 10).unwrap());
+        assert_eq!(c.classify_stalled_retry(), Some(StallClass::AllReserved));
+        assert_eq!(c.classify_stalled_retry(), Some(StallClass::AllReserved));
+        let before = c.stats().stall_all_reserved;
+        c.cycle(11).unwrap();
+        assert_eq!(c.stats().stall_all_reserved, before + 1);
+        // A fill frees a way: the classification flips to "would
+        // progress" before the retry actually lands.
+        c.on_reply(
+            Packet { kind: PacketKind::ReadReply, addr: addrs[0], req: load(0, addrs[0], 4) },
+            12,
+        )
+        .unwrap();
+        assert_eq!(c.classify_stalled_retry(), None);
+        c.cycle(13).unwrap();
+        assert!(!c.input_blocked());
+    }
+
+    #[test]
+    fn classify_covers_mshr_full_and_merge_full() {
+        let mut c = L1dCache::new(
+            L1dConfig { mshr_entries: 1, mshr_merge: 1, miss_queue: 64, ..L1dConfig::fermi_baseline() },
+            build_policy(PolicyKind::Baseline, CacheGeometry::fermi_l1d_16k()),
+        );
+        assert!(c.submit(load(1, 0, 4), 0).unwrap());
+        while c.pop_outgoing().is_some() {}
+        // Same line again: the single-entry merge list is full.
+        assert!(c.submit(load(2, 0, 4), 1).unwrap());
+        assert_eq!(c.classify_stalled_retry(), Some(StallClass::MergeFull));
+        // Clear it, then a different line: no MSHR entry free.
+        c.on_reply(Packet { kind: PacketKind::ReadReply, addr: 0, req: load(1, 0, 4) }, 2)
+            .unwrap();
+        c.cycle(3).unwrap();
+        assert!(!c.input_blocked());
+        assert!(c.submit(load(3, 128 * 1000, 4), 4).unwrap());
+        while c.pop_outgoing().is_some() {}
+        assert!(c.submit(load(4, 128 * 2000, 4), 5).unwrap());
+        assert_eq!(c.classify_stalled_retry(), Some(StallClass::MshrFull));
+        // No parked access at all -> no classification.
+        let mut fresh = cache(PolicyKind::Baseline);
+        assert_eq!(fresh.classify_stalled_retry(), None);
+    }
+
+    #[test]
+    fn leap_catchup_matches_ticking_through_the_stall() {
+        // Two identical caches with a parked all-reserved access: tick
+        // one through N dead cycles, leap the other, compare counters.
+        let mk = || {
+            let mut c = cache(PolicyKind::Baseline);
+            let addrs = same_set_addrs(5);
+            for (i, &a) in addrs[..4].iter().enumerate() {
+                assert!(c.submit(load(i as u64, a, 4), i as u64).unwrap());
+            }
+            for _ in 0..4 {
+                c.pop_outgoing();
+            }
+            assert!(c.submit(load(99, addrs[4], 4), 10).unwrap());
+            assert!(c.input_blocked());
+            c
+        };
+        let (mut ticked, mut leaped) = (mk(), mk());
+        for cyc in 11..11 + 37 {
+            ticked.cycle(cyc).unwrap();
+        }
+        leaped.leap_catchup(37, false);
+        assert_eq!(leaped.stats().stall_cycles, ticked.stats().stall_cycles);
+        assert_eq!(leaped.stats().stall_all_reserved, ticked.stats().stall_all_reserved);
+        assert_eq!(leaped.stats().rejected_submits, ticked.stats().rejected_submits);
+        // With a transaction waiting behind the parked one, every dead
+        // cycle also burns a rejected submit.
+        let (mut ticked, mut leaped) = (mk(), mk());
+        for cyc in 11..11 + 21 {
+            assert!(!ticked.submit(load(200, 0x4_0000, 4), cyc).unwrap());
+            ticked.cycle(cyc).unwrap();
+        }
+        leaped.leap_catchup(21, true);
+        assert_eq!(leaped.stats().rejected_submits, ticked.stats().rejected_submits);
+        assert_eq!(leaped.stats().stall_cycles, ticked.stats().stall_cycles);
     }
 
     #[test]

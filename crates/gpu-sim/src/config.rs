@@ -48,6 +48,12 @@ pub struct SimConfig {
     /// Building `gpu-sim` with the `audit` cargo feature turns it on by
     /// default; any build can enable it per run by setting this field.
     pub audit_interval: u64,
+    /// Cycle-leap event core: jump `now` straight to the next scheduled
+    /// event instead of ticking through memory-stall dead time. Results
+    /// are byte-identical either way (the reference-mode equivalence
+    /// suite pins this); `false` selects the tick-every-cycle reference
+    /// path, mainly for differential testing and debugging.
+    pub leap: bool,
     /// Deterministic fault injection into the memory system — used by
     /// the integrity tests to prove the watchdog and auditor catch
     /// corruption. `None` (the default) simulates faithfully.
@@ -77,8 +83,16 @@ impl SimConfig {
             // of cycles, so 50k quiet cycles means a real deadlock.
             watchdog_cycles: 50_000,
             audit_interval: if cfg!(feature = "audit") { 4096 } else { 0 },
+            leap: true,
             fault: None,
         }
+    }
+
+    /// Select the tick-every-cycle reference path instead of the
+    /// cycle-leap event core (differential testing / debugging).
+    pub fn with_reference_ticking(mut self) -> Self {
+        self.leap = false;
+        self
     }
 
     /// Same platform with a different L1D geometry (the 32 KB / 64 KB

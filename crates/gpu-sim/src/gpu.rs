@@ -10,6 +10,23 @@
 //! 4. ejects crossbar packets into partitions and cycles them,
 //! 5. injects partition replies back into the crossbar,
 //! 6. delivers arrived replies to the owning SM's L1D.
+//!
+//! # Cycle-leap event core
+//!
+//! Memory-bound kernels spend most of their cycles stalled: every warp
+//! blocked on a scoreboard, every queue waiting on a latency that was
+//! fixed the moment the packet was stamped. Instead of ticking through
+//! that dead time, [`Gpu::run`] asks each component for a *conservative*
+//! bound on its next event ([`Sm::next_event`],
+//! [`MemoryPartition::next_event`], the crossbar's queue-head ready
+//! stamps) and jumps `now` straight to the minimum. Skipped cycles are
+//! replayed arithmetically ([`Gpu::leap_to`]) so the aging counters —
+//! L1D stall classes, rejected submits, the CTA round-robin cursor, the
+//! partitions' fractional DRAM clocks — end up byte-identical to a
+//! tick-every-cycle run. `SimConfig::leap = false` selects the original
+//! reference loop; under the `audit` feature every leap window is
+//! re-simulated tick-by-tick and each cycle asserted to be a no-op (see
+//! DESIGN.md "Cycle-leap event core").
 
 use crate::audit::{check_flit_conservation, check_reply_conservation, FlowCounters};
 use crate::config::SimConfig;
@@ -51,6 +68,56 @@ pub struct Gpu {
     /// Running total of warp instructions issued (the watchdog metric's
     /// SM half, maintained incrementally).
     total_warp_insns: u64,
+    /// Cycles actually stepped (as opposed to leapt over). With the
+    /// cycle-leap event core this is the count of event cycles; the
+    /// ratio against [`RunStats::cycles`] is the leap efficiency
+    /// reported by the benchmark telemetry. Deliberately *not* part of
+    /// [`RunStats`]: simulated results are byte-identical with leaping
+    /// on or off, and this counter is the one number that legitimately
+    /// differs.
+    ticked_cycles: u64,
+    /// The component that most recently forced a tick (reported an event
+    /// at `now + 1`). Active phases are bursty — the same SM or
+    /// partition stays hot for many consecutive cycles — so
+    /// [`Gpu::next_step_cycle`] re-checks this one component first and
+    /// skips the full scan while it stays hot. Purely an optimization:
+    /// "no leap" is always a conservative answer, so a stale hint can
+    /// only cost a scan, never correctness.
+    leap_hint: LeapHint,
+    /// Per-SM sleep: `sm_next_ev[s]` is a conservative bound below which
+    /// SM `s` has no internal event (same bound [`Sm::next_event`] feeds
+    /// the global leap), so its `cycle` call is skipped even on cycles
+    /// the machine as a whole must tick — a memory storm keeps the
+    /// partitions busy every cycle, but the 15 SMs parked on full MSHRs
+    /// would each re-probe their stalled access per tick for nothing.
+    /// 0 means "must cycle" (external input arrived), `u64::MAX` means
+    /// "wake only on an interconnect reply".
+    sm_next_ev: Vec<u64>,
+    /// The last cycle SM `s` actually ran `cycle`, i.e. has aged its
+    /// stall counters through. A waking SM first replays the gap with
+    /// [`Sm::leap_catchup`]; [`Gpu::settle_sms`] does the same before
+    /// any state is reported (stats, hang reports). This single
+    /// deferred-aging account also covers whole-machine leaps.
+    sm_last_cycled: Vec<u64>,
+    /// Whether SM `s` slept through the step in progress — latched at
+    /// the cycle phase, because the phase itself refreshes `sm_next_ev`
+    /// to a future cycle and later phases (the forward drain) must see
+    /// the decision, not the refreshed bound.
+    sm_asleep: Vec<bool>,
+}
+
+/// See [`Gpu::leap_hint`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LeapHint {
+    None,
+    /// `sms[i].next_event` said `now + 1`.
+    Sm(usize),
+    /// The return queue toward SM `i` had a ripe head.
+    IcntRet(usize),
+    /// Partition `i` could pop a ripe forward packet.
+    IcntFwd(usize),
+    /// `parts[i].next_event` said `now + 1`.
+    Partition(usize),
 }
 
 impl Gpu {
@@ -95,15 +162,55 @@ impl Gpu {
             busy_sms: 0,
             busy_parts: 0,
             total_warp_insns: 0,
+            ticked_cycles: 0,
+            leap_hint: LeapHint::None,
+            sm_next_ev: vec![0; cfg.num_sms],
+            sm_last_cycled: vec![0; cfg.num_sms],
+            sm_asleep: vec![false; cfg.num_sms],
             cfg,
         }
     }
 
+    /// Cycles actually stepped, as opposed to leapt over. The benchmark
+    /// harness reports `ticked_cycles / cycles` as leap efficiency.
+    pub fn ticked_cycles(&self) -> u64 {
+        self.ticked_cycles
+    }
+
     #[inline]
-    fn mark_sm_busy(sm_busy: &mut [bool], busy_sms: &mut usize, s: usize) {
+    fn mark_sm_busy(sm_busy: &mut [bool], busy_sms: &mut usize, sm_next_ev: &mut [u64], s: usize) {
+        // External input always wakes the SM: force a cycle on the next
+        // step regardless of any cached sleep bound.
+        sm_next_ev[s] = 0;
         if !sm_busy[s] {
             sm_busy[s] = true;
             *busy_sms += 1;
+        }
+    }
+
+    /// Per-SM sleeping is only sound on the leap path, and the audited /
+    /// periodically-audited builds deliberately tick every busy SM so
+    /// the tick-through no-op verification exercises real cycles.
+    #[inline]
+    fn sm_sleep_enabled(&self) -> bool {
+        self.cfg.leap && self.cfg.audit_interval == 0 && !cfg!(feature = "audit")
+    }
+
+    /// Bring every busy SM's deferred aging up to date (through the
+    /// current cycle, inclusive) so externally visible state — run
+    /// statistics, hang reports, post-run introspection — is identical
+    /// to what the tick-every-cycle reference produces.
+    fn settle_sms(&mut self) {
+        let now = self.now;
+        for (s, sm) in self.sms.iter_mut().enumerate() {
+            if !self.sm_busy[s] {
+                continue;
+            }
+            let behind = now - self.sm_last_cycled[s];
+            if behind > 0 {
+                sm.leap_catchup(behind);
+                self.sm_last_cycled[s] = now;
+            }
         }
     }
 
@@ -139,7 +246,12 @@ impl Gpu {
                 let Some(cta) = self.pending_ctas.pop_front() else { break };
                 let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
                 self.sms[idx].launch_cta(cta, warps);
-                Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, idx);
+                Self::mark_sm_busy(
+                    &mut self.sm_busy,
+                    &mut self.busy_sms,
+                    &mut self.sm_next_ev,
+                    idx,
+                );
                 denied = 0;
             } else {
                 denied += 1;
@@ -151,26 +263,47 @@ impl Gpu {
     /// One core/interconnect cycle.
     fn step(&mut self) -> Result<(), SimError> {
         self.now += 1;
+        self.ticked_cycles += 1;
         let now = self.now;
 
         self.launch_ctas();
 
         // Cycle only SMs with work; an idle SM's cycle is a no-op, so
-        // skipping it changes nothing but wall time.
+        // skipping it changes nothing but wall time. On the leap path a
+        // busy SM additionally *sleeps* through its own dead time
+        // (`sm_next_ev`): cycles the machine must tick for other
+        // components' sake skip this SM's cycle entirely, and the waking
+        // SM first replays the gap arithmetically. `leap_catchup` is
+        // state-identical to the skipped retries because nothing mutates
+        // the SM inside the gap — every external input (reply, CTA
+        // launch) resets `sm_next_ev` to 0 and ends the sleep.
+        let sleep = self.sm_sleep_enabled();
         for (s, sm) in self.sms.iter_mut().enumerate() {
-            if !self.sm_busy[s] {
+            let asleep = self.sm_busy[s] && sleep && self.sm_next_ev[s] > now;
+            self.sm_asleep[s] = asleep;
+            if !self.sm_busy[s] || asleep {
                 continue;
             }
+            let behind = now - 1 - self.sm_last_cycled[s];
+            if behind > 0 {
+                sm.leap_catchup(behind);
+            }
             self.total_warp_insns += sm.cycle(now)?;
+            self.sm_last_cycled[s] = now;
             // CTA completions free slots; successors launch next cycle.
             sm.take_finished_ctas();
+            if sleep {
+                self.sm_next_ev[s] = sm.next_event(now).unwrap_or(u64::MAX);
+            }
         }
 
 
         // L1D miss queues -> crossbar (forward direction). Idle SMs have
-        // empty miss queues by definition.
+        // empty miss queues by definition, and a sleeping SM's outgoing
+        // queue is empty too (a non-empty queue forbids sleep) — nor can
+        // it become idle while its state is frozen, so skip both.
         for (s, sm) in self.sms.iter_mut().enumerate() {
-            if !self.sm_busy[s] {
+            if !self.sm_busy[s] || self.sm_asleep[s] {
                 continue;
             }
             while let Some(pkt) = sm.l1d.peek_outgoing() {
@@ -251,13 +384,23 @@ impl Gpu {
             while let Some(pkt) = self.icnt.pop_ret(s, now) {
                 self.counters.ret_flits_delivered += pkt.flits();
                 self.counters.replies_delivered += 1;
+                // A reply mutates the very state (MSHR, tags) that the
+                // deferred stall-aging classifies against, so a sleeping
+                // SM must replay its gap with the pre-reply state first.
+                // The gap includes this cycle: the reference SM's own
+                // phase — one more no-op retry — ran before delivery.
+                let behind = now - self.sm_last_cycled[s];
+                if behind > 0 {
+                    sm.leap_catchup(behind);
+                    self.sm_last_cycled[s] = now;
+                }
                 sm.l1d
                     .on_reply(pkt, now)
                     .map_err(|source| SimError::MshrViolation { sm: s, source, cycle: now })?;
                 // The reply gives the SM work (a response to ripen); an
                 // outstanding fetch implies a non-quiescent L1D, so the
                 // SM should already be busy — keep it that way cheaply.
-                Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, s);
+                Self::mark_sm_busy(&mut self.sm_busy, &mut self.busy_sms, &mut self.sm_next_ev, s);
             }
         }
 
@@ -272,6 +415,7 @@ impl Gpu {
             && now - self.last_progress_cycle >= self.cfg.watchdog_cycles
             && !self.finished()
         {
+            self.settle_sms();
             return Err(SimError::Hang(Box::new(self.hang_report())));
         }
 
@@ -280,6 +424,217 @@ impl Gpu {
             self.run_audit()?;
         }
         Ok(())
+    }
+
+    /// The next cycle [`Gpu::step`] must actually run: the minimum of
+    /// every component's conservative next-event bound, clamped so the
+    /// watchdog and the periodic auditor still observe their exact
+    /// cycles. Returns `now + 1` (no leap) whenever any component could
+    /// act immediately, and degrades to `now + 1` when no event is
+    /// scheduled anywhere (a dropped-packet deadlock with the watchdog
+    /// off ticks toward the cycle cap exactly as the reference loop
+    /// does).
+    fn next_step_cycle(&mut self) -> u64 {
+        let now = self.now;
+        let fallthrough = now + 1;
+        // A launchable CTA issues next cycle; only a fully denied scan
+        // (every SM full) is skippable dead time.
+        if !self.pending_ctas.is_empty() {
+            let wpc = self.kernel.grid().warps_per_cta;
+            if self.sms.iter().any(|sm| sm.can_accept_cta(wpc)) {
+                return fallthrough;
+            }
+        }
+        // Fast path: the component that forced the last tick usually
+        // forces this one too — one probe instead of a machine-wide
+        // scan. A miss falls through to the full scan, which refreshes
+        // the hint; a stale hint is therefore never a correctness issue.
+        let hot = match self.leap_hint {
+            LeapHint::None => false,
+            LeapHint::Sm(s) => {
+                self.sm_busy[s]
+                    && if self.sm_sleep_enabled() {
+                        self.sm_next_ev[s] <= fallthrough
+                    } else {
+                        matches!(self.sms[s].next_event(now), Some(ev) if ev <= fallthrough)
+                    }
+            }
+            LeapHint::IcntRet(s) => self.icnt.next_ret_ready(s).is_some_and(|r| r <= fallthrough),
+            LeapHint::IcntFwd(p) => {
+                self.parts[p].can_accept()
+                    && self.icnt.next_fwd_ready(p).is_some_and(|r| r <= fallthrough)
+            }
+            LeapHint::Partition(p) => {
+                self.part_busy[p]
+                    && matches!(self.parts[p].next_event(now), Some(ev) if ev <= fallthrough)
+            }
+        };
+        if hot {
+            return fallthrough;
+        }
+        let mut t = u64::MAX;
+        if self.sm_sleep_enabled() {
+            // The per-SM sleep cache holds exactly the bound this scan
+            // needs — maintained by step(), so no SM is re-probed here.
+            for s in 0..self.sms.len() {
+                if !self.sm_busy[s] {
+                    continue;
+                }
+                let ev = self.sm_next_ev[s];
+                if ev <= fallthrough {
+                    self.leap_hint = LeapHint::Sm(s);
+                    return fallthrough;
+                }
+                t = t.min(ev);
+            }
+        } else {
+            for (s, sm) in self.sms.iter_mut().enumerate() {
+                if !self.sm_busy[s] {
+                    continue;
+                }
+                match sm.next_event(now) {
+                    Some(ev) if ev <= fallthrough => {
+                        self.leap_hint = LeapHint::Sm(s);
+                        return fallthrough;
+                    }
+                    Some(ev) => t = t.min(ev),
+                    None => {}
+                }
+            }
+        }
+        // Crossbar queue heads eject strictly in FIFO order, so the head
+        // ready stamp gates each port. Return packets are always
+        // deliverable; forward packets only land while the partition's
+        // input queue has room (a full queue drains only via a partition
+        // event, which the partition's own bound covers).
+        for s in 0..self.sms.len() {
+            if let Some(ready) = self.icnt.next_ret_ready(s) {
+                if ready <= fallthrough {
+                    self.leap_hint = LeapHint::IcntRet(s);
+                    return fallthrough;
+                }
+                t = t.min(ready);
+            }
+        }
+        for (p, part) in self.parts.iter_mut().enumerate() {
+            if part.can_accept() {
+                if let Some(ready) = self.icnt.next_fwd_ready(p) {
+                    if ready <= fallthrough {
+                        self.leap_hint = LeapHint::IcntFwd(p);
+                        return fallthrough;
+                    }
+                    t = t.min(ready);
+                }
+            }
+            if self.part_busy[p] {
+                match part.next_event(now) {
+                    Some(ev) if ev <= fallthrough => {
+                        self.leap_hint = LeapHint::Partition(p);
+                        return fallthrough;
+                    }
+                    Some(ev) => t = t.min(ev),
+                    None => {}
+                }
+            }
+        }
+        self.leap_hint = LeapHint::None;
+        // The watchdog must fire at the identical cycle a ticked run
+        // would report, and scheduled audits must run on schedule — a
+        // leap never jumps across either.
+        if self.cfg.watchdog_cycles > 0 {
+            t = t.min(self.last_progress_cycle + self.cfg.watchdog_cycles);
+        }
+        if self.cfg.audit_interval > 0 {
+            t = t.min((now + 1).next_multiple_of(self.cfg.audit_interval));
+        }
+        if t == u64::MAX {
+            return fallthrough;
+        }
+        t.max(fallthrough)
+    }
+
+    /// Advance `now` to `target`, replaying the skipped cycles — all
+    /// provably no-ops per [`Gpu::next_step_cycle`] — arithmetically:
+    ///
+    /// - a pending-CTA backlog would have burned one fully denied
+    ///   round-robin scan per cycle (cursor advances once per SM);
+    /// - SMs need nothing here: deferred aging (`sm_last_cycled`)
+    ///   replays the gap via [`Sm::leap_catchup`] when each SM next
+    ///   cycles or when [`Gpu::settle_sms`] runs;
+    /// - partitions need nothing either: their fractional DRAM clock
+    ///   catches up lazily on the next [`MemoryPartition::cycle`] call.
+    ///
+    /// Under the `audit` feature the window is instead re-simulated
+    /// tick-by-tick, asserting after every step that the activity
+    /// signature did not change — i.e. that the leap bound really was
+    /// conservative. Statistics come out identical on that path too,
+    /// because the replayed cycles age the same counters the arithmetic
+    /// path adds in bulk.
+    fn leap_to(&mut self, target: u64) -> Result<(), SimError> {
+        debug_assert!(target >= self.now, "leap target is in the past");
+        if cfg!(feature = "audit") {
+            while self.now < target {
+                let before = self.activity_signature();
+                self.step()?;
+                debug_assert_eq!(
+                    before,
+                    self.activity_signature(),
+                    "cycle {} inside a leap window was not a no-op",
+                    self.now
+                );
+            }
+            return Ok(());
+        }
+        let skipped = target - self.now;
+        if skipped == 0 {
+            return Ok(());
+        }
+        if !self.pending_ctas.is_empty() {
+            self.launch_cursor =
+                self.launch_cursor.wrapping_add(self.sms.len().wrapping_mul(skipped as usize));
+        }
+        self.now = target;
+        Ok(())
+    }
+
+    /// FNV-1a hash of everything that distinguishes an *active* cycle
+    /// from dead time: flow counters, queue occupancies, in-flight
+    /// packet census, DRAM traffic. Aging counters (stall cycles,
+    /// rejected submits, the launch cursor) are deliberately excluded —
+    /// they advance in dead time by design and are replayed
+    /// arithmetically. Used by the `audit`-feature leap verification.
+    fn activity_signature(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        put(self.total_warp_insns);
+        put(self.counters.fetches_sent);
+        put(self.counters.replies_delivered);
+        put(self.counters.fwd_flits_delivered);
+        put(self.counters.ret_flits_delivered);
+        put(self.icnt.in_flight() as u64);
+        put(self.pending_ctas.len() as u64);
+        put(self.busy_sms as u64);
+        put(self.busy_parts as u64);
+        for sm in &self.sms {
+            put(sm.active_warps() as u64);
+            put(sm.ldst_queue_len() as u64);
+            put(sm.l1d.mshr_occupancy() as u64);
+            put(sm.l1d.outgoing_len() as u64);
+            put(sm.l1d.pending_responses() as u64);
+        }
+        for p in &self.parts {
+            put(p.in_queue_len() as u64);
+            put(p.l2_mshr_occupancy() as u64);
+            put(p.out_queue_len() as u64);
+            let d = p.dram_stats();
+            put(d.reads + d.writes);
+        }
+        h
     }
 
     /// Run every conservation and structural check once, at the current
@@ -391,10 +746,21 @@ impl Gpu {
     pub fn run(&mut self) -> Result<RunStats, SimError> {
         while !self.finished() {
             if self.now >= self.cfg.max_cycles {
+                self.settle_sms();
                 return Err(SimError::CycleCapExceeded(Box::new(self.hang_report())));
+            }
+            if self.cfg.leap {
+                // Leap to just before the next event, then step it. The
+                // cycle-cap clamp keeps the overrun error surfacing at
+                // the same cycle the reference loop reports.
+                let target = self.next_step_cycle().min(self.cfg.max_cycles);
+                if target > self.now + 1 {
+                    self.leap_to(target - 1)?;
+                }
             }
             self.step()?;
         }
+        self.settle_sms();
         Ok(self.collect(true))
     }
 
@@ -404,8 +770,22 @@ impl Gpu {
     pub fn run_for(&mut self, cycles: u64) -> Result<RunStats, SimError> {
         let end = self.now + cycles;
         while !self.finished() && self.now < end {
+            if self.cfg.leap {
+                let target = self.next_step_cycle();
+                if target > end {
+                    // The whole remaining horizon is dead time: account
+                    // for it and stop at the horizon, exactly where the
+                    // reference loop would.
+                    self.leap_to(end)?;
+                    break;
+                }
+                if target > self.now + 1 {
+                    self.leap_to(target - 1)?;
+                }
+            }
             self.step()?;
         }
+        self.settle_sms();
         Ok(self.collect(self.finished()))
     }
 

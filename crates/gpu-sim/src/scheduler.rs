@@ -51,8 +51,18 @@ impl GtoScheduler {
         self.warps.is_empty()
     }
 
+    /// The slot the greedy pointer currently prefers (diagnostics; the
+    /// cycle-leap equivalence tests use it to verify that no-issue
+    /// cycles leave scheduler state untouched).
+    pub fn greedy_slot(&self) -> Option<usize> {
+        self.greedy
+    }
+
     /// Pick the warp to issue from this cycle: last-issued if still
-    /// ready, else the oldest ready one. Updates the greedy pointer.
+    /// ready, else the oldest ready one. Updates the greedy pointer
+    /// **only on a successful pick** — a cycle in which nothing is ready
+    /// mutates no scheduler state, which is what lets the cycle-leap
+    /// event core skip dead cycles without touching schedulers at all.
     pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
         if let Some(g) = self.greedy {
             if ready(g) {
@@ -98,6 +108,20 @@ mod tests {
         let mut s = GtoScheduler::new();
         s.add(0, 0);
         assert_eq!(s.pick(|_| false), None);
+    }
+
+    #[test]
+    fn no_issue_pick_leaves_greedy_untouched() {
+        // The cycle-leap event core skips cycles in which nothing can
+        // issue; that is only sound if a fruitless pick would not have
+        // mutated the greedy pointer.
+        let mut s = GtoScheduler::new();
+        s.add(0, 0);
+        s.add(1, 1);
+        assert_eq!(s.pick(|_| true), Some(0));
+        assert_eq!(s.greedy_slot(), Some(0));
+        assert_eq!(s.pick(|_| false), None);
+        assert_eq!(s.greedy_slot(), Some(0), "no-issue cycles are pure");
     }
 
     #[test]
