@@ -27,20 +27,36 @@ const POLICY_LABELS: [&str; 4] =
 /// figures come with an explanation of what is missing.
 fn report_failures(digest: &str) {
     if !digest.is_empty() {
-        eprintln!("-- some runs failed; affected rows were skipped --");
+        eprintln!("-- some runs failed; affected cells are marked FAILED(reason) --");
         eprint!("{digest}");
     }
 }
 
-/// An app's runs only if every requested column succeeded; incomplete
-/// rows are skipped (their failures appear in the digest).
-fn complete_row<'a>(
-    runs: &'a HashMap<String, HashMap<&'static str, AppRun>>,
-    app: &str,
-    labels: &[&'static str],
-) -> Option<&'a HashMap<&'static str, AppRun>> {
-    let row = runs.get(app)?;
-    labels.iter().all(|l| row.contains_key(l)).then_some(row)
+/// Per-(app, column) failures of a suite — what the `FAILED(reason)`
+/// cells are rendered from.
+type FailedMap = HashMap<String, HashMap<&'static str, RunFailure>>;
+
+/// A compact reason for a table cell: the classifying head of the
+/// error ("panic", "deadline", "hang", ...), truncated so tables stay
+/// readable; the full rendering is in the stderr digest.
+fn short_reason(f: &RunFailure) -> String {
+    let head = f.error.split(':').next().unwrap_or("error").trim();
+    let mut s: String = head.chars().take(12).collect();
+    if s.is_empty() {
+        s.push_str("error");
+    }
+    s
+}
+
+/// The cell printed where a run should have been: a sweep with
+/// failures still renders every row, each missing value explicit.
+fn failed_cell(failed: &FailedMap, app: &str, label: &str) -> String {
+    let reason = failed
+        .get(app)
+        .and_then(|m| m.get(label))
+        .map(short_reason)
+        .unwrap_or_else(|| "missing".to_string());
+    format!("FAILED({reason})")
 }
 
 /// Unwrap a single must-have run, exiting with the failure description
@@ -68,6 +84,20 @@ fn main() {
     let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     dlp_bench::telemetry::sweep(&format!("figures {what}"), || run_artifact(what, scale, &args));
+
+    if let Some(e) = dlp_bench::persist::store_poisoned() {
+        eprintln!("store: disabled for this run: {e}");
+    }
+    if let Some(c) = dlp_bench::persist::store_counters() {
+        dlp_bench::telemetry::record_store(dlp_bench::telemetry::StoreRecord {
+            hits: c.hits,
+            misses: c.misses,
+            puts: c.puts,
+            quarantined: c.quarantined,
+            adopted: c.adopted,
+            faults_injected: c.faults_injected,
+        });
+    }
 
     let path = telemetry_path();
     match dlp_bench::telemetry::write_json(&path) {
@@ -224,7 +254,10 @@ fn fig3(scale: Scale) {
         let run = match run_app(spec.abbr, cfg) {
             Ok(r) => r,
             Err(f) => {
-                eprintln!("skipping row: {f}");
+                eprintln!("row failed: {f}");
+                let mut cells = vec![spec.abbr.to_string(), format!("FAILED({})", short_reason(&f))];
+                cells.extend(std::iter::repeat_n("-".to_string(), 4));
+                t.row(cells);
                 continue;
             }
         };
@@ -249,12 +282,15 @@ fn fig4(s: &SizeSuite) {
     println!("== Figure 4: reuse-data miss rate vs cache size (compulsory excluded) ==");
     let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
     for spec in &s.apps {
-        let Some(row) = complete_row(&s.runs, spec.abbr, &SIZE_LABELS) else { continue };
-        let cells: Vec<String> = SIZE_LABELS
-            .iter()
-            .map(|l| format!("{:.1}%", row[l].stats.l1d.reuse_miss_rate() * 100.0))
-            .collect();
-        t.row(vec![spec.abbr.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        let row = s.runs.get(spec.abbr);
+        let mut cells = vec![spec.abbr.to_string()];
+        for l in SIZE_LABELS {
+            cells.push(match row.and_then(|r| r.get(l)) {
+                Some(run) => format!("{:.1}%", run.stats.l1d.reuse_miss_rate() * 100.0),
+                None => failed_cell(&s.failed, spec.abbr, l),
+            });
+        }
+        t.row(cells);
     }
     println!("{}", t.render());
 }
@@ -263,14 +299,24 @@ fn fig5(s: &SizeSuite) {
     println!("== Figure 5: IPC vs cache size, normalized to 16KB ==");
     let mut t = Table::new(vec!["App", "16KB", "32KB", "64KB"]);
     for spec in &s.apps {
-        let Some(row) = complete_row(&s.runs, spec.abbr, &SIZE_LABELS) else { continue };
-        let base = row["16KB"].stats.ipc();
-        t.row(vec![
+        let row = s.runs.get(spec.abbr);
+        let base = row.and_then(|r| r.get("16KB")).map(|run| run.stats.ipc());
+        let mut cells = vec![
             spec.abbr.to_string(),
-            "1.00".to_string(),
-            format!("{:.2}", normalize(row["32KB"].stats.ipc(), base)),
-            format!("{:.2}", normalize(row["64KB"].stats.ipc(), base)),
-        ]);
+            if base.is_some() {
+                "1.00".to_string()
+            } else {
+                failed_cell(&s.failed, spec.abbr, "16KB")
+            },
+        ];
+        for l in ["32KB", "64KB"] {
+            cells.push(match (row.and_then(|r| r.get(l)), base) {
+                (Some(run), Some(b)) => format!("{:.2}", normalize(run.stats.ipc(), b)),
+                (Some(_), None) => "n/a".to_string(),
+                (None, _) => failed_cell(&s.failed, spec.abbr, l),
+            });
+        }
+        t.row(cells);
     }
     println!("{}", t.render());
 }
@@ -334,13 +380,20 @@ fn fig10(suite: &PolicySuite) {
         let all_labels =
             [POLICY_LABELS[0], POLICY_LABELS[1], POLICY_LABELS[2], POLICY_LABELS[3], LABEL_32K];
         for spec in class_rows(suite, class) {
-            let Some(row) = complete_row(&suite.runs, spec.abbr, &all_labels) else { continue };
-            let base = row[POLICY_LABELS[0]].stats.ipc();
+            let row = suite.runs.get(spec.abbr);
+            let base =
+                row.and_then(|r| r.get(POLICY_LABELS[0])).map(|run| run.stats.ipc());
             let mut cells = vec![spec.abbr.to_string()];
-            for (i, label) in POLICY_LABELS.iter().chain([&LABEL_32K]).enumerate() {
-                let v = normalize(row[*label].stats.ipc(), base);
-                per_scheme[i].push(v);
-                cells.push(format!("{v:.2}"));
+            for (i, label) in all_labels.iter().enumerate() {
+                cells.push(match (row.and_then(|r| r.get(label)), base) {
+                    (Some(run), Some(b)) => {
+                        let v = normalize(run.stats.ipc(), b);
+                        per_scheme[i].push(v);
+                        format!("{v:.2}")
+                    }
+                    (Some(_), None) => "n/a".to_string(),
+                    (None, _) => failed_cell(&suite.failed, spec.abbr, label),
+                });
             }
             t.row(cells);
         }
@@ -365,10 +418,13 @@ fn fig12(suite: &PolicySuite) {
     let mut t = Table::new(vec!["App", "Base", "Stall-Bypass", "Global-Prot", "DLP"]);
     for class in [AppClass::CS, AppClass::CI] {
         for spec in class_rows(suite, class) {
-            let Some(row) = complete_row(&suite.runs, spec.abbr, &POLICY_LABELS) else { continue };
+            let row = suite.runs.get(spec.abbr);
             let mut cells = vec![spec.abbr.to_string()];
             for label in POLICY_LABELS {
-                cells.push(format!("{:.3}", row[label].stats.l1d.hit_rate()));
+                cells.push(match row.and_then(|r| r.get(label)) {
+                    Some(run) => format!("{:.3}", run.stats.l1d.hit_rate()),
+                    None => failed_cell(&suite.failed, spec.abbr, label),
+                });
             }
             t.row(cells);
         }
@@ -388,20 +444,24 @@ fn print_normalized(suite: &PolicySuite, metric: impl Fn(&dlp_bench::AppRun) -> 
     for class in [AppClass::CS, AppClass::CI] {
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for spec in class_rows(suite, class) {
-            let Some(row) = complete_row(&suite.runs, spec.abbr, &POLICY_LABELS) else { continue };
-            let base = metric(&row[POLICY_LABELS[0]]);
+            let row = suite.runs.get(spec.abbr);
+            // A zero base (e.g. a zero-hit app) has nothing to
+            // normalize against: render n/a, exclude from the means.
+            let base = row
+                .and_then(|r| r.get(POLICY_LABELS[0]))
+                .map(&metric)
+                .filter(|b| *b != 0.0);
             let mut cells = vec![spec.abbr.to_string()];
-            if base == 0.0 {
-                // Nothing to normalize against (e.g. a zero-hit app);
-                // exclude from the geometric means.
-                cells.extend(std::iter::repeat_n("n/a".to_string(), 4));
-                t.row(cells);
-                continue;
-            }
             for (i, label) in POLICY_LABELS.iter().enumerate() {
-                let v = normalize(metric(&row[*label]), base);
-                per_scheme[i].push(v.max(1e-9));
-                cells.push(format!("{v:.2}"));
+                cells.push(match (row.and_then(|r| r.get(label)), base) {
+                    (Some(run), Some(b)) => {
+                        let v = normalize(metric(run), b);
+                        per_scheme[i].push(v.max(1e-9));
+                        format!("{v:.2}")
+                    }
+                    (Some(_), None) => "n/a".to_string(),
+                    (None, _) => failed_cell(&suite.failed, spec.abbr, label),
+                });
             }
             t.row(cells);
         }
@@ -578,14 +638,25 @@ fn calib(scale: Scale) {
     ]);
     let labels = ["16KB(Baseline)", "Stall-Bypass", "Global-Protection", "DLP", "32KB"];
     for spec in suite.apps.iter().filter(|s| s.class == AppClass::CI) {
-        let Some(row) = complete_row(&suite.runs, spec.abbr, &labels) else { continue };
-        let base_ipc = row["16KB(Baseline)"].stats.ipc();
+        let row = suite.runs.get(spec.abbr);
+        let base_ipc =
+            row.and_then(|r| r.get("16KB(Baseline)")).map(|run| run.stats.ipc());
         for label in labels {
-            let s = &row[label].stats;
+            let Some(run) = row.and_then(|r| r.get(label)) else {
+                let mut cells =
+                    vec![spec.abbr.to_string(), label.to_string(), failed_cell(&suite.failed, spec.abbr, label)];
+                cells.extend(std::iter::repeat_n("-".to_string(), 5));
+                t.row(cells);
+                continue;
+            };
+            let s = &run.stats;
             t.row(vec![
                 spec.abbr.to_string(),
                 label.to_string(),
-                format!("{:.2}", normalize(s.ipc(), base_ipc)),
+                match base_ipc {
+                    Some(b) => format!("{:.2}", normalize(s.ipc(), b)),
+                    None => "n/a".to_string(),
+                },
                 format!("{:.0}%", s.l1d.hit_rate() * 100.0),
                 format!(
                     "{:.0}%",

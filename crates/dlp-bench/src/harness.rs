@@ -1,20 +1,30 @@
 //! Parallel experiment runners.
 //!
-//! Every job in a sweep runs under `catch_unwind` with one retry, so a
-//! single diverging configuration cannot take down a multi-hour figure
-//! run: the harness returns per-job `Result`s and the suites collect
-//! the failures into a digest the `figures` binary prints at the end.
+//! Every job in a sweep runs under `catch_unwind` with a bounded retry
+//! loop, so a single diverging configuration cannot take down a
+//! multi-hour figure run: failures are classified retryable (panics,
+//! deadline overruns — conditions a fresh attempt can clear) or fatal
+//! (typed simulator errors, which are deterministic), only the former
+//! are retried (with deterministic exponential backoff), and the
+//! suites collect whatever remains into a digest the `figures` binary
+//! prints at the end.
+//!
+//! Jobs are distributed over a work-stealing pool of scoped threads;
+//! results are committed by input slot, so every statistic is
+//! byte-identical at any worker count (pinned by the determinism
+//! suite).
 
+use crate::persist;
 use crate::telemetry::{self, JobRecord};
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_sim::{Gpu, RunStats, SimConfig};
 use gpu_workloads::{build, registry, BenchSpec, Scale};
 use parking_lot::Mutex;
 use rd_tools::{RdProfiler, SharedRdd};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What to simulate for one run.
 ///
@@ -84,10 +94,36 @@ pub struct AppRun {
     pub rdd: Option<SharedRdd>,
 }
 
+/// Whether a failed job is worth another attempt.
+///
+/// The split drives the retry loop: panics and deadline overruns can
+/// be caused by transient host conditions (an unlucky scheduling
+/// stall, memory pressure) and get retried with backoff; a typed
+/// simulator error is deterministic — the identical configuration
+/// will fail identically — so retrying only wastes the sweep's time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A fresh attempt may succeed (panic, deadline overrun).
+    Retryable,
+    /// Deterministic failure; retrying cannot help (simulator error,
+    /// incomplete run).
+    Fatal,
+}
+
+impl FailureClass {
+    /// Rendering used in failure digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureClass::Retryable => "retryable",
+            FailureClass::Fatal => "fatal",
+        }
+    }
+}
+
 /// One job that did not produce statistics: the simulator returned a
-/// typed error (hang, invariant violation, cycle-cap overrun) or the
-/// run panicked. Identifies the exact configuration so a sweep's
-/// failure digest names what to re-run.
+/// typed error (hang, invariant violation, cycle-cap overrun), the run
+/// panicked, or it overran its deadline. Identifies the exact
+/// configuration so a sweep's failure digest names what to re-run.
 #[derive(Clone, Debug)]
 pub struct RunFailure {
     /// Benchmark abbreviation.
@@ -98,22 +134,32 @@ pub struct RunFailure {
     pub geom: String,
     /// Workload scale.
     pub scale: Scale,
-    /// What went wrong (a `SimError` rendering or a panic payload).
+    /// What went wrong (a `SimError` rendering, a panic payload, or a
+    /// deadline overrun).
     pub error: String,
-    /// True when the job failed twice (it is retried once).
+    /// True when the job failed more than once before giving up.
     pub retried: bool,
+    /// Retryable or fatal — the decision the retry loop recorded.
+    pub class: FailureClass,
+    /// Attempts made before giving up (1 = failed on first try).
+    pub attempts: u32,
 }
 
 impl std::fmt::Display for RunFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} [{} @ {} {:?}{}]: {}",
+            "{} [{} @ {} {:?}, {}{}]: {}",
             self.app,
             self.policy.label(),
             self.geom,
             self.scale,
-            if self.retried { ", retried" } else { "" },
+            self.class.label(),
+            if self.retried {
+                format!(", retried ({} attempts)", self.attempts)
+            } else {
+                String::new()
+            },
             self.error
         )
     }
@@ -134,6 +180,40 @@ fn force_fail_target() -> Option<&'static str> {
     TARGET.get_or_init(|| std::env::var(FORCE_FAIL_ENV).ok()).as_deref()
 }
 
+/// Environment variable overriding the worker count of [`run_many`]
+/// (the determinism acceptance runs sweep it over 1/4/8).
+pub const WORKERS_ENV: &str = "DLP_WORKERS";
+
+/// The `DLP_WORKERS` override, read once per process.
+fn worker_override() -> Option<usize> {
+    static WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var(WORKERS_ENV).ok().and_then(|v| v.parse().ok()).filter(|&w| w >= 1)
+    })
+}
+
+/// Environment variable bounding the wall-clock time of one job, in
+/// milliseconds. Unset = no deadline, and the simulation runs on the
+/// exact code path the determinism suite pins; with a deadline the run
+/// is driven in bounded increments so an overrun is detected between
+/// chunks and reported as a retryable [`RunFailure`].
+pub const JOB_DEADLINE_ENV: &str = "DLP_JOB_DEADLINE_MS";
+
+/// The `DLP_JOB_DEADLINE_MS` value, read once per process.
+fn job_deadline() -> Option<Duration> {
+    static DEADLINE: OnceLock<Option<u64>> = OnceLock::new();
+    DEADLINE
+        .get_or_init(|| {
+            std::env::var(JOB_DEADLINE_ENV).ok().and_then(|v| v.parse().ok()).filter(|&ms| ms > 0)
+        })
+        .map(Duration::from_millis)
+}
+
+/// Cycles simulated between deadline checks when a deadline is active.
+/// Small enough to bound overshoot to well under a second of wall
+/// time, large enough to keep the checking overhead negligible.
+const DEADLINE_CHUNK_CYCLES: u64 = 65_536;
+
 /// Process-wide memo of completed runs keyed by the *full* experiment
 /// configuration. The simulator is deterministic, so a cached result
 /// is byte-identical to a re-run; `figures all` asks for several
@@ -153,20 +233,23 @@ pub fn run_cache_len() -> usize {
 
 /// Simulate one application under one configuration.
 ///
-/// Results are memoized per process: repeating a configuration returns
-/// the cached statistics without re-simulating.
+/// Results are memoized per process and — when `DLP_STORE_DIR` is set
+/// or [`persist::init_store`] was called — persisted through the
+/// crash-safe `dlp-store` layer, so a killed sweep resumes serving
+/// every job it had completed from disk.
 pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
     if force_fail_target() == Some(abbr) {
         panic!("{abbr}: forced failure ({FORCE_FAIL_ENV} is set)");
     }
     let start = Instant::now();
-    let record = |cached: bool, sim_cycles: u64, ticked_cycles: u64| {
+    let record = |cached: bool, store_hit: bool, sim_cycles: u64, ticked_cycles: u64| {
         telemetry::record_job(JobRecord {
             app: abbr.to_string(),
             policy: cfg.policy.label().to_string(),
             geom: cfg.geom_label(),
             scale: format!("{:?}", cfg.scale),
             cached,
+            store_hit,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             sim_cycles,
             ticked_cycles,
@@ -174,29 +257,37 @@ pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> 
     };
     let key = (abbr.to_string(), cfg);
     if let Some(hit) = run_cache().lock().get(&key).cloned() {
-        record(true, hit.stats.cycles, hit.ticked_cycles);
+        record(true, false, hit.stats.cycles, hit.ticked_cycles);
         return Ok(hit);
+    }
+    if let Some(run) = persist::load(abbr, &cfg) {
+        record(true, true, run.stats.cycles, run.ticked_cycles);
+        run_cache().lock().insert(key, run.clone());
+        return Ok(run);
     }
     let run = run_app_uncached(abbr, cfg);
     match &run {
         Ok(r) => {
-            record(false, r.stats.cycles, r.ticked_cycles);
+            record(false, false, r.stats.cycles, r.ticked_cycles);
             run_cache().lock().insert(key, r.clone());
+            persist::save(abbr, &cfg, r);
         }
-        Err(_) => record(false, 0, 0),
+        Err(_) => record(false, false, 0, 0),
     }
     run
 }
 
 /// The actual simulation behind [`run_app`]'s memo layer.
 fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
-    let fail = |error: String| RunFailure {
+    let fail = |error: String, class: FailureClass| RunFailure {
         app: abbr.to_string(),
         policy: cfg.policy,
         geom: cfg.geom_label(),
         scale: cfg.scale,
         error,
         retried: false,
+        class,
+        attempts: 1,
     };
     let spec = gpu_workloads::registry::spec(abbr);
     let kernel = build(abbr, cfg.scale);
@@ -213,10 +304,34 @@ fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFail
     } else {
         None
     };
-    let stats = gpu.run().map_err(|e| fail(e.to_string()))?;
+    let stats = match job_deadline() {
+        // No deadline: the exact code path the determinism suite pins.
+        None => gpu.run().map_err(|e| fail(e.to_string(), FailureClass::Fatal))?,
+        Some(deadline) => {
+            let t0 = Instant::now();
+            loop {
+                let s = gpu
+                    .run_for(DEADLINE_CHUNK_CYCLES)
+                    .map_err(|e| fail(e.to_string(), FailureClass::Fatal))?;
+                if s.completed {
+                    break s;
+                }
+                if t0.elapsed() >= deadline {
+                    return Err(fail(
+                        format!(
+                            "deadline: exceeded {} ms ({JOB_DEADLINE_ENV}) at cycle {}",
+                            deadline.as_millis(),
+                            s.cycles
+                        ),
+                        FailureClass::Retryable,
+                    ));
+                }
+            }
+        }
+    };
     let ticked_cycles = gpu.ticked_cycles();
     if !stats.completed {
-        return Err(fail("run stopped before kernel completion".to_string()));
+        return Err(fail("run stopped before kernel completion".to_string(), FailureClass::Fatal));
     }
     Ok(AppRun { spec, stats, ticked_cycles, rdd })
 }
@@ -239,54 +354,109 @@ fn run_app_caught(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailur
                 scale: cfg.scale,
                 error: format!("panic: {msg}"),
                 retried: false,
+                class: FailureClass::Retryable,
+                attempts: 1,
             })
         }
     }
 }
 
-/// One job with the retry policy applied: a failing run is retried
-/// once (transient host conditions — OOM kills of a worker thread,
-/// for example — are worth one more attempt; deterministic simulator
-/// errors simply fail again and are reported with `retried` set).
-fn run_app_with_retry(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
-    run_app_caught(abbr, cfg).or_else(|_first| {
-        run_app_caught(abbr, cfg).map_err(|mut f| {
-            f.retried = true;
-            f
-        })
-    })
+/// Ceiling on attempts for a retryable failure.
+const MAX_ATTEMPTS: u32 = 3;
+/// First backoff delay; doubles per retry (deterministic — no jitter,
+/// so a retrying sweep behaves identically run to run).
+const BACKOFF_BASE_MS: u64 = 25;
+/// Backoff ceiling.
+const BACKOFF_CAP_MS: u64 = 200;
+
+/// The deterministic bounded exponential backoff before retry number
+/// `attempt + 1` (25 ms, 50 ms, 100 ms, …, capped at 200 ms).
+fn backoff(attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(8);
+    Duration::from_millis((BACKOFF_BASE_MS << exp).min(BACKOFF_CAP_MS))
+}
+
+/// One job with the retry policy applied: retryable failures (panics,
+/// deadline overruns — see [`FailureClass`]) get up to
+/// [`MAX_ATTEMPTS`] attempts with deterministic exponential backoff in
+/// between; fatal failures (typed simulator errors) are reported
+/// immediately, because the simulator is deterministic and would fail
+/// identically. The returned failure records the class and attempt
+/// count, so the sweep's failure digest shows the decision.
+///
+/// This is the hardened single-job entry point (panic-catching,
+/// retrying); `run_many` applies it per job, and the sweep daemon uses
+/// it directly so a panicking job becomes a typed wire error.
+pub fn run_app_with_retry(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    let mut attempt = 1;
+    loop {
+        match run_app_caught(abbr, cfg) {
+            Ok(run) => return Ok(run),
+            Err(mut f) => {
+                f.attempts = attempt;
+                f.retried = attempt > 1;
+                if f.class == FailureClass::Fatal || attempt >= MAX_ATTEMPTS {
+                    return Err(f);
+                }
+                std::thread::sleep(backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Run `jobs` of (app, config) pairs in parallel, preserving input
 /// order in the result. Each job yields `Ok(run)` or a `RunFailure`
 /// naming the app, policy and geometry that failed; one bad job never
-/// aborts the others.
+/// aborts the others. `DLP_WORKERS` overrides the worker count.
 pub fn run_many(jobs: &[(String, ExperimentConfig)]) -> Vec<Result<AppRun, RunFailure>> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8)
+    let workers = worker_override()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8))
         .min(jobs.len().max(1));
     run_many_with_workers(jobs, workers)
 }
 
-/// `run_many` with an explicit worker count (1 = fully serial). Job
-/// results are independent of `workers` — the determinism suite checks
-/// that a 1-thread and an N-thread sweep produce identical statistics.
+/// `run_many` with an explicit worker count (1 = fully serial).
+///
+/// The pool is work-stealing: the job list is split into one
+/// contiguous chunk per worker, each worker drains its own chunk from
+/// the front and, when empty, steals from the *back* of another
+/// worker's chunk (back-stealing minimizes contention on the victim's
+/// front end). Results are committed into a slot indexed by the job's
+/// input position, so the returned vector — and every statistic in it
+/// — is byte-identical at any worker count and under any stealing
+/// interleaving; the determinism suite pins this for 1, 4 and 8
+/// workers.
 pub fn run_many_with_workers(
     jobs: &[(String, ExperimentConfig)],
     workers: usize,
 ) -> Vec<Result<AppRun, RunFailure>> {
     assert!(workers >= 1);
+    let workers = workers.min(jobs.len().max(1));
     let results: Vec<Mutex<Option<Result<AppRun, RunFailure>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // One contiguous slice of job indices per worker. Contiguity keeps
+    // the common no-stealing case cache-friendly: neighbouring jobs
+    // usually share an app whose kernel build state is warm.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = jobs.len() * w / workers;
+            let hi = jobs.len() * (w + 1) / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
     std::thread::scope(|s| {
-        for _ in 0..workers.min(jobs.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            s.spawn(move || loop {
+                // Own queue first; then sweep the others for work to
+                // steal. Every index is handed out exactly once: pops
+                // happen under the owning queue's lock.
+                let claimed = queues[w].lock().pop_front().or_else(|| {
+                    (1..workers).find_map(|d| queues[(w + d) % workers].lock().pop_back())
+                });
+                let Some(i) = claimed else { break };
                 let (abbr, cfg) = &jobs[i];
                 *results[i].lock() = Some(run_app_with_retry(abbr, *cfg));
             });
@@ -308,6 +478,8 @@ pub fn run_many_with_workers(
                     scale: cfg.scale,
                     error: "worker produced no result".to_string(),
                     retried: false,
+                    class: FailureClass::Fatal,
+                    attempts: 0,
                 })
             })
         })
@@ -336,6 +508,10 @@ pub struct PolicySuite {
     pub apps: Vec<BenchSpec>,
     /// Jobs that produced no statistics.
     pub failures: Vec<RunFailure>,
+    /// app → (scheme label → failure) for the same jobs, so renderers
+    /// can degrade gracefully: a partial sweep still prints every row,
+    /// with an explicit `FAILED(reason)` cell where a run is missing.
+    pub failed: HashMap<String, HashMap<&'static str, RunFailure>>,
 }
 
 impl PolicySuite {
@@ -369,23 +545,27 @@ fn run_policy_suite_inner(scale: Scale) -> PolicySuite {
     }
     let mut results = run_many(&jobs).into_iter();
     let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    let mut failed: HashMap<String, HashMap<&'static str, RunFailure>> = HashMap::new();
     let mut failures = Vec::new();
-    let mut take = |entry: &mut HashMap<&'static str, AppRun>, label: &'static str| {
-        match results.next().expect("one result per job") {
-            Ok(run) => {
-                entry.insert(label, run);
-            }
-            Err(f) => failures.push(f),
-        }
-    };
     for spec in &apps {
-        let entry = runs.entry(spec.abbr.to_string()).or_default();
+        // Every app gets a row, even if all of its jobs failed: callers
+        // index `runs[abbr]` and read an empty map, not a missing key.
+        runs.entry(spec.abbr.to_string()).or_default();
+        let mut take = |label: &'static str| match results.next().expect("one result per job") {
+            Ok(run) => {
+                runs.entry(spec.abbr.to_string()).or_default().insert(label, run);
+            }
+            Err(f) => {
+                failed.entry(spec.abbr.to_string()).or_default().insert(label, f.clone());
+                failures.push(f);
+            }
+        };
         for kind in PolicyKind::ALL {
-            take(entry, kind.label());
+            take(kind.label());
         }
-        take(entry, LABEL_32K);
+        take(LABEL_32K);
     }
-    PolicySuite { runs, apps, failures }
+    PolicySuite { runs, apps, failures, failed }
 }
 
 /// Figure 4–5 data: every app at 16/32/64 KB under baseline LRU.
@@ -396,6 +576,8 @@ pub struct SizeSuite {
     pub apps: Vec<BenchSpec>,
     /// Jobs that produced no statistics.
     pub failures: Vec<RunFailure>,
+    /// app → (capacity label → failure), for `FAILED(reason)` cells.
+    pub failed: HashMap<String, HashMap<&'static str, RunFailure>>,
 }
 
 impl SizeSuite {
@@ -429,19 +611,23 @@ fn run_size_suite_inner(scale: Scale) -> SizeSuite {
     }
     let mut results = run_many(&jobs).into_iter();
     let mut runs: HashMap<String, HashMap<&'static str, AppRun>> = HashMap::new();
+    let mut failed: HashMap<String, HashMap<&'static str, RunFailure>> = HashMap::new();
     let mut failures = Vec::new();
     for spec in &apps {
-        let entry = runs.entry(spec.abbr.to_string()).or_default();
+        runs.entry(spec.abbr.to_string()).or_default();
         for label in SIZE_LABELS {
             match results.next().expect("one result per job") {
                 Ok(run) => {
-                    entry.insert(label, run);
+                    runs.entry(spec.abbr.to_string()).or_default().insert(label, run);
                 }
-                Err(f) => failures.push(f),
+                Err(f) => {
+                    failed.entry(spec.abbr.to_string()).or_default().insert(label, f.clone());
+                    failures.push(f);
+                }
             }
         }
     }
-    SizeSuite { runs, apps, failures }
+    SizeSuite { runs, apps, failures, failed }
 }
 
 #[cfg(test)]
@@ -512,12 +698,48 @@ mod tests {
             scale: Scale::Tiny,
             error: "hang: no forward progress".to_string(),
             retried: true,
+            class: FailureClass::Retryable,
+            attempts: 3,
         };
         let digest = failure_digest(&[f]);
         assert!(digest.contains("KM"), "{digest}");
         assert!(digest.contains("DLP"), "{digest}");
         assert!(digest.contains("16KB/4-way"), "{digest}");
-        assert!(digest.contains("retried"), "{digest}");
+        assert!(digest.contains("retried (3 attempts)"), "{digest}");
+        assert!(digest.contains("retryable"), "{digest}");
         assert!(failure_digest(&[]).is_empty());
+
+        let fatal = RunFailure {
+            error: "invariant violated".to_string(),
+            retried: false,
+            class: FailureClass::Fatal,
+            attempts: 1,
+            ..failure_digest_sample()
+        };
+        let digest = failure_digest(&[fatal]);
+        assert!(digest.contains("fatal"), "{digest}");
+        assert!(!digest.contains("retried"), "fatal failures are not retried: {digest}");
+    }
+
+    fn failure_digest_sample() -> RunFailure {
+        RunFailure {
+            app: "KM".to_string(),
+            policy: PolicyKind::Dlp,
+            geom: "16KB/4-way".to_string(),
+            scale: Scale::Tiny,
+            error: String::new(),
+            retried: false,
+            class: FailureClass::Fatal,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        assert_eq!(backoff(1), Duration::from_millis(25));
+        assert_eq!(backoff(2), Duration::from_millis(50));
+        assert_eq!(backoff(3), Duration::from_millis(100));
+        assert_eq!(backoff(4), Duration::from_millis(200));
+        assert_eq!(backoff(40), Duration::from_millis(200), "cap holds far out");
     }
 }

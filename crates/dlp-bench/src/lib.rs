@@ -16,11 +16,12 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod persist;
 pub mod report;
 pub mod telemetry;
 
 pub use harness::{
-    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,
-    SizeSuite,
+    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, FailureClass, PolicySuite,
+    RunFailure, SizeSuite,
 };
 pub use report::{geomean, normalize, Table};

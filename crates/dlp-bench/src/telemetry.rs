@@ -27,6 +27,10 @@ pub struct JobRecord {
     pub scale: String,
     /// True when the run cache supplied the result without simulating.
     pub cached: bool,
+    /// True when the result came from the persistent on-disk store
+    /// (implies `cached`; a hit from the in-memory run cache has
+    /// `cached` set and `store_hit` clear).
+    pub store_hit: bool,
     /// Wall-clock milliseconds spent producing the result.
     pub wall_ms: f64,
     /// Simulated core cycles of the result (0 for failed jobs).
@@ -72,6 +76,8 @@ pub struct SweepRecord {
     pub jobs: usize,
     /// Jobs satisfied by the run cache.
     pub cached: usize,
+    /// Subset of `cached` served from the persistent on-disk store.
+    pub store_hits: usize,
     /// Jobs that failed.
     pub failed: usize,
     /// Total simulated cycles across the sweep's jobs.
@@ -80,10 +86,32 @@ pub struct SweepRecord {
     pub ticked_cycles: u64,
 }
 
+/// Snapshot of the persistent store's health counters, recorded once
+/// per process before rendering (a plain-u64 mirror of
+/// `dlp_store::StoreCounters`, kept local so telemetry stays
+/// decoupled from the store crate's types).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreRecord {
+    /// Entries served after verification.
+    pub hits: u64,
+    /// Lookups with no usable entry.
+    pub misses: u64,
+    /// Entries written.
+    pub puts: u64,
+    /// Corrupt entries detected, moved to quarantine and recomputed.
+    pub quarantined: u64,
+    /// Unjournaled entries adopted at open.
+    pub adopted: u64,
+    /// Write-path faults injected by an active `DLP_STORE_FAULT`
+    /// campaign.
+    pub faults_injected: u64,
+}
+
 #[derive(Default)]
 struct Collector {
     jobs: Vec<JobRecord>,
     sweeps: Vec<SweepRecord>,
+    store: Option<StoreRecord>,
 }
 
 fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> R {
@@ -102,17 +130,23 @@ pub fn record_sweep(sweep: SweepRecord) {
     with_collector(|c| c.sweeps.push(sweep));
 }
 
+/// Record (or update) the store-health snapshot rendered in the JSON.
+pub fn record_store(store: StoreRecord) {
+    with_collector(|c| c.store = Some(store));
+}
+
 /// Time `f` as a named sweep, aggregating the job records it produces.
 pub fn sweep<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let before = with_collector(|c| c.jobs.len());
     let start = Instant::now();
     let out = f();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    let (jobs, cached, failed, sim_cycles, ticked_cycles) = with_collector(|c| {
+    let (jobs, cached, store_hits, failed, sim_cycles, ticked_cycles) = with_collector(|c| {
         let new = &c.jobs[before..];
         (
             new.len(),
             new.iter().filter(|j| j.cached).count(),
+            new.iter().filter(|j| j.store_hit).count(),
             new.iter().filter(|j| !j.cached && j.sim_cycles == 0).count(),
             new.iter().map(|j| j.sim_cycles).sum(),
             new.iter().map(|j| j.ticked_cycles).sum(),
@@ -123,6 +157,7 @@ pub fn sweep<R>(name: &str, f: impl FnOnce() -> R) -> R {
         wall_ms,
         jobs,
         cached,
+        store_hits,
         failed,
         sim_cycles,
         ticked_cycles,
@@ -170,7 +205,7 @@ fn num(v: f64) -> String {
 pub fn render_json() -> String {
     with_collector(|c| {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v2\",\n");
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v3\",\n");
         let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
         let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
         let total_ticked: u64 = c.jobs.iter().map(|j| j.ticked_cycles).sum();
@@ -183,15 +218,23 @@ pub fn render_json() -> String {
         out.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
         out.push_str(&format!("  \"total_ticked_cycles\": {total_ticked},\n"));
         out.push_str(&format!("  \"leap_efficiency\": {},\n", num(efficiency)));
+        match &c.store {
+            None => out.push_str("  \"store\": null,\n"),
+            Some(s) => out.push_str(&format!(
+                "  \"store\": {{\"hits\": {}, \"misses\": {}, \"puts\": {}, \"quarantined\": {}, \"adopted\": {}, \"faults_injected\": {}}},\n",
+                s.hits, s.misses, s.puts, s.quarantined, s.adopted, s.faults_injected,
+            )),
+        }
         out.push_str("  \"sweeps\": [\n");
         for (i, s) in c.sweeps.iter().enumerate() {
             let cps = if s.wall_ms > 0.0 { s.sim_cycles as f64 / (s.wall_ms / 1000.0) } else { 0.0 };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"jobs\": {}, \"cached\": {}, \"failed\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"jobs\": {}, \"cached\": {}, \"store_hits\": {}, \"failed\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}}}{}\n",
                 esc(&s.name),
                 num(s.wall_ms),
                 s.jobs,
                 s.cached,
+                s.store_hits,
                 s.failed,
                 s.sim_cycles,
                 s.ticked_cycles,
@@ -202,12 +245,13 @@ pub fn render_json() -> String {
         out.push_str("  ],\n  \"jobs\": [\n");
         for (i, j) in c.jobs.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}}}{}\n",
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}}}{}\n",
                 esc(&j.app),
                 esc(&j.policy),
                 esc(&j.geom),
                 esc(&j.scale),
                 j.cached,
+                j.store_hit,
                 num(j.wall_ms),
                 j.sim_cycles,
                 j.ticked_cycles,
@@ -238,6 +282,7 @@ mod tests {
             geom: "16KB/4-way".into(),
             scale: "Tiny".into(),
             cached: false,
+            store_hit: false,
             wall_ms: 500.0,
             sim_cycles: 1_000_000,
             ticked_cycles: 250_000,
@@ -258,6 +303,7 @@ mod tests {
             geom: "16KB/4-way".into(),
             scale: "Tiny".into(),
             cached: true,
+            store_hit: true,
             wall_ms: 1.25,
             sim_cycles: 42,
             ticked_cycles: 7,
@@ -265,9 +311,21 @@ mod tests {
         let out = sweep("test_sweep", render_json);
         assert!(out.contains("\\\"pp"), "{out}");
         assert!(out.contains("base\\\\line"), "{out}");
-        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v2\""));
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v3\""));
         assert!(out.contains("\"ticked_cycles\": 7"), "{out}");
+        assert!(out.contains("\"store_hit\": true"), "{out}");
         let out2 = render_json();
         assert!(out2.contains("\"name\": \"test_sweep\""), "{out2}");
+        assert!(out2.contains("\"store_hits\":"), "sweep rows carry the field: {out2}");
+    }
+
+    #[test]
+    fn store_record_renders_when_present() {
+        // The collector is process-wide; before this test's record the
+        // store section may be null, after it must be an object.
+        record_store(StoreRecord { hits: 3, puts: 2, quarantined: 1, ..Default::default() });
+        let out = render_json();
+        assert!(out.contains("\"store\": {\"hits\": 3"), "{out}");
+        assert!(out.contains("\"quarantined\": 1"), "{out}");
     }
 }

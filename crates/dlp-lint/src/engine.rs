@@ -5,7 +5,7 @@ use std::path::Path;
 
 use crate::diag::Finding;
 use crate::lexer::{lex, Comment, Token, TokenKind};
-use crate::rules::{rule_by_id, scan, RawFinding};
+use crate::rules::{rule_by_id, scan, scan_store, RawFinding};
 
 /// Crates whose `src/` trees carry the full D/F/E rule set. Harness,
 /// figure-rendering, and tooling crates (dlp-bench, rd-tools, …) are
@@ -13,23 +13,47 @@ use crate::rules::{rule_by_id, scan, RawFinding};
 /// *supposed* to live there.
 const SIM_CRATES: &[&str] = &["dlp-core", "gpu-mem", "gpu-sim"];
 
-/// Does the full rule set apply to this workspace-relative path?
+/// Crates whose `src/` trees carry the store-tier rule set (R401):
+/// everything that persists or serves sweep results. The sim rules do
+/// NOT apply here — the store legitimately does I/O, reads env-shimmed
+/// config, and reports typed `StoreError`s of its own.
+const STORE_CRATES: &[&str] = &["dlp-store", "dlp-sweepd"];
+
+/// The one store-tier file allowed to touch the filesystem raw: it
+/// *implements* the atomic write/fsync/rename discipline R401 steers
+/// everyone else to.
+const STORE_ATOMIC_IMPL: &str = "crates/dlp-store/src/atomic.rs";
+
+/// Does the full simulator rule set apply to this workspace-relative path?
 pub fn is_sim_tier(rel: &str) -> bool {
     SIM_CRATES
         .iter()
         .any(|c| rel.strip_prefix(&format!("crates/{c}/src/")).is_some_and(|rest| !rest.is_empty()))
 }
 
+/// Does the store-tier rule set (R401) apply to this path?
+pub fn is_store_tier(rel: &str) -> bool {
+    rel != STORE_ATOMIC_IMPL
+        && STORE_CRATES.iter().any(|c| {
+            rel.strip_prefix(&format!("crates/{c}/src/")).is_some_and(|rest| !rest.is_empty())
+        })
+}
+
 /// Lint one source file given its workspace-relative path. Returns an
-/// empty list for files outside the simulator tier.
+/// empty list for files outside the simulator and store tiers.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
-    if !is_sim_tier(rel) {
+    let sim = is_sim_tier(rel);
+    let store = is_store_tier(rel);
+    if !sim && !store {
         return Vec::new();
     }
     let lexed = lex(src);
     let is_test = test_token_mask(&lexed.tokens);
     let in_hot = hot_fn_token_mask(&lexed.tokens);
-    let mut raw = scan(&lexed.tokens, &is_test, &in_hot);
+    let mut raw = if sim { scan(&lexed.tokens, &is_test, &in_hot) } else { Vec::new() };
+    if store {
+        raw.extend(scan_store(&lexed.tokens, &is_test));
+    }
     let (suppressions, mut directive_findings) = parse_directives(&lexed.comments);
     raw.retain(|f| {
         !suppressions.iter().any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line))
@@ -62,7 +86,7 @@ pub struct Report {
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
     for file in rd_tools::walk::walk_rust_sources(root)? {
-        if !is_sim_tier(&file.rel) {
+        if !is_sim_tier(&file.rel) && !is_store_tier(&file.rel) {
             continue;
         }
         let src = std::fs::read_to_string(&file.abs)?;

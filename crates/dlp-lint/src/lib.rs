@@ -16,6 +16,9 @@
 //! * **E rules** — no `unwrap()`/`expect()`/`panic!` in simulator
 //!   code (steers to the typed `MemError`/`SimError` paths from the
 //!   PR 1 integrity layer).
+//! * **R rules** — no raw filesystem mutation in the store tier
+//!   (`dlp-store`/`dlp-sweepd`); every write goes through the atomic
+//!   temp+fsync+rename helpers so a crash never tears an entry.
 //!
 //! Findings can be suppressed inline
 //! (`// dlp-lint: allow(<rule>) -- <reason>`) or accepted via a
@@ -32,5 +35,5 @@ pub mod lexer;
 pub mod rules;
 
 pub use diag::{json, render_json, render_text, Baseline, Finding, BASELINE_SCHEMA, DIAG_SCHEMA};
-pub use engine::{is_sim_tier, lint_source, lint_workspace, Report};
+pub use engine::{is_sim_tier, is_store_tier, lint_source, lint_workspace, Report};
 pub use rules::{rule_by_id, Group, Rule, RULES};

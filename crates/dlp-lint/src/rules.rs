@@ -40,6 +40,8 @@ pub enum Group {
     ErrorHandling,
     /// Per-cycle hot-path performance discipline.
     Perf,
+    /// Crash-safety discipline in the persistence tier.
+    Robustness,
     /// Lint-infrastructure hygiene (directive syntax).
     Meta,
 }
@@ -140,6 +142,16 @@ pub const RULES: &[Rule] = &[
         hint: "preallocate in the constructor and reuse the buffer (clear + extend), or move \
                the allocation off the per-cycle path; for cold error/report arms add an allow \
                directive stating why the allocation cannot run per cycle",
+    },
+    Rule {
+        id: "R401",
+        name: "non-atomic-store-write",
+        group: Group::Robustness,
+        summary: "raw filesystem mutation in the store tier (bypasses the atomic \
+                  write/fsync/rename discipline)",
+        hint: "mutate store state only through dlp_store::atomic (atomic_write, append_line, \
+               move_into, truncate, remove_file) so a crash at any instruction leaves either \
+               the old bytes or the new bytes, never a torn file",
     },
     Rule {
         id: "X001",
@@ -350,6 +362,59 @@ pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFindi
         }
     }
 
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
+    out
+}
+
+/// Filesystem functions that mutate files in place; calling one in the
+/// store tier bypasses the temp+fsync+rename discipline. Reads
+/// (`read`, `read_dir`, `read_to_string`, `File::open`) and idempotent
+/// directory creation (`create_dir_all`) are fine.
+const FS_MUTATORS: &[&str] =
+    &["write", "rename", "remove_file", "remove_dir", "remove_dir_all", "copy", "hard_link"];
+
+/// Run the store-tier rule set (R401) over a file: any raw filesystem
+/// mutation — `fs::write`-style free functions, `File::create`, or an
+/// `OpenOptions` builder — must instead go through the audited helpers
+/// in `dlp_store::atomic`, which is the one module exempt from this
+/// rule.
+pub fn scan_store(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if is_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let at = |token: &str, message: String| RawFinding {
+            rule: "R401",
+            line: tok.line,
+            col: tok.col,
+            token: token.to_string(),
+            message,
+        };
+        let path_call = |set: &[&str]| {
+            (is_punct(tokens.get(i + 1), ':')
+                && is_punct(tokens.get(i + 2), ':')
+                && ident_in(tokens.get(i + 3), set))
+            .then(|| tokens[i + 3].text.clone())
+        };
+        match tok.text.as_str() {
+            "fs" => {
+                if let Some(call) = path_call(FS_MUTATORS) {
+                    out.push(at(&call, format!("raw file mutation `fs::{call}` in store tier")));
+                }
+            }
+            "File" => {
+                if let Some(call) = path_call(&["create", "create_new", "options"]) {
+                    out.push(at(&call, format!("raw file mutation `File::{call}` in store tier")));
+                }
+            }
+            "OpenOptions" if path_call(&["new"]).is_some() => {
+                out.push(at("OpenOptions", "raw `OpenOptions` builder in store tier".to_string()));
+            }
+            _ => {}
+        }
+    }
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
     out

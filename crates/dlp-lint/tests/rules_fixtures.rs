@@ -231,6 +231,80 @@ fn cfg_test_items_are_exempt_from_every_rule() {
 }
 
 // ---------------------------------------------------------------------------
+// R — store-tier crash safety
+// ---------------------------------------------------------------------------
+
+/// Lint a fixture as if it lived in the store tier.
+fn lint_store(src: &str) -> Vec<Finding> {
+    lint_source("crates/dlp-store/src/fixture.rs", src)
+}
+
+#[test]
+fn store_tier_covers_store_and_daemon_but_not_the_atomic_impl() {
+    use dlp_lint::is_store_tier;
+    assert!(is_store_tier("crates/dlp-store/src/store.rs"));
+    assert!(is_store_tier("crates/dlp-store/src/fault.rs"));
+    assert!(is_store_tier("crates/dlp-sweepd/src/server.rs"));
+    // The atomic helpers implement the discipline; they are exempt.
+    assert!(!is_store_tier("crates/dlp-store/src/atomic.rs"));
+    // Tests, the harness, and the simulator crates are out of scope.
+    assert!(!is_store_tier("crates/dlp-store/tests/corruption_roundtrip.rs"));
+    assert!(!is_store_tier("crates/dlp-bench/src/persist.rs"));
+    assert!(!is_store_tier("crates/gpu-mem/src/l1d.rs"));
+}
+
+#[test]
+fn r401_flags_raw_file_mutation_in_store_tier() {
+    let f = lint_store("fn f(p: &Path) { std::fs::write(p, b\"x\").unwrap(); }");
+    assert_eq!(rules_of(&f), ["R401"]);
+    assert_eq!(f[0].token, "write");
+    let f = lint_store("fn f(a: &Path, b: &Path) { fs::rename(a, b).unwrap(); }");
+    assert_eq!(rules_of(&f), ["R401"]);
+    let f = lint_store("fn f(p: &Path) { let _ = File::create(p); }");
+    assert_eq!(rules_of(&f), ["R401"]);
+    let f = lint_store("fn f(p: &Path) { OpenOptions::new().append(true).open(p).unwrap(); }");
+    assert_eq!(rules_of(&f), ["R401"]);
+}
+
+#[test]
+fn r401_permits_reads_dir_creation_and_the_atomic_helpers() {
+    let ok = "\
+        fn f(p: &Path) {\n\
+            std::fs::create_dir_all(p).unwrap();\n\
+            let _ = std::fs::read(p);\n\
+            let _ = std::fs::read_dir(p);\n\
+            let _ = std::fs::read_to_string(p);\n\
+            let _ = File::open(p);\n\
+            atomic::atomic_write(p, b\"x\").unwrap();\n\
+            atomic::append_line(p, \"l\").unwrap();\n\
+        }\n";
+    assert!(lint_store(ok).is_empty(), "{:?}", lint_store(ok));
+}
+
+#[test]
+fn r401_is_scoped_exempt_in_tests_and_suppressible() {
+    // The same mutation outside the store tier is not a finding.
+    let src = "fn f(p: &Path) { std::fs::write(p, b\"x\").unwrap(); }";
+    assert!(lint_source("crates/rd-tools/src/fixture.rs", src).is_empty());
+    // The sim rules do not leak into the store tier: unwrap/env/floats
+    // are the harness's business there, not dlp-lint's.
+    let sim_noise = "fn f() { let t = Instant::now(); t.elapsed().unwrap(); }";
+    assert!(lint_store(sim_noise).is_empty());
+    // cfg(test) items are exempt, as everywhere.
+    let test_src = "\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            fn f(p: &Path) { std::fs::write(p, b\"x\").unwrap(); }\n\
+        }\n";
+    assert!(lint_store(test_src).is_empty());
+    // And the allow directive works with a reason.
+    let suppressed = "\
+        // dlp-lint: allow(R401) -- socket file, not a store entry\n\
+        fn f(p: &Path) { std::fs::remove_file(p).unwrap(); }\n";
+    assert!(lint_store(suppressed).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression directives and X001
 // ---------------------------------------------------------------------------
 

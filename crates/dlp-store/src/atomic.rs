@@ -1,0 +1,179 @@
+//! The only module allowed to mutate files on disk.
+//!
+//! Every write the store performs goes through one of these helpers,
+//! so the crash-safety argument lives in one place: entry files are
+//! written to a temp name and renamed into place (readers never see a
+//! half-written entry under its final name), the journal is appended
+//! in one write call (a torn tail line is detected and ignored at
+//! replay), and quarantine moves are plain renames (atomic on the same
+//! filesystem). dlp-lint rule R401 enforces the discipline: any bare
+//! `fs::write` / `File::create` / `OpenOptions` / `fs::rename` /
+//! `fs::remove_file` elsewhere in the store tier is a lint error.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Suffix marker for in-flight temp files; [`clean_stale_temps`]
+/// removes leftovers from crashed writers at open time.
+const TMP_MARKER: &str = ".tmp-";
+
+/// Process-unique counter so concurrent writers in one process never
+/// collide on a temp name. Combined with the pid, two *processes*
+/// sharing a store directory cannot collide either.
+fn unique_suffix() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    format!("{TMP_MARKER}{}-{}", std::process::id(), NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same
+/// directory, flush + fsync, then rename over the final name. After a
+/// crash at any point, `path` either does not exist or holds the
+/// complete previous/new contents — never a prefix.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = temp_sibling(path);
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Don't leave the temp file behind on a failed rename.
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The temp-file name `atomic_write` uses next to `path`.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(unique_suffix());
+    path.with_file_name(name)
+}
+
+/// Append one line (newline added here) to `path`, creating it if
+/// missing. The line is issued as a single `write` call and fsynced:
+/// a crash mid-append leaves at most one torn final line, which the
+/// journal replayer discards.
+pub fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    f.write_all(&buf)?;
+    f.sync_all()
+}
+
+/// Move `src` into `dest_dir`, keeping its file name and suffixing a
+/// counter on collision (`entry.bin`, `entry.bin.1`, …). Used for
+/// quarantining corrupt entries; rename within one filesystem is
+/// atomic, so a crash mid-quarantine leaves the file in exactly one
+/// of the two places.
+pub fn move_into(src: &Path, dest_dir: &Path) -> std::io::Result<PathBuf> {
+    let base = src.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    let mut dest = dest_dir.join(&base);
+    let mut n = 0u32;
+    while dest.exists() {
+        n += 1;
+        let mut name = base.clone();
+        name.push(format!(".{n}"));
+        dest = dest_dir.join(name);
+    }
+    fs::rename(src, &dest)?;
+    Ok(dest)
+}
+
+/// Delete every leftover temp file (a crashed writer's debris) in
+/// `dir`. Complete entries are never named like temps, so this cannot
+/// remove committed data.
+pub fn clean_stale_temps(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    for ent in fs::read_dir(dir)? {
+        let ent = ent?;
+        let name = ent.file_name();
+        if name.to_string_lossy().contains(TMP_MARKER) {
+            fs::remove_file(ent.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Truncate `path` to `len` bytes. The journal replayer uses this to
+/// cut off a torn trailing line left by a crashed append, so the next
+/// append starts on a clean line boundary instead of concatenating
+/// onto the garbage.
+pub fn truncate(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()
+}
+
+/// Remove one file (journal rewrite during compaction, test cleanup).
+pub fn remove_file(path: &Path) -> std::io::Result<()> {
+    fs::remove_file(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dlp-store-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_completely() {
+        let d = tmpdir("write");
+        let p = d.join("e.bin");
+        atomic_write(&p, b"first").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"first");
+        atomic_write(&p, b"second, longer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"second, longer");
+        // No temp debris left behind.
+        assert_eq!(fs::read_dir(&d).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn append_line_accumulates_and_survives_reopen() {
+        let d = tmpdir("append");
+        let p = d.join("journal.log");
+        append_line(&p, "one").unwrap();
+        append_line(&p, "two").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "one\ntwo\n");
+    }
+
+    #[test]
+    fn move_into_quarantine_handles_collisions() {
+        let d = tmpdir("move");
+        let q = d.join("q");
+        fs::create_dir_all(&q).unwrap();
+        for i in 0..3 {
+            let src = d.join("victim.bin");
+            atomic_write(&src, format!("v{i}").as_bytes()).unwrap();
+            move_into(&src, &q).unwrap();
+            assert!(!src.exists());
+        }
+        let mut names: Vec<_> = fs::read_dir(&q)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["victim.bin", "victim.bin.1", "victim.bin.2"]);
+    }
+
+    #[test]
+    fn clean_stale_temps_spares_real_entries() {
+        let d = tmpdir("clean");
+        atomic_write(&d.join("real.bin"), b"data").unwrap();
+        fs::File::create(d.join(format!("orphan.bin{TMP_MARKER}999-0"))).unwrap();
+        assert_eq!(clean_stale_temps(&d).unwrap(), 1);
+        assert!(d.join("real.bin").exists());
+    }
+}

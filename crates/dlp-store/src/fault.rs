@@ -1,0 +1,234 @@
+//! Seeded fault injection for the store's write path.
+//!
+//! Mirrors `gpu-mem`'s packet-level [`gpu_mem::FaultConfig`] design:
+//! a campaign names a corruption kind, a seed, a rate, and a cap, and
+//! the decisions come from the same [`SplitMix64`] stream — so a given
+//! campaign corrupts exactly the same entries on every run, which is
+//! what makes the recovery paths (detect → quarantine → recompute)
+//! testable in CI. The env hook `DLP_STORE_FAULT` (parsed here, read
+//! in `dlp-bench` mirroring `DLP_FORCE_FAIL`) uses the string form
+//! `<kind>[:<seed>[:<rate_ppm>[:<max_faults>]]]`.
+
+use gpu_mem::SplitMix64;
+
+/// How an entry being written is corrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFaultKind {
+    /// The file is cut mid-payload, as if the writer died half way
+    /// through a non-atomic write.
+    TornWrite,
+    /// Only the header survives; the payload is gone entirely.
+    TruncatedEntry,
+    /// One payload bit flips after the checksum was computed —
+    /// bit-rot, a bad sector, a buggy codec.
+    ChecksumFlip,
+}
+
+impl StoreFaultKind {
+    /// The env-hook spelling of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreFaultKind::TornWrite => "torn-write",
+            StoreFaultKind::TruncatedEntry => "truncate",
+            StoreFaultKind::ChecksumFlip => "checksum-flip",
+        }
+    }
+}
+
+/// Full description of a store-fault campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreFaultConfig {
+    /// The corruption applied.
+    pub kind: StoreFaultKind,
+    /// Decision-stream seed; identical seeds corrupt identical puts.
+    pub seed: u64,
+    /// Injection probability in parts per million of puts
+    /// (1_000_000 = every put).
+    pub rate_ppm: u32,
+    /// Cap on total injections (0 = unlimited).
+    pub max_faults: u64,
+}
+
+impl StoreFaultConfig {
+    /// Corrupt exactly the first put — the deterministic single-fault
+    /// setup the recovery tests use.
+    pub fn single(kind: StoreFaultKind) -> Self {
+        StoreFaultConfig { kind, seed: 1, rate_ppm: 1_000_000, max_faults: 1 }
+    }
+
+    /// Parse the `DLP_STORE_FAULT` string form:
+    /// `<kind>[:<seed>[:<rate_ppm>[:<max_faults>]]]` with kind one of
+    /// `torn-write`, `truncate`, `checksum-flip`. Omitted fields
+    /// default to the [`Self::single`] campaign (seed 1, every put,
+    /// one fault).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let kind = match parts.next().unwrap_or("") {
+            "torn-write" => StoreFaultKind::TornWrite,
+            "truncate" => StoreFaultKind::TruncatedEntry,
+            "checksum-flip" => StoreFaultKind::ChecksumFlip,
+            other => {
+                return Err(format!(
+                    "unknown store-fault kind {other:?} (expected torn-write | truncate | checksum-flip)"
+                ))
+            }
+        };
+        let mut cfg = StoreFaultConfig::single(kind);
+        let num = |name: &str, v: Option<&str>| -> Result<Option<u64>, String> {
+            match v {
+                None | Some("") => Ok(None),
+                Some(s) => s
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| format!("bad {name} {s:?} in store-fault spec")),
+            }
+        };
+        if let Some(seed) = num("seed", parts.next())? {
+            cfg.seed = seed;
+        }
+        if let Some(rate) = num("rate_ppm", parts.next())? {
+            cfg.rate_ppm = rate.min(1_000_000) as u32;
+        }
+        if let Some(max) = num("max_faults", parts.next())? {
+            cfg.max_faults = max;
+        }
+        if parts.next().is_some() {
+            return Err("too many `:`-separated fields in store-fault spec".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+/// Stateful injector owned by a [`crate::Store`].
+#[derive(Clone, Debug)]
+pub struct StoreFaultInjector {
+    cfg: StoreFaultConfig,
+    stream: SplitMix64,
+    injected: u64,
+}
+
+impl StoreFaultInjector {
+    /// Build from a campaign description.
+    pub fn new(cfg: StoreFaultConfig) -> Self {
+        StoreFaultInjector { stream: SplitMix64::new(cfg.seed), injected: 0, cfg }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Maybe corrupt the full on-disk image (`header_len` bytes of
+    /// header followed by the payload) of the entry about to be
+    /// written. Returns the kind applied, if any. The checksum in the
+    /// header was computed *before* this runs, so every corruption is
+    /// detectable at read time.
+    pub fn corrupt(&mut self, image: &mut Vec<u8>, header_len: usize) -> Option<StoreFaultKind> {
+        if self.cfg.max_faults > 0 && self.injected >= self.cfg.max_faults {
+            return None;
+        }
+        if self.stream.next_u64() % 1_000_000 >= self.cfg.rate_ppm as u64 {
+            return None;
+        }
+        if image.len() <= header_len {
+            return None; // nothing corruptible (empty payload)
+        }
+        self.injected += 1;
+        match self.cfg.kind {
+            StoreFaultKind::TornWrite => {
+                let keep = header_len + (image.len() - header_len) / 2;
+                image.truncate(keep);
+            }
+            StoreFaultKind::TruncatedEntry => image.truncate(header_len),
+            StoreFaultKind::ChecksumFlip => {
+                let span = (image.len() - header_len) as u64;
+                let off = header_len + (self.stream.next_u64() % span) as usize;
+                let bit = (self.stream.next_u64() % 8) as u8;
+                image[off] ^= 1 << bit;
+            }
+        }
+        Some(self.cfg.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_forms() {
+        assert_eq!(
+            StoreFaultConfig::parse("torn-write").unwrap(),
+            StoreFaultConfig::single(StoreFaultKind::TornWrite)
+        );
+        let full = StoreFaultConfig::parse("checksum-flip:42:250000:7").unwrap();
+        assert_eq!(full.kind, StoreFaultKind::ChecksumFlip);
+        assert_eq!(full.seed, 42);
+        assert_eq!(full.rate_ppm, 250_000);
+        assert_eq!(full.max_faults, 7);
+        assert_eq!(StoreFaultConfig::parse("truncate:9").unwrap().seed, 9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(StoreFaultConfig::parse("rm-rf").is_err());
+        assert!(StoreFaultConfig::parse("truncate:xyz").is_err());
+        assert!(StoreFaultConfig::parse("truncate:1:2:3:4").is_err());
+        assert!(StoreFaultConfig::parse("").is_err());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let cfg = StoreFaultConfig {
+            rate_ppm: 500_000,
+            max_faults: 0,
+            ..StoreFaultConfig::single(StoreFaultKind::ChecksumFlip)
+        };
+        let run = || {
+            let mut inj = StoreFaultInjector::new(cfg);
+            (0..32)
+                .map(|i| {
+                    let mut img = vec![0u8; 64 + i];
+                    inj.corrupt(&mut img, 40).map(|_| img)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kinds_corrupt_as_described() {
+        let header = 40usize;
+        let image = || (0u8..200).collect::<Vec<u8>>();
+
+        let mut torn = StoreFaultInjector::new(StoreFaultConfig::single(StoreFaultKind::TornWrite));
+        let mut img = image();
+        assert_eq!(torn.corrupt(&mut img, header), Some(StoreFaultKind::TornWrite));
+        assert!(img.len() > header && img.len() < 200);
+
+        let mut trunc =
+            StoreFaultInjector::new(StoreFaultConfig::single(StoreFaultKind::TruncatedEntry));
+        let mut img = image();
+        trunc.corrupt(&mut img, header).unwrap();
+        assert_eq!(img.len(), header);
+
+        let mut flip =
+            StoreFaultInjector::new(StoreFaultConfig::single(StoreFaultKind::ChecksumFlip));
+        let mut img = image();
+        flip.corrupt(&mut img, header).unwrap();
+        assert_eq!(img.len(), 200);
+        let diff: Vec<usize> = image()
+            .iter()
+            .zip(&img)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one byte flipped");
+        assert!(diff[0] >= header, "flip lands in the payload");
+
+        // The cap holds: a single-fault campaign never fires twice.
+        let mut img = image();
+        assert_eq!(flip.corrupt(&mut img, header), None);
+    }
+}

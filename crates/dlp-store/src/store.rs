@@ -1,0 +1,566 @@
+//! The store proper: index, entry format, journal replay, quarantine.
+
+use crate::atomic;
+use crate::fault::{StoreFaultConfig, StoreFaultInjector};
+use crate::fnv1a;
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every entry file.
+const MAGIC: [u8; 4] = *b"DLPS";
+/// On-disk format version; bumped on any layout change.
+const FORMAT_VERSION: u16 = 1;
+/// Fixed header size: magic(4) + version(2) + reserved(2) + config(8)
+/// + code(8) + payload_len(8) + payload_fnv(8).
+pub const HEADER_LEN: usize = 40;
+
+/// Content address of one result: what was asked (`config`) and what
+/// code computed it (`code`). Both are caller-supplied digests; the
+/// store never interprets them beyond equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreKey {
+    /// Digest of the full experiment configuration (app + parameters).
+    pub config: u64,
+    /// Digest of the producing code generation (golden digest + codec
+    /// version in `dlp-bench`); a fidelity change invalidates every
+    /// cached result by moving this half of the key.
+    pub code: u64,
+}
+
+impl StoreKey {
+    fn file_name(&self) -> String {
+        format!("{:016x}-{:016x}.bin", self.config, self.code)
+    }
+
+    fn from_file_name(name: &str) -> Option<Self> {
+        let hex = name.strip_suffix(".bin")?;
+        let (c, k) = hex.split_once('-')?;
+        if c.len() != 16 || k.len() != 16 {
+            return None;
+        }
+        Some(StoreKey {
+            config: u64::from_str_radix(c, 16).ok()?,
+            code: u64::from_str_radix(k, 16).ok()?,
+        })
+    }
+}
+
+/// A failed store operation, carrying enough context to render a
+/// one-line diagnosis (`store put …/entries/ab…cd.bin: disk full`).
+#[derive(Debug, Clone)]
+pub struct StoreError {
+    /// Operation that failed ("open", "get", "put", "journal").
+    pub op: &'static str,
+    /// File or directory involved.
+    pub path: PathBuf,
+    /// Underlying error rendering.
+    pub detail: String,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store {} {}: {}", self.op, self.path.display(), self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Observable health counters, for telemetry and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// `get` calls served with verified bytes.
+    pub hits: u64,
+    /// `get` calls with no (usable) entry.
+    pub misses: u64,
+    /// Entries written by `put`.
+    pub puts: u64,
+    /// `put` calls skipped because a verified entry already existed.
+    pub put_skipped: u64,
+    /// Entries that failed verification and were moved to quarantine.
+    pub quarantined: u64,
+    /// Entries found on disk without a journal line and adopted after
+    /// verification (the writer died between rename and append).
+    pub adopted: u64,
+    /// Index entries recovered from the journal at open.
+    pub replayed: u64,
+    /// Torn or malformed journal lines discarded at open.
+    pub torn_journal_lines: u64,
+    /// Stale temp files removed at open.
+    pub stale_temps_removed: u64,
+    /// Corruptions injected by the active fault campaign.
+    pub faults_injected: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct EntryMeta {
+    len: u64,
+    fnv: u64,
+}
+
+/// A crash-safe content-addressed store rooted at one directory:
+///
+/// ```text
+/// <root>/entries/<config>-<code>.bin   self-verifying entry files
+/// <root>/journal.log                   append-only completion journal
+/// <root>/quarantine/                   corrupt entries, kept for autopsy
+/// ```
+pub struct Store {
+    entries_dir: PathBuf,
+    quarantine_dir: PathBuf,
+    journal: PathBuf,
+    index: BTreeMap<StoreKey, EntryMeta>,
+    counters: StoreCounters,
+    fault: Option<StoreFaultInjector>,
+}
+
+impl Store {
+    /// Open (creating if needed) the store at `root` and recover its
+    /// index: stale temps are deleted, the journal is replayed (torn
+    /// tail lines discarded), journaled entries whose files vanished
+    /// are dropped, and unjournaled entry files are adopted after full
+    /// verification.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        Self::open_with_faults(root, None)
+    }
+
+    /// [`Store::open`] with a seeded fault-injection campaign active on
+    /// the write path (testing the recovery machinery).
+    pub fn open_with_faults(
+        root: &Path,
+        fault: Option<StoreFaultConfig>,
+    ) -> Result<Store, StoreError> {
+        let err = |op: &'static str, path: &Path, e: &dyn std::fmt::Display| StoreError {
+            op,
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let entries_dir = root.join("entries");
+        let quarantine_dir = root.join("quarantine");
+        let journal = root.join("journal.log");
+        for d in [&entries_dir, &quarantine_dir] {
+            std::fs::create_dir_all(d).map_err(|e| err("open", d, &e))?;
+        }
+        let mut store = Store {
+            entries_dir,
+            quarantine_dir,
+            journal,
+            index: BTreeMap::new(),
+            counters: StoreCounters::default(),
+            fault: fault.map(StoreFaultInjector::new),
+        };
+        store.counters.stale_temps_removed = atomic::clean_stale_temps(&store.entries_dir)
+            .map_err(|e| err("open", &store.entries_dir, &e))?
+            as u64;
+        store.replay_journal()?;
+        store.adopt_unjournaled()?;
+        Ok(store)
+    }
+
+    /// Number of indexed (believed-good) entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no entry is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Keys currently indexed, in sorted order.
+    pub fn keys(&self) -> Vec<StoreKey> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Health counters so far.
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// Fetch the payload stored under `key`, verifying the entry file's
+    /// magic, version, key echo, length, and checksum. A verification
+    /// failure quarantines the file and reports a miss (`Ok(None)`):
+    /// corrupt data is never returned. IO failures other than a
+    /// missing file are errors.
+    pub fn get(&mut self, key: &StoreKey) -> Result<Option<Vec<u8>>, StoreError> {
+        let Some(meta) = self.index.get(key).copied() else {
+            self.counters.misses += 1;
+            return Ok(None);
+        };
+        let path = self.entries_dir.join(key.file_name());
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                // Journaled but gone — treat like corruption minus the
+                // quarantine move (there is nothing to move).
+                self.index.remove(key);
+                self.counters.misses += 1;
+                return Ok(None);
+            }
+            Err(e) => {
+                return Err(StoreError { op: "get", path, detail: e.to_string() });
+            }
+        };
+        if Self::verify(key, &meta, &bytes) {
+            self.counters.hits += 1;
+            Ok(Some(bytes[HEADER_LEN..].to_vec()))
+        } else {
+            self.quarantine(key, &path)?;
+            self.counters.misses += 1;
+            Ok(None)
+        }
+    }
+
+    /// Store `payload` under `key`. Returns `true` if a new entry was
+    /// written, `false` if a verified entry already existed (results
+    /// are content-addressed: same key ⇒ same bytes, so rewriting is
+    /// pointless). The journal line is appended only after the entry
+    /// file is durably renamed into place; a crash between the two is
+    /// healed by adoption at the next open.
+    pub fn put(&mut self, key: &StoreKey, payload: &[u8]) -> Result<bool, StoreError> {
+        if self.index.contains_key(key) {
+            self.counters.put_skipped += 1;
+            return Ok(false);
+        }
+        let meta = EntryMeta { len: payload.len() as u64, fnv: fnv1a(payload) };
+        let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
+        image.extend_from_slice(&MAGIC);
+        image.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        image.extend_from_slice(&[0u8; 2]);
+        image.extend_from_slice(&key.config.to_le_bytes());
+        image.extend_from_slice(&key.code.to_le_bytes());
+        image.extend_from_slice(&meta.len.to_le_bytes());
+        image.extend_from_slice(&meta.fnv.to_le_bytes());
+        image.extend_from_slice(payload);
+        if let Some(inj) = &mut self.fault {
+            if inj.corrupt(&mut image, HEADER_LEN).is_some() {
+                self.counters.faults_injected += 1;
+            }
+        }
+        let path = self.entries_dir.join(key.file_name());
+        atomic::atomic_write(&path, &image)
+            .map_err(|e| StoreError { op: "put", path, detail: e.to_string() })?;
+        self.journal_append(key, &meta)?;
+        self.index.insert(*key, meta);
+        self.counters.puts += 1;
+        Ok(true)
+    }
+
+    /// Does the on-disk image check out against the key and journal
+    /// metadata?
+    fn verify(key: &StoreKey, meta: &EntryMeta, bytes: &[u8]) -> bool {
+        if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+            return false;
+        }
+        let u16_at = |o: usize| u16::from_le_bytes([bytes[o], bytes[o + 1]]);
+        let u64_at = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        let payload = &bytes[HEADER_LEN..];
+        u16_at(4) == FORMAT_VERSION
+            && u64_at(8) == key.config
+            && u64_at(16) == key.code
+            && u64_at(24) == meta.len
+            && payload.len() as u64 == meta.len
+            && u64_at(32) == meta.fnv
+            && fnv1a(payload) == meta.fnv
+    }
+
+    fn quarantine(&mut self, key: &StoreKey, path: &Path) -> Result<(), StoreError> {
+        self.index.remove(key);
+        self.counters.quarantined += 1;
+        match atomic::move_into(path, &self.quarantine_dir) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError {
+                op: "quarantine",
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    fn journal_append(&self, key: &StoreKey, meta: &EntryMeta) -> Result<(), StoreError> {
+        let line = format!(
+            "put {:016x} {:016x} {} {:016x}",
+            key.config, key.code, meta.len, meta.fnv
+        );
+        atomic::append_line(&self.journal, &line).map_err(|e| StoreError {
+            op: "journal",
+            path: self.journal.clone(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Rebuild the index from the journal. Only complete,
+    /// well-formed lines count; anything else (the torn tail of a
+    /// crashed append, editor damage) is discarded and tallied.
+    fn replay_journal(&mut self) -> Result<(), StoreError> {
+        let text = match std::fs::read_to_string(&self.journal) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(()),
+            Err(e) => {
+                return Err(StoreError {
+                    op: "journal",
+                    path: self.journal.clone(),
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        // text ends with '\n' ⇒ last fragment is ""; anything else is a
+        // torn final line. Cut it off so the next append starts on a
+        // clean line boundary rather than concatenating onto garbage.
+        let tail = lines.pop().unwrap_or("");
+        if !tail.is_empty() {
+            self.counters.torn_journal_lines += 1;
+            atomic::truncate(&self.journal, (text.len() - tail.len()) as u64).map_err(|e| {
+                StoreError { op: "journal", path: self.journal.clone(), detail: e.to_string() }
+            })?;
+        }
+        for line in lines {
+            match Self::parse_journal_line(line) {
+                Some((key, meta)) => {
+                    if self.entries_dir.join(key.file_name()).exists() {
+                        self.index.insert(key, meta);
+                        self.counters.replayed += 1;
+                    }
+                    // Journaled but no file: nothing to serve; drop.
+                }
+                None => self.counters.torn_journal_lines += 1,
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_journal_line(line: &str) -> Option<(StoreKey, EntryMeta)> {
+        let mut f = line.split_ascii_whitespace();
+        if f.next()? != "put" {
+            return None;
+        }
+        let config = u64::from_str_radix(f.next()?, 16).ok()?;
+        let code = u64::from_str_radix(f.next()?, 16).ok()?;
+        let len: u64 = f.next()?.parse().ok()?;
+        let fnv = u64::from_str_radix(f.next()?, 16).ok()?;
+        if f.next().is_some() {
+            return None;
+        }
+        Some((StoreKey { config, code }, EntryMeta { len, fnv }))
+    }
+
+    /// Index every entry file the journal does not know about. Such a
+    /// file is complete (writes are atomic) but its writer died before
+    /// the journal append; it is adopted only after full verification
+    /// against its own header, and re-journaled so the next open is a
+    /// plain replay. Unparseable or failing files are quarantined.
+    fn adopt_unjournaled(&mut self) -> Result<(), StoreError> {
+        let read = std::fs::read_dir(&self.entries_dir).map_err(|e| StoreError {
+            op: "open",
+            path: self.entries_dir.clone(),
+            detail: e.to_string(),
+        })?;
+        let mut found: Vec<(StoreKey, PathBuf)> = Vec::new();
+        for ent in read {
+            let ent = ent.map_err(|e| StoreError {
+                op: "open",
+                path: self.entries_dir.clone(),
+                detail: e.to_string(),
+            })?;
+            let name = ent.file_name().to_string_lossy().into_owned();
+            match StoreKey::from_file_name(&name) {
+                Some(key) if !self.index.contains_key(&key) => found.push((key, ent.path())),
+                Some(_) => {}
+                None => {
+                    // Not an entry, not a temp (those were cleaned):
+                    // junk. Quarantine rather than delete or trust.
+                    let p = ent.path();
+                    atomic::move_into(&p, &self.quarantine_dir).map_err(|e| StoreError {
+                        op: "quarantine",
+                        path: p,
+                        detail: e.to_string(),
+                    })?;
+                    self.counters.quarantined += 1;
+                }
+            }
+        }
+        found.sort_by_key(|(k, _)| *k); // deterministic adoption order
+        for (key, path) in found {
+            let bytes = std::fs::read(&path).map_err(|e| StoreError {
+                op: "get",
+                path: path.clone(),
+                detail: e.to_string(),
+            })?;
+            // Trust nothing: derive the meta from the header, then
+            // verify the whole image against it (checksum included).
+            let meta = (bytes.len() >= HEADER_LEN)
+                .then(|| {
+                    let u64_at = |o: usize| {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(&bytes[o..o + 8]);
+                        u64::from_le_bytes(b)
+                    };
+                    EntryMeta { len: u64_at(24), fnv: u64_at(32) }
+                })
+                .filter(|meta| Self::verify(&key, meta, &bytes));
+            match meta {
+                Some(meta) => {
+                    self.journal_append(&key, &meta)?;
+                    self.index.insert(key, meta);
+                    self.counters.adopted += 1;
+                }
+                None => self.quarantine(&key, &path)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StoreFaultKind;
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dlp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    const K1: StoreKey = StoreKey { config: 0x1111, code: 0xaaaa };
+    const K2: StoreKey = StoreKey { config: 0x2222, code: 0xaaaa };
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let root = tmproot("roundtrip");
+        let mut s = Store::open(&root).unwrap();
+        assert!(s.get(&K1).unwrap().is_none());
+        assert!(s.put(&K1, b"hello stats").unwrap());
+        assert!(!s.put(&K1, b"hello stats").unwrap(), "second put is skipped");
+        assert_eq!(s.get(&K1).unwrap().unwrap(), b"hello stats");
+
+        // A fresh process (new Store) resumes from the journal.
+        let mut s2 = Store::open(&root).unwrap();
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2.counters().replayed, 1);
+        assert_eq!(s2.get(&K1).unwrap().unwrap(), b"hello stats");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_but_entry_adopted() {
+        let root = tmproot("torn-journal");
+        let mut s = Store::open(&root).unwrap();
+        s.put(&K1, b"alpha").unwrap();
+        s.put(&K2, b"beta").unwrap();
+        drop(s);
+        // Simulate a crash mid-append: chop the final journal line in
+        // half. The entry file itself is fine, so reopen must adopt it.
+        let journal = root.join("journal.log");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&journal, &text[..cut]).unwrap();
+        let mut s = Store::open(&root).unwrap();
+        assert_eq!(s.counters().torn_journal_lines, 1);
+        assert_eq!(s.counters().replayed, 1);
+        assert_eq!(s.counters().adopted, 1, "file without journal line is re-indexed");
+        assert_eq!(s.get(&K2).unwrap().unwrap(), b"beta");
+        // And the adoption re-journaled it: a third open replays both.
+        drop(s);
+        assert_eq!(Store::open(&root).unwrap().counters().replayed, 2);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_never_served() {
+        let root = tmproot("bitflip");
+        let mut s = Store::open(&root).unwrap();
+        s.put(&K1, b"precious result bytes").unwrap();
+        let path = root.join("entries").join(K1.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = HEADER_LEN + 3;
+        bytes[off] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(s.get(&K1).unwrap(), None, "corrupt entry reads as a miss");
+        assert_eq!(s.counters().quarantined, 1);
+        assert!(!path.exists(), "entry moved out of entries/");
+        assert_eq!(std::fs::read_dir(root.join("quarantine")).unwrap().count(), 1);
+        // Recompute path: a fresh put of the same key works again.
+        assert!(s.put(&K1, b"precious result bytes").unwrap());
+        assert_eq!(s.get(&K1).unwrap().unwrap(), b"precious result bytes");
+    }
+
+    #[test]
+    fn truncated_entry_detected_at_reopen_adoption() {
+        let root = tmproot("trunc-adopt");
+        let mut s = Store::open(&root).unwrap();
+        s.put(&K1, b"0123456789").unwrap();
+        drop(s);
+        // Lose the journal entirely and truncate the entry: reopen must
+        // quarantine it during adoption, not index it.
+        atomic::remove_file(&root.join("journal.log")).unwrap();
+        let path = root.join("entries").join(K1.file_name());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..HEADER_LEN + 4]).unwrap();
+        let mut s = Store::open(&root).unwrap();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.counters().quarantined, 1);
+        assert_eq!(s.get(&K1).unwrap(), None);
+    }
+
+    #[test]
+    fn key_mismatch_in_header_is_corruption() {
+        let root = tmproot("keyswap");
+        let mut s = Store::open(&root).unwrap();
+        s.put(&K1, b"payload").unwrap();
+        drop(s);
+        // Rename K1's file to K2's name (a misplaced entry must not be
+        // served under the wrong key even though its checksum is fine).
+        std::fs::rename(
+            root.join("entries").join(K1.file_name()),
+            root.join("entries").join(K2.file_name()),
+        )
+        .unwrap();
+        let mut s = Store::open(&root).unwrap();
+        assert_eq!(s.get(&K2).unwrap(), None);
+        assert!(s.counters().quarantined >= 1);
+    }
+
+    #[test]
+    fn injected_faults_are_caught_by_get() {
+        for kind in
+            [StoreFaultKind::TornWrite, StoreFaultKind::TruncatedEntry, StoreFaultKind::ChecksumFlip]
+        {
+            let root = tmproot(kind.label());
+            let mut s =
+                Store::open_with_faults(&root, Some(StoreFaultConfig::single(kind))).unwrap();
+            s.put(&K1, b"will be corrupted").unwrap();
+            assert_eq!(s.counters().faults_injected, 1);
+            assert_eq!(s.get(&K1).unwrap(), None, "{kind:?} must be detected");
+            assert_eq!(s.counters().quarantined, 1, "{kind:?} must be quarantined");
+            // The campaign is spent (max_faults 1): recompute sticks.
+            s.put(&K1, b"will be corrupted").unwrap();
+            assert_eq!(s.get(&K1).unwrap().unwrap(), b"will be corrupted");
+        }
+    }
+
+    #[test]
+    fn stale_temps_are_cleaned_at_open() {
+        let root = tmproot("stale");
+        let s = Store::open(&root).unwrap();
+        drop(s);
+        std::fs::write(root.join("entries").join("x.bin.tmp-1-0"), b"junk").unwrap();
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.counters().stale_temps_removed, 1);
+    }
+
+    #[test]
+    fn foreign_files_in_entries_are_quarantined() {
+        let root = tmproot("foreign");
+        drop(Store::open(&root).unwrap());
+        std::fs::write(root.join("entries").join("README.txt"), b"what").unwrap();
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.counters().quarantined, 1);
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the store's central safety contract: whatever
+//! happens to the bytes on disk — injected write-path faults or
+//! arbitrary after-the-fact mutation — `get` returns either the exact
+//! payload that was `put`, or `None`. Wrong bytes are never served,
+//! and after a detected corruption a recompute-and-reput always heals.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use dlp_store::store::HEADER_LEN;
+use dlp_store::{Store, StoreFaultConfig, StoreFaultKind, StoreKey};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fresh store root per generated case (cases run in one process).
+fn case_root(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir()
+        .join(format!("dlp-store-prop-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn kind_strategy() -> impl Strategy<Value = StoreFaultKind> {
+    prop_oneof![
+        Just(StoreFaultKind::TornWrite),
+        Just(StoreFaultKind::TruncatedEntry),
+        Just(StoreFaultKind::ChecksumFlip),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clean roundtrip: put → get → reopen → get is the identity, for
+    /// arbitrary payloads (including empty) and arbitrary keys.
+    #[test]
+    fn roundtrip_is_identity(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        config in any::<u64>(),
+        code in any::<u64>(),
+    ) {
+        let root = case_root("clean");
+        let key = StoreKey { config, code };
+        let mut s = Store::open(&root).unwrap();
+        prop_assert!(s.put(&key, &payload).unwrap());
+        prop_assert_eq!(s.get(&key).unwrap().as_deref(), Some(&payload[..]));
+        drop(s);
+        let mut s = Store::open(&root).unwrap();
+        prop_assert_eq!(s.get(&key).unwrap().as_deref(), Some(&payload[..]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Injected write-path faults: the first put is corrupted by a
+    /// seeded campaign. `get` must detect it (miss, quarantine), and a
+    /// recompute put must heal the entry to the exact original bytes.
+    #[test]
+    fn injected_fault_never_serves_wrong_bytes(
+        payload in prop::collection::vec(any::<u8>(), 1..512),
+        kind in kind_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let root = case_root("fault");
+        let key = StoreKey { config: 7, code: 9 };
+        let cfg = StoreFaultConfig { seed, ..StoreFaultConfig::single(kind) };
+        let mut s = Store::open_with_faults(&root, Some(cfg)).unwrap();
+        s.put(&key, &payload).unwrap();
+        prop_assert_eq!(s.counters().faults_injected, 1);
+        prop_assert_eq!(s.get(&key).unwrap(), None, "corruption must read as a miss");
+        prop_assert_eq!(s.counters().quarantined, 1);
+        // Campaign spent (max_faults = 1): the recompute put sticks.
+        prop_assert!(s.put(&key, &payload).unwrap());
+        prop_assert_eq!(s.get(&key).unwrap().as_deref(), Some(&payload[..]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Adversarial mutation: flip one arbitrary bit anywhere in the
+    /// entry file, then reopen the store cold (journal replay) and
+    /// read. The result is the original payload or a miss — never a
+    /// different payload.
+    #[test]
+    fn arbitrary_bit_flip_is_original_or_miss(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let root = case_root("flip");
+        let key = StoreKey { config: 3, code: 5 };
+        let mut s = Store::open(&root).unwrap();
+        s.put(&key, &payload).unwrap();
+        drop(s);
+        let path = root.join("entries").join(format!("{:016x}-{:016x}.bin", 3, 5));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = (byte_pick % bytes.len() as u64) as usize;
+        bytes[off] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut s = Store::open(&root).unwrap();
+        let got = s.get(&key).unwrap();
+        match got {
+            Some(served) => prop_assert_eq!(served, payload, "served bytes must be the original"),
+            None => {
+                // Detected: the entry must be out of circulation.
+                prop_assert!(!path.exists());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Truncate the entry file to an arbitrary prefix: always a miss
+    /// (a strict prefix can never verify), and always quarantined.
+    #[test]
+    fn arbitrary_truncation_is_always_a_miss(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        keep_pick in any::<u64>(),
+    ) {
+        let root = case_root("trunc");
+        let key = StoreKey { config: 11, code: 13 };
+        let mut s = Store::open(&root).unwrap();
+        s.put(&key, &payload).unwrap();
+        let path = root.join("entries").join(format!("{:016x}-{:016x}.bin", 11, 13));
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let keep = (keep_pick % bytes.len() as u64) as usize; // strict prefix
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        prop_assert_eq!(s.get(&key).unwrap(), None);
+        prop_assert_eq!(s.counters().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

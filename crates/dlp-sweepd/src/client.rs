@@ -1,0 +1,91 @@
+//! Client side of the sweep daemon protocol.
+
+use crate::proto::{self, ErrorCode, Request, Response};
+use dlp_bench::{AppRun, ExperimentConfig};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The daemon's reply did not decode, or was the wrong type for
+    /// the request.
+    Protocol(String),
+    /// The daemon answered with a typed error frame.
+    Daemon {
+        /// The daemon's classification.
+        code: ErrorCode,
+        /// The daemon's human-readable context.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol: {d}"),
+            ClientError::Daemon { code, detail } => write!(f, "daemon {code}: {detail}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected daemon client. One request is in flight at a time; the
+/// connection is reused across calls.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to a daemon listening on `path`.
+    pub fn connect(path: &Path) -> Result<Self, ClientError> {
+        Ok(Client { stream: UnixStream::connect(path)? })
+    }
+
+    /// Wrap an already-connected stream (tests use socket pairs).
+    pub fn from_stream(stream: UnixStream) -> Self {
+        Client { stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        proto::write_frame(&mut self.stream, &proto::encode_request(req))?;
+        let payload = proto::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("daemon hung up".into()))?;
+        proto::decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, detail } => Err(ClientError::Daemon { code, detail }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Run (or fetch from the daemon's store) one job and decode the
+    /// resulting run.
+    pub fn sweep(&mut self, abbr: &str, cfg: &ExperimentConfig) -> Result<AppRun, ClientError> {
+        let req = Request::Sweep {
+            abbr: abbr.to_string(),
+            config: dlp_bench::persist::encode_config(cfg),
+        };
+        match self.call(&req)? {
+            Response::SweepResult(bytes) => dlp_bench::persist::decode_run(abbr, &bytes)
+                .ok_or_else(|| {
+                    ClientError::Protocol(format!("sweep result for {abbr:?} does not decode"))
+                }),
+            Response::Error { code, detail } => Err(ClientError::Daemon { code, detail }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # dlp-sweepd — hardened sweep daemon
+//!
+//! Serves simulation jobs over a length-prefixed unix-socket protocol,
+//! backed by the same harness tiers the `figures` binary uses: the
+//! in-memory run cache, then the crash-safe `dlp-store` result store,
+//! then a fresh (retried, deadline-bounded) simulation. Protocol
+//! failures are answered with typed error frames — malformed frame,
+//! version skew, store poisoned, job failed — never a silent hang-up.
+//!
+//! See `proto` for the wire format, `server` for the daemon, `client`
+//! for the caller side.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, Request, Response};
+pub use server::{bind, serve, Daemon};

@@ -1,0 +1,59 @@
+//! Daemon entry point.
+//!
+//! ```text
+//! dlp-sweepd --socket <path> [--store <dir>] [--fault <spec>]
+//! ```
+//!
+//! `--store` opens (or creates) the crash-safe result store; without
+//! it the `DLP_STORE_DIR` / `DLP_STORE_FAULT` env hooks apply. A store
+//! that fails to open does not kill the daemon — it serves pings and
+//! answers sweeps with a typed `store-poisoned` error instead, so an
+//! operator sees the reason rather than a connection refused.
+
+use dlp_sweepd::server;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: dlp-sweepd --socket <path> [--store <dir>] [--fault <spec>]");
+    exit(2);
+}
+
+fn main() {
+    let mut socket: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut fault: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--store" => store = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--fault" => fault = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    if let Some(dir) = &store {
+        if let Err(e) = dlp_bench::persist::init_store(dir, fault.as_deref()) {
+            eprintln!("dlp-sweepd: store init: {e}");
+        }
+    }
+    let daemon = server::Daemon::from_env();
+    if let Some(p) = &daemon.store_poison {
+        eprintln!("dlp-sweepd: store poisoned, sweeps will be refused: {p}");
+    }
+
+    let listener = match server::bind(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dlp-sweepd: bind {}: {e}", socket.display());
+            exit(1);
+        }
+    };
+    eprintln!("dlp-sweepd: listening on {}", socket.display());
+    if let Err(e) = server::serve(listener, daemon) {
+        eprintln!("dlp-sweepd: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The daemon: accept loop, per-connection request handling, and the
+//! request → harness bridge.
+//!
+//! Each connection is served by one thread; the harness underneath is
+//! already thread-safe (its in-memory run cache and the on-disk store
+//! are mutex-guarded), so concurrent clients simply share the same
+//! memoization tiers. Every protocol failure is answered with a typed
+//! [`Response::Error`] before the connection is dropped — a client
+//! never sees a silent hang-up for a decodable reason.
+
+use crate::proto::{
+    self, ErrorCode, Request, Response, WireError,
+};
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+/// Per-process request handling policy, captured once at startup so
+/// tests can exercise refusal paths without touching global state.
+#[derive(Debug, Clone, Default)]
+pub struct Daemon {
+    /// Why the result store is unusable, if it failed to open. A
+    /// poisoned store refuses sweeps outright: recomputing without
+    /// persistence would silently violate the daemon's contract.
+    pub store_poison: Option<String>,
+}
+
+impl Daemon {
+    /// Capture the current process-wide store state (set up earlier
+    /// via `persist::init_store` or the `DLP_STORE_DIR` env hook).
+    pub fn from_env() -> Self {
+        Daemon { store_poison: dlp_bench::persist::store_poisoned() }
+    }
+
+    /// Answer one decoded request.
+    pub fn respond(&self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Sweep { abbr, config } => self.sweep(&abbr, &config),
+        }
+    }
+
+    fn sweep(&self, abbr: &str, config: &[u8]) -> Response {
+        if let Some(poison) = &self.store_poison {
+            return Response::Error {
+                code: ErrorCode::StorePoisoned,
+                detail: poison.clone(),
+            };
+        }
+        let Some(cfg) = dlp_bench::persist::decode_config(config) else {
+            return Response::Error {
+                code: ErrorCode::MalformedFrame,
+                detail: format!("sweep config for {abbr:?} does not decode"),
+            };
+        };
+        if !gpu_registry_has(abbr) {
+            return Response::Error {
+                code: ErrorCode::MalformedFrame,
+                detail: format!("unknown workload {abbr:?}"),
+            };
+        }
+        match dlp_bench::harness::run_app_with_retry(abbr, cfg) {
+            Ok(run) => Response::SweepResult(dlp_bench::persist::encode_run(abbr, &run)),
+            Err(f) => Response::Error { code: ErrorCode::JobFailed, detail: f.to_string() },
+        }
+    }
+
+    /// Serve one connection until the peer hangs up or a frame is
+    /// unrecoverably broken. Protocol errors are answered with a typed
+    /// error frame; the connection then closes (a peer that cannot
+    /// frame correctly cannot be resynchronized).
+    pub fn serve_connection(&self, stream: &mut (impl Read + Write)) -> io::Result<()> {
+        loop {
+            let payload = match proto::read_frame(stream) {
+                Ok(Some(p)) => p,
+                Ok(None) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    let resp = Response::Error {
+                        code: ErrorCode::MalformedFrame,
+                        detail: e.to_string(),
+                    };
+                    proto::write_frame(stream, &proto::encode_response(&resp))?;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            let resp = match proto::decode_request(&payload) {
+                Ok(req) => self.respond(req),
+                Err(WireError { code, detail }) => {
+                    let resp = Response::Error { code, detail };
+                    proto::write_frame(stream, &proto::encode_response(&resp))?;
+                    // Framing was intact (the length prefix parsed), so
+                    // the stream is still synchronized; keep serving.
+                    continue;
+                }
+            };
+            proto::write_frame(stream, &proto::encode_response(&resp))?;
+        }
+    }
+}
+
+/// True if `abbr` names a registered workload — checked before the
+/// harness, whose registry lookup panics on unknown names.
+fn gpu_registry_has(abbr: &str) -> bool {
+    dlp_bench::persist::known_app(abbr)
+}
+
+/// Bind the unix socket, replacing a stale socket file from a previous
+/// (crashed) daemon if nothing is listening on it.
+pub fn bind(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            // Alive daemon? Then refuse; otherwise adopt the path.
+            if UnixStream::connect(path).is_ok() {
+                return Err(e);
+            }
+            // dlp-lint: allow(R401) -- a socket path is not a store entry; unlinking a dead daemon's stale socket before re-binding is the standard unix idiom
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Accept loop: one thread per connection, forever. Accept errors are
+/// logged and skipped — one bad handshake must not kill the daemon.
+pub fn serve(listener: UnixListener, daemon: Daemon) -> io::Result<()> {
+    for conn in listener.incoming() {
+        match conn {
+            Ok(mut stream) => {
+                let d = daemon.clone();
+                std::thread::spawn(move || {
+                    if let Err(e) = d.serve_connection(&mut stream) {
+                        eprintln!("dlp-sweepd: connection error: {e}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("dlp-sweepd: accept error: {e}"),
+        }
+    }
+    Ok(())
+}

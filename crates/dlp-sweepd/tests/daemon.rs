@@ -1,0 +1,158 @@
+//! End-to-end daemon tests: real unix socket, typed error paths,
+//! concurrent clients. The forced-failure (`job-failed`) path lives in
+//! `job_failed.rs` — it needs a process-wide env hook of its own.
+
+use dlp_bench::ExperimentConfig;
+use dlp_sweepd::proto::{self, ErrorCode, Request, Response};
+use dlp_sweepd::server::{bind, Daemon};
+use dlp_sweepd::Client;
+use gpu_workloads::Scale;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+fn tmp_socket(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dlp-sweepd-test-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("sock")
+}
+
+/// Spawn an accept loop for `daemon` on a fresh socket; the thread is
+/// detached (the test process exits with it).
+fn spawn_daemon(tag: &str, daemon: Daemon) -> PathBuf {
+    let path = tmp_socket(tag);
+    let _ = std::fs::remove_file(&path);
+    let listener = bind(&path).unwrap();
+    std::thread::spawn(move || {
+        let _ = dlp_sweepd::serve(listener, daemon);
+    });
+    path
+}
+
+fn tiny_cfg() -> ExperimentConfig {
+    ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() }
+}
+
+#[test]
+fn ping_and_sweep_end_to_end() {
+    let path = spawn_daemon("e2e", Daemon::default());
+    let mut client = Client::connect(&path).unwrap();
+    client.ping().unwrap();
+
+    let cfg = tiny_cfg();
+    let remote = client.sweep("BFS", &cfg).unwrap();
+    let local = dlp_bench::run_app("BFS", cfg).unwrap();
+    // Byte-level agreement, not just field spot-checks.
+    assert_eq!(
+        dlp_bench::persist::encode_run("BFS", &remote),
+        dlp_bench::persist::encode_run("BFS", &local)
+    );
+    assert!(remote.stats.completed);
+
+    // The connection is reusable: a second request on the same stream.
+    client.ping().unwrap();
+}
+
+#[test]
+fn malformed_then_skewed_then_valid_on_one_connection() {
+    let (mut ours, mut theirs) = UnixStream::pair().unwrap();
+    let daemon = Daemon::default();
+    std::thread::spawn(move || {
+        let _ = daemon.serve_connection(&mut theirs);
+    });
+
+    // Bad magic: typed malformed-frame error, connection stays up.
+    proto::write_frame(&mut ours, &[0x00, proto::VERSION, proto::TYPE_PING]).unwrap();
+    let resp = proto::decode_response(&proto::read_frame(&mut ours).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
+
+    // Wrong version: typed version-skew error.
+    proto::write_frame(&mut ours, &[proto::MAGIC, proto::VERSION + 7, proto::TYPE_PING]).unwrap();
+    let resp = proto::decode_response(&proto::read_frame(&mut ours).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Error { code: ErrorCode::VersionSkew, .. }), "{resp:?}");
+
+    // Framing stayed synchronized throughout: a valid ping still works.
+    proto::write_frame(&mut ours, &proto::encode_request(&Request::Ping)).unwrap();
+    let resp = proto::decode_response(&proto::read_frame(&mut ours).unwrap().unwrap()).unwrap();
+    assert_eq!(resp, Response::Pong);
+}
+
+#[test]
+fn oversized_frame_is_refused_then_closed() {
+    use std::io::Write;
+    let (mut ours, mut theirs) = UnixStream::pair().unwrap();
+    let daemon = Daemon::default();
+    let server = std::thread::spawn(move || daemon.serve_connection(&mut theirs));
+
+    // A length prefix beyond the cap: the daemon answers with a typed
+    // error (it cannot resync, so it closes afterwards) and never
+    // allocates the claimed buffer.
+    ours.write_all(&(proto::MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+    let resp = proto::decode_response(&proto::read_frame(&mut ours).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
+    assert_eq!(proto::read_frame(&mut ours).unwrap(), None, "connection should close");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn poisoned_store_refuses_sweeps_but_still_pings() {
+    let (ours, mut theirs) = UnixStream::pair().unwrap();
+    let daemon = Daemon { store_poison: Some("store open failed: disk on fire".into()) };
+    std::thread::spawn(move || {
+        let _ = daemon.serve_connection(&mut theirs);
+    });
+    let mut client = Client::from_stream(ours.try_clone().unwrap());
+    client.ping().unwrap();
+    match client.sweep("BFS", &tiny_cfg()) {
+        Err(dlp_sweepd::ClientError::Daemon { code: ErrorCode::StorePoisoned, detail }) => {
+            assert!(detail.contains("disk on fire"), "{detail}");
+        }
+        Err(e) => panic!("expected store-poisoned, got error {e}"),
+        Ok(_) => panic!("expected store-poisoned, got a result"),
+    }
+    drop(ours);
+}
+
+#[test]
+fn unknown_app_and_undecodable_config_are_malformed() {
+    let daemon = Daemon::default();
+    let resp = daemon.respond(Request::Sweep {
+        abbr: "NOPE".into(),
+        config: dlp_bench::persist::encode_config(&tiny_cfg()),
+    });
+    assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
+
+    let resp = daemon.respond(Request::Sweep { abbr: "BFS".into(), config: vec![0xAB; 5] });
+    assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
+}
+
+#[test]
+fn concurrent_clients_get_identical_results() {
+    let path = spawn_daemon("conc", Daemon::default());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                client.ping().unwrap();
+                let run = client.sweep("KM", &tiny_cfg()).unwrap();
+                dlp_bench::persist::encode_run("KM", &run)
+            })
+        })
+        .collect();
+    let images: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(images.windows(2).all(|w| w[0] == w[1]), "divergent results across clients");
+}
+
+#[test]
+fn stale_socket_file_is_adopted() {
+    let path = tmp_socket("stale");
+    let _ = std::fs::remove_file(&path);
+    // A dead daemon's leftover socket file: nothing is listening.
+    drop(bind(&path).unwrap());
+    assert!(path.exists());
+    let listener = bind(&path).expect("stale socket should be replaced");
+    drop(listener);
+}

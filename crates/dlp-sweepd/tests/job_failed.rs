@@ -1,0 +1,39 @@
+//! The job-failed wire path, in its own test binary: `DLP_FORCE_FAIL`
+//! is read once per process by the harness, so this cannot share a
+//! process with the tests that run real sweeps.
+
+use dlp_bench::ExperimentConfig;
+use dlp_sweepd::proto::ErrorCode;
+use dlp_sweepd::server::Daemon;
+use dlp_sweepd::{Client, ClientError};
+use gpu_workloads::Scale;
+use std::os::unix::net::UnixStream;
+
+#[test]
+fn forced_panic_surfaces_as_typed_job_failed() {
+    // Must happen before any harness call in this process.
+    std::env::set_var(dlp_bench::harness::FORCE_FAIL_ENV, "KM");
+
+    let (ours, mut theirs) = UnixStream::pair().unwrap();
+    let daemon = Daemon::default();
+    std::thread::spawn(move || {
+        let _ = daemon.serve_connection(&mut theirs);
+    });
+    let mut client = Client::from_stream(ours);
+
+    let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
+    match client.sweep("KM", &cfg) {
+        Err(ClientError::Daemon { code: ErrorCode::JobFailed, detail }) => {
+            // The harness's retry decision travels with the error: the
+            // panic was classified retryable and retried to exhaustion.
+            assert!(detail.contains("forced failure"), "{detail}");
+            assert!(detail.contains("retried (3 attempts)"), "{detail}");
+        }
+        Err(e) => panic!("expected job-failed, got error {e}"),
+        Ok(_) => panic!("expected job-failed, got a result"),
+    }
+
+    // The daemon survives the failed job: an unrelated app still runs.
+    let run = client.sweep("BFS", &cfg).unwrap();
+    assert!(run.stats.completed);
+}

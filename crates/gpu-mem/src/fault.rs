@@ -63,11 +63,44 @@ impl FaultConfig {
     }
 }
 
+/// A seeded SplitMix64 decision stream — the deterministic randomness
+/// source behind every fault-injection site in the workspace. The
+/// packet-level [`FaultInjector`] draws from one, and the `dlp-store`
+/// crate reuses it to corrupt on-disk result entries (torn writes,
+/// truncations, checksum flips) with the same reproducibility
+/// guarantee: a given seed makes identical decisions on every run.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Stream seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Stream seeded by `seed` with a salt mixed in, giving replicated
+    /// components distinct but still reproducible streams.
+    pub fn with_salt(seed: u64, salt: u64) -> Self {
+        SplitMix64 { state: seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// Stateful injector owned by the faulted component.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     cfg: FaultConfig,
-    state: u64,
+    stream: SplitMix64,
     injected: u64,
 }
 
@@ -81,11 +114,7 @@ impl FaultInjector {
     /// components (the 12 DRAM channels) distinct but still
     /// reproducible streams.
     pub fn with_salt(cfg: FaultConfig, salt: u64) -> Self {
-        FaultInjector {
-            state: cfg.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            injected: 0,
-            cfg,
-        }
+        FaultInjector { stream: SplitMix64::with_salt(cfg.seed, salt), injected: 0, cfg }
     }
 
     /// The campaign being run.
@@ -98,15 +127,6 @@ impl FaultInjector {
         self.injected
     }
 
-    fn next_u64(&mut self) -> u64 {
-        // SplitMix64.
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
     /// Decide whether the current eligible packet at `site` gets the
     /// fault. Advances the PRNG only for matching sites so unrelated
     /// traffic does not perturb the stream.
@@ -117,7 +137,7 @@ impl FaultInjector {
         if self.cfg.max_faults > 0 && self.injected >= self.cfg.max_faults {
             return None;
         }
-        if self.next_u64() % 1_000_000 < self.cfg.rate_ppm as u64 {
+        if self.stream.next_u64() % 1_000_000 < self.cfg.rate_ppm as u64 {
             self.injected += 1;
             Some(self.cfg.kind)
         } else {

@@ -45,7 +45,7 @@ pub mod tag_array;
 
 pub use dlp_core::{CacheGeometry, PolicyKind};
 pub use error::MemError;
-pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultSite};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultSite, SplitMix64};
 pub use icnt::Interconnect;
 pub use l1d::{L1dCache, L1dConfig};
 pub use observer::AccessObserver;

@@ -79,6 +79,19 @@ impl RddHistogram {
         self.counts[Self::slot(b)]
     }
 
+    /// Raw bucket counts in [`RdBucket::ALL`] order — for codecs that
+    /// serialize histograms field-by-field (the vendored serde stack
+    /// cannot derive real serialization).
+    pub fn counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Rebuild a histogram from previously serialized parts
+    /// (the inverse of [`RddHistogram::counts`] + `compulsory`).
+    pub fn from_parts(counts: [u64; 4], compulsory: u64) -> Self {
+        RddHistogram { counts, compulsory }
+    }
+
     /// Total RDs recorded (re-references only).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()

@@ -79,12 +79,19 @@ fn run_many_is_independent_of_worker_count() {
     let jobs: Vec<_> =
         ["KM", "MM", "BFS", "STR", "SS"].iter().map(|a| (a.to_string(), cfg)).collect();
     let serial = run_many_with_workers(&jobs, 1);
-    let parallel = run_many_with_workers(&jobs, 4);
-    assert_eq!(serial.len(), parallel.len());
-    for ((s, p), (app, _)) in serial.iter().zip(&parallel).zip(&jobs) {
-        let s = s.as_ref().unwrap_or_else(|f| panic!("{f}"));
-        let p = p.as_ref().unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(s.stats, p.stats, "{app}: worker count changed the statistics");
+    // More workers than jobs (8 > 5) exercises the steal path: some
+    // workers start with an empty queue and must steal their first job.
+    for workers in [4, 8] {
+        let parallel = run_many_with_workers(&jobs, workers);
+        assert_eq!(serial.len(), parallel.len());
+        for ((s, p), (app, _)) in serial.iter().zip(&parallel).zip(&jobs) {
+            let s = s.as_ref().unwrap_or_else(|f| panic!("{f}"));
+            let p = p.as_ref().unwrap_or_else(|f| panic!("{f}"));
+            assert_eq!(
+                s.stats, p.stats,
+                "{app}: worker count {workers} changed the statistics"
+            );
+        }
     }
 }
 
