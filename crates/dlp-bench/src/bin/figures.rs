@@ -14,7 +14,7 @@ use dlp_bench::harness::{
     run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,
     SizeSuite, LABEL_32K, SIZE_LABELS,
 };
-use dlp_bench::report::{geomean, normalize, Table};
+use dlp_bench::report::{geomean_cell, normalize, Table};
 use dlp_core::{dlp_overhead, CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_workloads::{registry, AppClass, Scale};
 use std::collections::HashMap;
@@ -399,7 +399,7 @@ fn fig10(suite: &PolicySuite) {
         }
         let mut gm = vec![format!("G.MEANS({class:?})")];
         for vals in &per_scheme {
-            gm.push(format!("{:.2}", geomean(vals)));
+            gm.push(geomean_cell(vals, 2));
         }
         t.row(gm);
     }
@@ -467,7 +467,7 @@ fn print_normalized(suite: &PolicySuite, metric: impl Fn(&dlp_bench::AppRun) -> 
         }
         let mut gm = vec![format!("G.MEANS({class:?})")];
         for vals in &per_scheme {
-            gm.push(format!("{:.2}", geomean(vals)));
+            gm.push(geomean_cell(vals, 2));
         }
         t.row(gm);
     }
@@ -759,7 +759,7 @@ fn ablation(scale: Scale) {
             })
             .collect();
         let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
-        t.row(vec![label, format!("{:.3}", geomean(&norm))]);
+        t.row(vec![label, geomean_cell(&norm, 3)]);
     }
 
     // Future-work extension (§8): DLP combined with CCWS-style warp
@@ -779,7 +779,7 @@ fn ablation(scale: Scale) {
             })
             .collect();
         let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
-        t.row(vec![format!("DLP + warp throttle ({limit}/48 warps)"), format!("{:.3}", geomean(&norm))]);
+        t.row(vec![format!("DLP + warp throttle ({limit}/48 warps)"), geomean_cell(&norm, 3)]);
     }
 
     // Global-Protection reference (the per-instruction-vs-global ablation).
@@ -796,6 +796,6 @@ fn ablation(scale: Scale) {
         })
         .collect();
     let norm = norm_vs_base(dlp_bench::harness::run_many(&jobs), &base);
-    t.row(vec!["single global PD (Global-Protection)".to_string(), format!("{:.3}", geomean(&norm))]);
+    t.row(vec!["single global PD (Global-Protection)".to_string(), geomean_cell(&norm, 3)]);
     println!("{}", t.render());
 }

@@ -15,7 +15,7 @@
 //! suite).
 
 use crate::persist;
-use crate::telemetry::{self, JobRecord};
+use crate::telemetry::{self, JobRecord, ShardRecord};
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_sim::{Gpu, RunStats, SimConfig};
 use gpu_workloads::{build, registry, BenchSpec, Scale};
@@ -199,20 +199,56 @@ fn worker_override() -> Option<usize> {
 /// chunks and reported as a retryable [`RunFailure`].
 pub const JOB_DEADLINE_ENV: &str = "DLP_JOB_DEADLINE_MS";
 
-/// The `DLP_JOB_DEADLINE_MS` value, read once per process.
-fn job_deadline() -> Option<Duration> {
-    static DEADLINE: OnceLock<Option<u64>> = OnceLock::new();
-    DEADLINE
-        .get_or_init(|| {
-            std::env::var(JOB_DEADLINE_ENV).ok().and_then(|v| v.parse().ok()).filter(|&ms| ms > 0)
-        })
+/// The `DLP_JOB_DEADLINE_MS` value, read from the environment on
+/// *every* call — deliberately not memoized. The deadline is per-job
+/// policy, not process identity: the sweep daemon serves many requests
+/// from one process, each carrying its own deadline in the request
+/// frame, and a `OnceLock` here silently pinned every later job to
+/// whatever the first request established (the bug this replaced).
+/// The env read is nowhere near hot — a job simulates for milliseconds
+/// to minutes. Contrast [`shards_override`], which *is* safe to cache:
+/// the shard count never changes a statistic, so a stale value cannot
+/// corrupt a result, only its wall-clock time.
+fn env_deadline() -> Option<Duration> {
+    std::env::var(JOB_DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&ms| ms > 0)
         .map(Duration::from_millis)
+}
+
+/// Environment variable selecting the sharded lock-step engine's shard
+/// count for every simulation job (unset or 1 = the classic sequential
+/// engine). Statistics are byte-identical at any value — pinned by the
+/// shard-equivalence suite — so this only trades wall-clock time.
+pub const SHARDS_ENV: &str = "DLP_SHARDS";
+
+/// The `DLP_SHARDS` override, read once per process. Caching is safe
+/// here (unlike the per-job deadline above) because the shard count is
+/// statistics-invariant: the worst a stale value can do is run at the
+/// wrong speed.
+fn shards_override() -> Option<usize> {
+    static SHARDS: OnceLock<Option<usize>> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::env::var(SHARDS_ENV).ok().and_then(|v| v.parse().ok()).filter(|&s| s >= 1)
+    })
 }
 
 /// Cycles simulated between deadline checks when a deadline is active.
 /// Small enough to bound overshoot to well under a second of wall
 /// time, large enough to keep the checking overhead negligible.
 const DEADLINE_CHUNK_CYCLES: u64 = 65_536;
+
+/// The chunk actually used for a given budget: the full
+/// [`DEADLINE_CHUNK_CYCLES`] for second-scale deadlines, proportionally
+/// fewer for sub-second ones — the overshoot past the deadline is at
+/// most one chunk of wall time, and that must stay a small fraction of
+/// the budget itself (a 5 ms budget checked only after a chunk costing
+/// hundreds of ms would overshoot 100×).
+fn deadline_chunk(deadline: Duration) -> u64 {
+    let ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX).min(1_000);
+    (DEADLINE_CHUNK_CYCLES * ms / 1_000).max(64)
+}
 
 /// Process-wide memo of completed runs keyed by the *full* experiment
 /// configuration. The simulator is deterministic, so a cached result
@@ -238,11 +274,24 @@ pub fn run_cache_len() -> usize {
 /// crash-safe `dlp-store` layer, so a killed sweep resumes serving
 /// every job it had completed from disk.
 pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    run_app_with_deadline(abbr, cfg, env_deadline())
+}
+
+/// [`run_app`] with the job deadline as an explicit argument instead
+/// of the `DLP_JOB_DEADLINE_MS` fallback — the entry point for callers
+/// that carry a deadline per request (the sweep daemon decodes one out
+/// of every job frame). `None` = unlimited, the exact code path the
+/// determinism suite pins.
+pub fn run_app_with_deadline(
+    abbr: &str,
+    cfg: ExperimentConfig,
+    deadline: Option<Duration>,
+) -> Result<AppRun, RunFailure> {
     if force_fail_target() == Some(abbr) {
         panic!("{abbr}: forced failure ({FORCE_FAIL_ENV} is set)");
     }
     let start = Instant::now();
-    let record = |cached: bool, store_hit: bool, sim_cycles: u64, ticked_cycles: u64| {
+    let record = |cached: bool, store_hit: bool, run: Option<&AppRun>, shard: ShardRecord| {
         telemetry::record_job(JobRecord {
             app: abbr.to_string(),
             policy: cfg.policy.label().to_string(),
@@ -251,34 +300,61 @@ pub fn run_app(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> 
             cached,
             store_hit,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            sim_cycles,
-            ticked_cycles,
+            sim_cycles: run.map_or(0, |r| r.stats.cycles),
+            ticked_cycles: run.map_or(0, |r| r.ticked_cycles),
+            shard,
         });
     };
     let key = (abbr.to_string(), cfg);
     if let Some(hit) = run_cache().lock().get(&key).cloned() {
-        record(true, false, hit.stats.cycles, hit.ticked_cycles);
+        // Cache and store hits never instantiated an engine in this
+        // call, so their shard telemetry is honestly all-zero.
+        record(true, false, Some(&hit), ShardRecord::default());
         return Ok(hit);
     }
     if let Some(run) = persist::load(abbr, &cfg) {
-        record(true, true, run.stats.cycles, run.ticked_cycles);
+        record(true, true, Some(&run), ShardRecord::default());
         run_cache().lock().insert(key, run.clone());
         return Ok(run);
     }
-    let run = run_app_uncached(abbr, cfg);
-    match &run {
-        Ok(r) => {
-            record(false, false, r.stats.cycles, r.ticked_cycles);
-            run_cache().lock().insert(key, r.clone());
-            persist::save(abbr, &cfg, r);
+    match run_app_uncached(abbr, cfg, deadline, None) {
+        Ok((run, shard)) => {
+            record(false, false, Some(&run), shard);
+            run_cache().lock().insert(key, run.clone());
+            persist::save(abbr, &cfg, &run);
+            Ok(run)
         }
-        Err(_) => record(false, false, 0, 0),
+        Err(f) => {
+            record(false, false, None, ShardRecord::default());
+            Err(f)
+        }
     }
-    run
 }
 
-/// The actual simulation behind [`run_app`]'s memo layer.
-fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+/// Test-only window past the memo layers: simulate unconditionally,
+/// with an explicit deadline and (optionally) an explicit chunk size
+/// for the deadline arm's `run_for` driving. The determinism suite
+/// uses this to prove chunked driving is byte-identical to the
+/// unlimited path — through `run_app` the second arm would be served
+/// from the cache and the comparison would be vacuous.
+#[doc(hidden)]
+pub fn run_app_uncached_for_tests(
+    abbr: &str,
+    cfg: ExperimentConfig,
+    deadline: Option<Duration>,
+    chunk_override: Option<u64>,
+) -> Result<AppRun, RunFailure> {
+    run_app_uncached(abbr, cfg, deadline, chunk_override).map(|(run, _)| run)
+}
+
+/// The actual simulation behind [`run_app`]'s memo layer. Returns the
+/// run plus the sharded engine's telemetry for the job record.
+fn run_app_uncached(
+    abbr: &str,
+    cfg: ExperimentConfig,
+    deadline: Option<Duration>,
+    chunk_override: Option<u64>,
+) -> Result<(AppRun, ShardRecord), RunFailure> {
     let fail = |error: String, class: FailureClass| RunFailure {
         app: abbr.to_string(),
         policy: cfg.policy,
@@ -291,7 +367,13 @@ fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFail
     };
     let spec = gpu_workloads::registry::spec(abbr);
     let kernel = build(abbr, cfg.scale);
-    let mut sim_cfg = SimConfig::tesla_m2090(cfg.policy).with_l1_geometry(cfg.geom);
+    // Profiled jobs force a single shard explicitly: an attached L1D
+    // observer disables both the leap and shard engines anyway (the
+    // observer sees every access in sequential order), so asking for
+    // more would only mislead the telemetry.
+    let shards = if cfg.profile_rd { 1 } else { shards_override().unwrap_or(1) };
+    let mut sim_cfg =
+        SimConfig::tesla_m2090(cfg.policy).with_l1_geometry(cfg.geom).with_shards(shards);
     sim_cfg.protection_override = cfg.protection;
     sim_cfg.warp_limit = cfg.warp_limit;
     let mut gpu = Gpu::new(sim_cfg, kernel);
@@ -304,14 +386,15 @@ fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFail
     } else {
         None
     };
-    let stats = match job_deadline() {
+    let stats = match deadline {
         // No deadline: the exact code path the determinism suite pins.
         None => gpu.run().map_err(|e| fail(e.to_string(), FailureClass::Fatal))?,
         Some(deadline) => {
             let t0 = Instant::now();
+            let chunk = chunk_override.unwrap_or_else(|| deadline_chunk(deadline));
             loop {
                 let s = gpu
-                    .run_for(DEADLINE_CHUNK_CYCLES)
+                    .run_for(chunk)
                     .map_err(|e| fail(e.to_string(), FailureClass::Fatal))?;
                 if s.completed {
                     break s;
@@ -333,13 +416,26 @@ fn run_app_uncached(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFail
     if !stats.completed {
         return Err(fail("run stopped before kernel completion".to_string(), FailureClass::Fatal));
     }
-    Ok(AppRun { spec, stats, ticked_cycles, rdd })
+    let tel = gpu.shard_telemetry();
+    let shard = ShardRecord {
+        shards: shards as u64,
+        epoch_cycles: tel.epoch_cycles,
+        rounds: tel.rounds,
+        barrier_stalls: tel.barrier_stalls,
+        restarts: tel.restarts,
+        per_shard_ticked: tel.per_shard_ticked.clone(),
+    };
+    Ok((AppRun { spec, stats, ticked_cycles, rdd }, shard))
 }
 
 /// `run_app` behind `catch_unwind`, so a panicking job becomes a
 /// `RunFailure` instead of poisoning the whole sweep.
-fn run_app_caught(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
-    match catch_unwind(AssertUnwindSafe(|| run_app(abbr, cfg))) {
+fn run_app_caught(
+    abbr: &str,
+    cfg: ExperimentConfig,
+    deadline: Option<Duration>,
+) -> Result<AppRun, RunFailure> {
+    match catch_unwind(AssertUnwindSafe(|| run_app_with_deadline(abbr, cfg, deadline))) {
         Ok(res) => res,
         Err(payload) => {
             let msg = payload
@@ -388,9 +484,20 @@ fn backoff(attempt: u32) -> Duration {
 /// retrying); `run_many` applies it per job, and the sweep daemon uses
 /// it directly so a panicking job becomes a typed wire error.
 pub fn run_app_with_retry(abbr: &str, cfg: ExperimentConfig) -> Result<AppRun, RunFailure> {
+    run_app_with_retry_deadline(abbr, cfg, env_deadline())
+}
+
+/// [`run_app_with_retry`] with the deadline as an explicit argument
+/// (see [`run_app_with_deadline`]); the sweep daemon passes each
+/// request frame's own deadline here.
+pub fn run_app_with_retry_deadline(
+    abbr: &str,
+    cfg: ExperimentConfig,
+    deadline: Option<Duration>,
+) -> Result<AppRun, RunFailure> {
     let mut attempt = 1;
     loop {
-        match run_app_caught(abbr, cfg) {
+        match run_app_caught(abbr, cfg, deadline) {
             Ok(run) => return Ok(run),
             Err(mut f) => {
                 f.attempts = attempt;
@@ -732,6 +839,40 @@ mod tests {
             class: FailureClass::Fatal,
             attempts: 1,
         }
+    }
+
+    #[test]
+    fn deadline_chunk_scales_with_the_budget() {
+        assert_eq!(deadline_chunk(Duration::from_secs(3600)), DEADLINE_CHUNK_CYCLES);
+        assert_eq!(deadline_chunk(Duration::from_secs(1)), DEADLINE_CHUNK_CYCLES);
+        assert_eq!(deadline_chunk(Duration::from_millis(500)), DEADLINE_CHUNK_CYCLES / 2);
+        // Millisecond budgets are checked every few dozen cycles, so
+        // the overshoot stays proportionate; the floor keeps the chunk
+        // from degenerating to single-cycle stepping.
+        assert_eq!(deadline_chunk(Duration::from_millis(1)), 65);
+        assert_eq!(deadline_chunk(Duration::from_millis(0)), 64);
+    }
+
+    #[test]
+    fn tiny_deadline_fails_retryably_and_an_unlimited_rerun_succeeds() {
+        // Per-call deadlines: the same process runs the same job under
+        // a 1 ms budget (must overrun — the proportional chunk makes
+        // even a Tiny job check its budget mid-run) and then with no
+        // budget at all. Under the old process-cached deadline the
+        // second call would have inherited the first call's budget.
+        let cfg = ExperimentConfig {
+            scale: Scale::Tiny,
+            ..ExperimentConfig::baseline().with_policy(PolicyKind::GlobalProtection)
+        };
+        let Err(failed) =
+            run_app_uncached_for_tests("CFD", cfg, Some(Duration::from_millis(1)), None)
+        else {
+            panic!("a 1 ms budget cannot cover a CFD simulation");
+        };
+        assert_eq!(failed.class, FailureClass::Retryable);
+        assert!(failed.error.contains("deadline"), "{}", failed.error);
+        let ok = run_app_uncached_for_tests("CFD", cfg, None, None).unwrap();
+        assert!(ok.stats.completed);
     }
 
     #[test]

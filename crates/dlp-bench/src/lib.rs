@@ -24,4 +24,4 @@ pub use harness::{
     run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, FailureClass, PolicySuite,
     RunFailure, SizeSuite,
 };
-pub use report::{geomean, normalize, Table};
+pub use report::{geomean, geomean_cell, normalize, Table};

@@ -1,12 +1,26 @@
 //! Text-table rendering for the figure regenerators.
 
 /// Geometric mean of positive values (the paper's G.MEANS rows).
-pub fn geomean(values: &[f64]) -> f64 {
+///
+/// `None` when no values survived — an empty input used to render as
+/// `0.00`, which in a partial sweep reads as "every app degraded to
+/// zero" instead of "nothing to average". Callers render it with
+/// [`geomean_cell`] and must exclude it from any normalization.
+pub fn geomean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
-        return 0.0;
+        return None;
     }
     let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Render a G.MEANS cell with `decimals` places, or `N/A` when the
+/// mean does not exist (every contributing job failed).
+pub fn geomean_cell(values: &[f64], decimals: usize) -> String {
+    match geomean(values) {
+        Some(g) => format!("{g:.decimals$}"),
+        None => "N/A".to_string(),
+    }
 }
 
 /// `value / baseline` with a zero-safe denominator.
@@ -82,13 +96,24 @@ mod tests {
 
     #[test]
     fn geomean_of_identical_values() {
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn geomean_mixed() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None, "no values -> no mean, not 0.0");
+    }
+
+    #[test]
+    fn geomean_cell_degrades_to_na_not_zero() {
+        // The degradation path: a class whose every job failed must
+        // render N/A, never a fake `0.00` that looks like a measured
+        // total collapse.
+        assert_eq!(geomean_cell(&[], 2), "N/A");
+        assert_eq!(geomean_cell(&[], 3), "N/A");
+        assert_eq!(geomean_cell(&[2.0, 2.0], 2), "2.00");
+        assert_eq!(geomean_cell(&[1.0, 4.0], 3), "2.000");
     }
 
     #[test]

@@ -40,6 +40,31 @@ pub struct JobRecord {
     /// skipped. Equals `sim_cycles` in reference (tick-every-cycle)
     /// mode, 0 for failed jobs.
     pub ticked_cycles: u64,
+    /// Sharded-engine telemetry (schema v4).
+    pub shard: ShardRecord,
+}
+
+/// Per-job telemetry from the sharded lock-step engine (schema v4).
+/// All-zero/empty when the job ran on the classic sequential engine,
+/// was served from a cache, or failed — no engine ran, so there is
+/// nothing to report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Shard count the job was configured with (`DLP_SHARDS`, forced
+    /// to 1 for profiled jobs). The engine may still have run
+    /// sequentially — `per_shard_ticked` is empty in that case.
+    pub shards: u64,
+    /// Epoch (barrier round) length upper bound in core cycles.
+    pub epoch_cycles: u64,
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// Shard-rounds in which a shard had no event to step — it paid
+    /// the barrier without doing work (the load-imbalance signal).
+    pub barrier_stalls: u64,
+    /// Misspeculation restarts (rounds re-run sequentially).
+    pub restarts: u64,
+    /// Cycles each shard stepped one at a time (index = shard).
+    pub per_shard_ticked: Vec<u64>,
 }
 
 impl JobRecord {
@@ -205,7 +230,7 @@ fn num(v: f64) -> String {
 pub fn render_json() -> String {
     with_collector(|c| {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v3\",\n");
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v4\",\n");
         let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
         let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
         let total_ticked: u64 = c.jobs.iter().map(|j| j.ticked_cycles).sum();
@@ -244,8 +269,15 @@ pub fn render_json() -> String {
         }
         out.push_str("  ],\n  \"jobs\": [\n");
         for (i, j) in c.jobs.iter().enumerate() {
+            let ticked_list = j
+                .shard
+                .per_shard_ticked
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}}}{}\n",
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}, \"shards\": {}, \"epoch_cycles\": {}, \"rounds\": {}, \"barrier_stalls\": {}, \"restarts\": {}, \"per_shard_ticked\": [{}]}}{}\n",
                 esc(&j.app),
                 esc(&j.policy),
                 esc(&j.geom),
@@ -257,6 +289,12 @@ pub fn render_json() -> String {
                 j.ticked_cycles,
                 num(j.cycles_per_sec()),
                 num(j.leap_efficiency()),
+                j.shard.shards,
+                j.shard.epoch_cycles,
+                j.shard.rounds,
+                j.shard.barrier_stalls,
+                j.shard.restarts,
+                ticked_list,
                 if i + 1 < c.jobs.len() { "," } else { "" },
             ));
         }
@@ -286,10 +324,11 @@ mod tests {
             wall_ms: 500.0,
             sim_cycles: 1_000_000,
             ticked_cycles: 250_000,
+            shard: ShardRecord::default(),
         };
         assert!((j.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
         assert!((j.leap_efficiency() - 0.75).abs() < 1e-9, "3/4 of the cycles were leapt");
-        let cached = JobRecord { cached: true, wall_ms: 0.0, ..j };
+        let cached = JobRecord { cached: true, wall_ms: 0.0, ..j.clone() };
         assert_eq!(cached.cycles_per_sec(), 0.0);
         let failed = JobRecord { sim_cycles: 0, ticked_cycles: 0, ..cached };
         assert_eq!(failed.leap_efficiency(), 0.0, "no cycles -> no efficiency claim");
@@ -307,13 +346,25 @@ mod tests {
             wall_ms: 1.25,
             sim_cycles: 42,
             ticked_cycles: 7,
+            shard: ShardRecord {
+                shards: 4,
+                epoch_cycles: 41,
+                rounds: 9,
+                barrier_stalls: 2,
+                restarts: 0,
+                per_shard_ticked: vec![3, 1, 2, 1],
+            },
         });
         let out = sweep("test_sweep", render_json);
         assert!(out.contains("\\\"pp"), "{out}");
         assert!(out.contains("base\\\\line"), "{out}");
-        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v3\""));
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v4\""));
         assert!(out.contains("\"ticked_cycles\": 7"), "{out}");
         assert!(out.contains("\"store_hit\": true"), "{out}");
+        assert!(out.contains("\"shards\": 4"), "{out}");
+        assert!(out.contains("\"epoch_cycles\": 41"), "{out}");
+        assert!(out.contains("\"barrier_stalls\": 2"), "{out}");
+        assert!(out.contains("\"per_shard_ticked\": [3, 1, 2, 1]"), "{out}");
         let out2 = render_json();
         assert!(out2.contains("\"name\": \"test_sweep\""), "{out2}");
         assert!(out2.contains("\"store_hits\":"), "sweep rows carry the field: {out2}");

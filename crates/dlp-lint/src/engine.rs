@@ -159,7 +159,11 @@ fn test_token_mask(tokens: &[Token]) -> Vec<bool> {
 /// signature and the rest of the file stay unmasked. A trait method
 /// declaration (`fn cycle(…) -> …;`) has no body and marks nothing.
 fn hot_fn_token_mask(tokens: &[Token]) -> Vec<bool> {
-    const HOT_FNS: &[&str] = &["cycle", "step", "tick"];
+    // `step_local` and `run_round` are the sharded epoch engine's
+    // per-cycle bodies (crates/gpu-sim/src/shard.rs) — the parallel
+    // hot path is held to the same zero-alloc discipline as the
+    // sequential one.
+    const HOT_FNS: &[&str] = &["cycle", "step", "tick", "step_local", "run_round"];
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i + 1 < tokens.len() {

@@ -111,6 +111,15 @@ pub const RULES: &[Rule] = &[
                at report/figure-rendering time",
     },
     Rule {
+        id: "F103",
+        name: "wrapping-arithmetic",
+        group: Group::Fidelity,
+        summary: "wrapping integer arithmetic (.wrapping_add/_sub/_mul) in simulator code",
+        hint: "use checked_* and propagate a typed error — a silent wraparound corrupts \
+               addresses, cycle counts, and cursors without failing any test; for deliberate \
+               modular arithmetic (FNV hashes, PRNG mixers) add an allow directive stating why",
+    },
+    Rule {
         id: "E201",
         name: "unwrap-in-sim",
         group: Group::ErrorHandling,
@@ -138,7 +147,8 @@ pub const RULES: &[Rule] = &[
         id: "P301",
         name: "hot-path-alloc",
         group: Group::Perf,
-        summary: "heap allocation inside a per-cycle hot function (fn cycle / fn step / fn tick)",
+        summary: "heap allocation inside a per-cycle hot function (fn cycle / fn step / \
+                  fn tick / fn step_local / fn run_round)",
         hint: "preallocate in the constructor and reuse the buffer (clear + extend), or move \
                the allocation off the per-cycle path; for cold error/report arms add an allow \
                directive stating why the allocation cannot run per cycle",
@@ -309,6 +319,20 @@ pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFindi
             })
         {
             out.push(at("F102", name, format!("float-typed state (`{name}`) in simulator code")));
+        }
+
+        // F103: wrapping arithmetic. Method-call form only — the
+        // free-standing `u64::wrapping_add(a, b)` path form is not
+        // used in this workspace.
+        if matches!(name, "wrapping_add" | "wrapping_sub" | "wrapping_mul")
+            && is_punct(tokens.get(i.wrapping_sub(1)), '.')
+            && is_punct(tokens.get(i + 1), '(')
+        {
+            out.push(at(
+                "F103",
+                name,
+                format!("wrapping arithmetic `.{name}()` silently discards overflow"),
+            ));
         }
 
         // E201/E202: .unwrap() / .expect(...).

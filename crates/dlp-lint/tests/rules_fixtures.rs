@@ -131,6 +131,32 @@ fn f102_flags_float_typed_state() {
     assert!(lint("use std::f64::consts::PI;").is_empty());
 }
 
+#[test]
+fn f103_flags_wrapping_arithmetic() {
+    // The launch-cursor replay bug class: a wrapping add on a cursor or
+    // cycle quantity silently corrupts state instead of erroring.
+    let f = lint("fn f(cursor: usize, slots: usize) -> usize { cursor.wrapping_add(slots) }");
+    assert_eq!(rules_of(&f), ["F103"]);
+    assert_eq!(f[0].token, "wrapping_add");
+    let f = lint("fn f(a: u64, b: u64) -> u64 { a.wrapping_sub(b).wrapping_mul(3) }");
+    assert_eq!(rules_of(&f), ["F103", "F103"]);
+    // checked/saturating arithmetic is the sanctioned replacement.
+    assert!(lint("fn f(a: u64, b: u64) -> Option<u64> { a.checked_add(b) }").is_empty());
+    assert!(lint("fn f(a: u64, b: u64) -> u64 { a.saturating_sub(b) }").is_empty());
+    // A bare identifier named like the method is not a call.
+    assert!(lint("fn f(wrapping_add: u64) -> u64 { wrapping_add }").is_empty());
+}
+
+#[test]
+fn f103_is_suppressible_for_deliberate_modular_arithmetic() {
+    let src = "\
+        fn fnv(h: u64, b: u8) -> u64 {\n\
+            // dlp-lint: allow(F103) -- FNV-1a is modular multiplication by definition\n\
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)\n\
+        }\n";
+    assert!(lint(src).is_empty());
+}
+
 // ---------------------------------------------------------------------------
 // E — error handling
 // ---------------------------------------------------------------------------
@@ -178,6 +204,12 @@ fn p301_flags_heap_allocation_in_hot_functions() {
     let f = lint(
         "fn step(&mut self) { let ids: Vec<u64> = self.warps.ids().collect(); drop(ids); }",
     );
+    assert_eq!(rules_of(&f), ["P301"]);
+    // The sharded epoch engine's per-cycle bodies are held to the same
+    // discipline as the sequential ones.
+    let f = lint("fn step_local(&mut self, now: u64) { let v = vec![0u64; 4]; drop(v); }");
+    assert_eq!(rules_of(&f), ["P301"]);
+    let f = lint("fn run_round(&mut self, s: u64, e: u64) { let b: Vec<u64> = Vec::new(); drop(b); }");
     assert_eq!(rules_of(&f), ["P301"]);
 }
 

@@ -74,9 +74,30 @@ impl Client {
 
     /// Run (or fetch from the daemon's store) one job and decode the
     /// resulting run.
+    ///
+    /// The job deadline is the *client's* `DLP_JOB_DEADLINE_MS`, read
+    /// per call and shipped inside the request frame — the daemon
+    /// never consults its own environment, so concurrent clients with
+    /// different budgets coexist against one daemon process.
     pub fn sweep(&mut self, abbr: &str, cfg: &ExperimentConfig) -> Result<AppRun, ClientError> {
+        let deadline_ms = std::env::var(dlp_bench::harness::JOB_DEADLINE_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        self.sweep_with_deadline(abbr, cfg, deadline_ms)
+    }
+
+    /// [`Self::sweep`] with an explicit wall-clock budget in
+    /// milliseconds (0 = unlimited) instead of the env fallback.
+    pub fn sweep_with_deadline(
+        &mut self,
+        abbr: &str,
+        cfg: &ExperimentConfig,
+        deadline_ms: u64,
+    ) -> Result<AppRun, ClientError> {
         let req = Request::Sweep {
             abbr: abbr.to_string(),
+            deadline_ms,
             config: dlp_bench::persist::encode_config(cfg),
         };
         match self.call(&req)? {

@@ -7,11 +7,18 @@
 //!
 //! ```text
 //! Ping        0x01  (empty body)
-//! Sweep       0x02  u16 LE abbr_len | abbr utf-8 | encoded ExperimentConfig
+//! Sweep       0x02  u16 LE abbr_len | abbr utf-8 | u64 LE deadline_ms
+//!                   (0 = unlimited) | encoded ExperimentConfig
 //! Pong        0x80  (empty body)
 //! SweepResult 0x81  encoded AppRun (persist::encode_run bytes)
 //! Error       0xFF  u8 error code | detail utf-8
 //! ```
+//!
+//! Version 2 added the `deadline_ms` field: the deadline is carried in
+//! every request frame, so one daemon process can serve jobs with
+//! different deadlines (v1 daemons read `DLP_JOB_DEADLINE_MS` once at
+//! startup, pinning every job to one process-wide value). A v1 peer is
+//! answered with a typed [`ErrorCode::VersionSkew`], never guessed at.
 //!
 //! The config and run bodies reuse the `dlp_bench::persist` codec, so
 //! the daemon serves exactly the bytes the on-disk store holds and a
@@ -23,8 +30,9 @@ use std::io::{self, Read, Write};
 
 /// First payload byte of every frame.
 pub const MAGIC: u8 = 0xD5;
-/// Protocol generation; bumped on any incompatible frame change.
-pub const VERSION: u8 = 1;
+/// Protocol generation; bumped on any incompatible frame change
+/// (v2: sweep requests carry a per-job `deadline_ms`).
+pub const VERSION: u8 = 2;
 /// Upper bound on a frame payload — far above any encoded run, so an
 /// oversized length prefix means a corrupt or hostile peer.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -98,6 +106,10 @@ pub enum Request {
     Sweep {
         /// Workload abbreviation (registry key).
         abbr: String,
+        /// Wall-clock bound for this job in milliseconds, 0 =
+        /// unlimited. Carried per request so one daemon process can
+        /// serve callers with different deadlines.
+        deadline_ms: u64,
         /// `persist::encode_config` bytes; decoded by the daemon.
         config: Vec<u8>,
     },
@@ -225,7 +237,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let abbr = std::str::from_utf8(&rest[..abbr_len])
                 .map_err(|_| WireError::malformed("sweep abbr is not utf-8"))?
                 .to_string();
-            Ok(Request::Sweep { abbr, config: rest[abbr_len..].to_vec() })
+            let rest = &rest[abbr_len..];
+            if rest.len() < 8 {
+                return Err(WireError::malformed("sweep deadline truncated"));
+            }
+            let deadline_ms = u64::from_le_bytes(
+                rest[..8].try_into().expect("slice length checked above"),
+            );
+            Ok(Request::Sweep { abbr, deadline_ms, config: rest[8..].to_vec() })
         }
         other => Err(WireError::malformed(format!("unknown request type {other:#04x}"))),
     }
@@ -235,11 +254,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
         Request::Ping => prologue(TYPE_PING),
-        Request::Sweep { abbr, config } => {
+        Request::Sweep { abbr, deadline_ms, config } => {
             let mut p = prologue(TYPE_SWEEP);
             let abbr_len = u16::try_from(abbr.len()).expect("abbr length fits u16");
             p.extend_from_slice(&abbr_len.to_le_bytes());
             p.extend_from_slice(abbr.as_bytes());
+            p.extend_from_slice(&deadline_ms.to_le_bytes());
             p.extend_from_slice(config);
             p
         }
@@ -297,8 +317,9 @@ mod tests {
     fn request_roundtrips() {
         for req in [
             Request::Ping,
-            Request::Sweep { abbr: "BFS".into(), config: vec![1, 2, 3, 4] },
-            Request::Sweep { abbr: String::new(), config: Vec::new() },
+            Request::Sweep { abbr: "BFS".into(), deadline_ms: 0, config: vec![1, 2, 3, 4] },
+            Request::Sweep { abbr: "KM".into(), deadline_ms: 30_000, config: vec![7; 9] },
+            Request::Sweep { abbr: String::new(), deadline_ms: u64::MAX, config: Vec::new() },
         ] {
             assert_eq!(decode_request(&encode_request(&req)), Ok(req));
         }
@@ -328,17 +349,36 @@ mod tests {
 
     #[test]
     fn truncated_sweep_is_malformed() {
-        let full = encode_request(&Request::Sweep { abbr: "BFS".into(), config: vec![7; 8] });
-        // prologue(3) + abbr_len(2) + abbr(3): any cut inside that
-        // prefix must be rejected, not misread as a shorter request.
-        // Cuts into the config blob decode here (the blob is the rest
-        // of the body) and are rejected by the persist codec instead.
-        for cut in 0..3 + 2 + 3 {
+        let full = encode_request(&Request::Sweep {
+            abbr: "BFS".into(),
+            deadline_ms: 12_345,
+            config: vec![7; 8],
+        });
+        // prologue(3) + abbr_len(2) + abbr(3) + deadline(8): any cut
+        // inside that prefix must be rejected, not misread as a shorter
+        // request — a cut inside the deadline must never decode with a
+        // garbage deadline. Cuts into the config blob decode here (the
+        // blob is the rest of the body) and are rejected by the persist
+        // codec instead.
+        for cut in 0..3 + 2 + 3 + 8 {
             assert!(
                 decode_request(&full[..cut]).is_err(),
                 "prefix of {cut} bytes decoded"
             );
         }
+    }
+
+    #[test]
+    fn v1_sweep_frame_is_rejected_as_version_skew() {
+        // A v1 peer's sweep (no deadline field) must get a typed
+        // version-skew refusal, not a misparse of its config bytes as a
+        // deadline.
+        let mut p = vec![MAGIC, 1, TYPE_SWEEP];
+        p.extend_from_slice(&3u16.to_le_bytes());
+        p.extend_from_slice(b"BFS");
+        p.extend_from_slice(&[0xAB; 16]);
+        let err = decode_request(&p).unwrap_err();
+        assert_eq!(err.code, ErrorCode::VersionSkew, "{err}");
     }
 
     #[test]

@@ -36,11 +36,13 @@ impl Daemon {
     pub fn respond(&self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
-            Request::Sweep { abbr, config } => self.sweep(&abbr, &config),
+            Request::Sweep { abbr, deadline_ms, config } => {
+                self.sweep(&abbr, deadline_ms, &config)
+            }
         }
     }
 
-    fn sweep(&self, abbr: &str, config: &[u8]) -> Response {
+    fn sweep(&self, abbr: &str, deadline_ms: u64, config: &[u8]) -> Response {
         if let Some(poison) = &self.store_poison {
             return Response::Error {
                 code: ErrorCode::StorePoisoned,
@@ -59,7 +61,13 @@ impl Daemon {
                 detail: format!("unknown workload {abbr:?}"),
             };
         }
-        match dlp_bench::harness::run_app_with_retry(abbr, cfg) {
+        // The deadline comes from the request frame, never from the
+        // daemon's own environment: one daemon process serves many
+        // clients, each with its own wall-clock budget. (Reading the
+        // env here — worse, caching it — would pin every job to the
+        // value in force when the daemon started.)
+        let deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+        match dlp_bench::harness::run_app_with_retry_deadline(abbr, cfg, deadline) {
             Ok(run) => Response::SweepResult(dlp_bench::persist::encode_run(abbr, &run)),
             Err(f) => Response::Error { code: ErrorCode::JobFailed, detail: f.to_string() },
         }

@@ -120,12 +120,51 @@ fn unknown_app_and_undecodable_config_are_malformed() {
     let daemon = Daemon::default();
     let resp = daemon.respond(Request::Sweep {
         abbr: "NOPE".into(),
+        deadline_ms: 0,
         config: dlp_bench::persist::encode_config(&tiny_cfg()),
     });
     assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
 
-    let resp = daemon.respond(Request::Sweep { abbr: "BFS".into(), config: vec![0xAB; 5] });
+    let resp = daemon.respond(Request::Sweep {
+        abbr: "BFS".into(),
+        deadline_ms: 0,
+        config: vec![0xAB; 5],
+    });
     assert!(matches!(resp, Response::Error { code: ErrorCode::MalformedFrame, .. }), "{resp:?}");
+}
+
+#[test]
+fn per_request_deadlines_coexist_in_one_daemon_process() {
+    let daemon = Daemon::default();
+    // A config no other test in this binary uses (profiled CFD), so
+    // the run cache cannot satisfy either request ahead of time.
+    let cfg = ExperimentConfig { scale: Scale::Tiny, profile_rd: true, ..tiny_cfg() };
+    let encoded = dlp_bench::persist::encode_config(&cfg);
+
+    // Request 1: a 1 ms budget. The job must come back as a typed
+    // deadline overrun, not a result.
+    let resp = daemon.respond(Request::Sweep {
+        abbr: "CFD".into(),
+        deadline_ms: 1,
+        config: encoded.clone(),
+    });
+    match resp {
+        Response::Error { code: ErrorCode::JobFailed, detail } => {
+            assert!(detail.contains("deadline"), "{detail}");
+        }
+        other => panic!("expected a deadline failure, got {other:?}"),
+    }
+
+    // Request 2, same daemon process, same job, unlimited budget:
+    // succeeds. The v1 daemon read `DLP_JOB_DEADLINE_MS` through a
+    // process-global cache, so whichever budget came first would have
+    // silently applied to every job after it.
+    let resp = daemon.respond(Request::Sweep {
+        abbr: "CFD".into(),
+        deadline_ms: 0,
+        config: encoded,
+    });
+    assert!(matches!(resp, Response::SweepResult(_)), "{resp:?}");
 }
 
 #[test]

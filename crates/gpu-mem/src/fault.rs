@@ -83,14 +83,18 @@ impl SplitMix64 {
     /// Stream seeded by `seed` with a salt mixed in, giving replicated
     /// components distinct but still reproducible streams.
     pub fn with_salt(seed: u64, salt: u64) -> Self {
+        // dlp-lint: allow(F103) -- SplitMix64 salt mixing is modular by construction
         SplitMix64 { state: seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
     }
 
     /// Next value of the stream.
     pub fn next_u64(&mut self) -> u64 {
+        // dlp-lint: allow(F103) -- the SplitMix64 increment is modular 2^64 by definition
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
+        // dlp-lint: allow(F103) -- SplitMix64 finalizer multiply is a modular mixer
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        // dlp-lint: allow(F103) -- SplitMix64 finalizer multiply is a modular mixer
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
     }

@@ -58,6 +58,13 @@ pub struct SimConfig {
     /// the integrity tests to prove the watchdog and auditor catch
     /// corruption. `None` (the default) simulates faithfully.
     pub fault: Option<FaultConfig>,
+    /// Sharded epoch engine: partition the SMs and memory partitions
+    /// into this many shards and run them on parallel threads in
+    /// deterministic lock-step epochs bounded by the crossbar hop
+    /// latency. Statistics are byte-identical at any shard count (the
+    /// shard-equivalence suite pins 1 vs 2 vs 4). 1 (the default)
+    /// selects the classic single-threaded path; requires `leap`.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -85,6 +92,7 @@ impl SimConfig {
             audit_interval: if cfg!(feature = "audit") { 4096 } else { 0 },
             leap: true,
             fault: None,
+            shards: 1,
         }
     }
 
@@ -117,6 +125,16 @@ impl SimConfig {
         self.warp_limit = Some(warps);
         self
     }
+
+    /// Run the machine as `shards` parallel lock-step shards (1 =
+    /// classic single-threaded execution). Statistics are byte-identical
+    /// at any count; values beyond the component counts are clamped at
+    /// run time.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1);
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +162,12 @@ mod tests {
             .with_l1_geometry(CacheGeometry::fermi_l1d_32k());
         assert_eq!(c.l1d.geom.capacity_bytes(), 32 * 1024);
         assert_eq!(c.l1d.geom.num_sets, 32, "sets unchanged, associativity doubled");
+    }
+
+    #[test]
+    fn shards_default_to_single_threaded() {
+        let c = SimConfig::tesla_m2090(PolicyKind::Baseline);
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.with_shards(4).shards, 4);
     }
 }

@@ -32,6 +32,7 @@ use crate::audit::{check_flit_conservation, check_reply_conservation, FlowCounte
 use crate::config::SimConfig;
 use crate::error::{HangReport, PartitionSnapshot, SimError, SmSnapshot};
 use crate::kernel::Kernel;
+use crate::shard::ShardTelemetry;
 use crate::sm::Sm;
 use crate::stats::RunStats;
 use gpu_mem::fault::{FaultInjector, FaultSite};
@@ -40,34 +41,123 @@ use gpu_mem::observer::AccessObserver;
 use gpu_mem::partition::MemoryPartition;
 use std::collections::VecDeque;
 
+/// Advance the round-robin CTA launch cursor by `slots` denied scan
+/// slots with overflow detection: a wrap would silently rotate the
+/// launch order, which is a fidelity corruption, not a recoverable
+/// condition. Shared by the per-cycle launch scan, the leap replay and
+/// the shard barrier replay.
+pub(crate) fn advance_cursor(cursor: &mut usize, slots: u128, now: u64) -> Result<(), SimError> {
+    let overflow = SimError::LaunchCursorOverflow { cycle: now, slots };
+    let sum = (*cursor as u128).checked_add(slots).ok_or_else(|| overflow.clone())?;
+    *cursor = usize::try_from(sum).map_err(|_| overflow)?;
+    Ok(())
+}
+
+/// Build the crossbar and memory partitions (with any configured fault
+/// injectors) from scratch — shared by [`Gpu::new`] and the sharded
+/// engine's misspeculation restart, which must reproduce the injector
+/// seeds exactly.
+fn build_memory_system(cfg: &SimConfig) -> (Interconnect, Vec<MemoryPartition>) {
+    let mut icnt = Interconnect::new(cfg.icnt);
+    let mut parts: Vec<MemoryPartition> =
+        (0..cfg.icnt.num_partitions).map(|_| MemoryPartition::new(cfg.partition)).collect();
+    if let Some(f) = cfg.fault {
+        match f.site {
+            FaultSite::IcntForward | FaultSite::IcntReturn => {
+                icnt.set_fault_injector(FaultInjector::new(f));
+            }
+            FaultSite::Dram => {
+                for (i, p) in parts.iter_mut().enumerate() {
+                    p.set_dram_fault_injector(FaultInjector::with_salt(f, i as u64));
+                }
+            }
+        }
+    }
+    (icnt, parts)
+}
+
+/// Every conservation and structural check, against an explicitly
+/// assembled view of the machine. [`Gpu::run_audit`] passes its own
+/// component vectors; the sharded engine passes references collected
+/// from the shards in global order at a barrier (where the crossbar is
+/// authoritative because the round has been merged).
+pub(crate) fn audit_machine(
+    now: u64,
+    counters: &FlowCounters,
+    icnt: &Interconnect,
+    sms: &[&Sm],
+    parts: &[&MemoryPartition],
+) -> Result<(), SimError> {
+    let fail = |check: &'static str, detail: String| SimError::InvariantViolation {
+        check,
+        detail,
+        cycle: now,
+    };
+
+    let in_partitions: usize = parts.iter().map(|p| p.held_reply_packets()).sum();
+    let in_network = icnt.fwd_expecting_reply() + icnt.ret_in_flight();
+    check_reply_conservation(
+        counters.fetches_sent,
+        counters.replies_delivered,
+        in_network,
+        in_partitions,
+    )
+    .map_err(|d| fail("reply conservation", d))?;
+
+    let (fwd_in_flight, ret_in_flight) = icnt.in_flight_flits();
+    let stats = icnt.stats();
+    check_flit_conservation(
+        "forward",
+        stats.fwd_flits,
+        counters.fwd_flits_delivered,
+        fwd_in_flight,
+    )
+    .map_err(|d| fail("flit conservation", d))?;
+    check_flit_conservation(
+        "return",
+        stats.ret_flits,
+        counters.ret_flits_delivered,
+        ret_in_flight,
+    )
+    .map_err(|d| fail("flit conservation", d))?;
+
+    for (s, sm) in sms.iter().enumerate() {
+        sm.l1d.audit().map_err(|d| fail("L1D structural audit", format!("SM {s}: {d}")))?;
+    }
+    for (p, part) in parts.iter().enumerate() {
+        part.audit()
+            .map_err(|d| fail("partition structural audit", format!("partition {p}: {d}")))?;
+    }
+    Ok(())
+}
 
 /// A configured GPU with a kernel to run.
 pub struct Gpu {
-    cfg: SimConfig,
-    sms: Vec<Sm>,
-    icnt: Interconnect,
-    parts: Vec<MemoryPartition>,
-    kernel: Box<dyn Kernel>,
-    pending_ctas: VecDeque<usize>,
-    launch_cursor: usize,
-    now: u64,
-    counters: FlowCounters,
+    pub(crate) cfg: SimConfig,
+    pub(crate) sms: Vec<Sm>,
+    pub(crate) icnt: Interconnect,
+    pub(crate) parts: Vec<MemoryPartition>,
+    pub(crate) kernel: Box<dyn Kernel>,
+    pub(crate) pending_ctas: VecDeque<usize>,
+    pub(crate) launch_cursor: usize,
+    pub(crate) now: u64,
+    pub(crate) counters: FlowCounters,
     /// Progress metric (insns issued + replies delivered) at the last
     /// cycle it changed, and that cycle — the watchdog's state.
-    last_progress: u64,
-    last_progress_cycle: u64,
+    pub(crate) last_progress: u64,
+    pub(crate) last_progress_cycle: u64,
     /// Idle-skip state: which SMs / partitions have work. A component is
     /// promoted to busy at the event that gives it work (CTA launch,
     /// packet enqueue, reply delivery) and demoted after a cycle in
     /// which it reports idle — quiescent components are not ticked at
     /// all, and the busy counts make [`Gpu::finished`] O(1).
-    sm_busy: Vec<bool>,
-    part_busy: Vec<bool>,
-    busy_sms: usize,
-    busy_parts: usize,
+    pub(crate) sm_busy: Vec<bool>,
+    pub(crate) part_busy: Vec<bool>,
+    pub(crate) busy_sms: usize,
+    pub(crate) busy_parts: usize,
     /// Running total of warp instructions issued (the watchdog metric's
     /// SM half, maintained incrementally).
-    total_warp_insns: u64,
+    pub(crate) total_warp_insns: u64,
     /// Cycles actually stepped (as opposed to leapt over). With the
     /// cycle-leap event core this is the count of event cycles; the
     /// ratio against [`RunStats::cycles`] is the leap efficiency
@@ -75,7 +165,7 @@ pub struct Gpu {
     /// [`RunStats`]: simulated results are byte-identical with leaping
     /// on or off, and this counter is the one number that legitimately
     /// differs.
-    ticked_cycles: u64,
+    pub(crate) ticked_cycles: u64,
     /// The component that most recently forced a tick (reported an event
     /// at `now + 1`). Active phases are bursty — the same SM or
     /// partition stays hot for many consecutive cycles — so
@@ -83,7 +173,7 @@ pub struct Gpu {
     /// skips the full scan while it stays hot. Purely an optimization:
     /// "no leap" is always a conservative answer, so a stale hint can
     /// only cost a scan, never correctness.
-    leap_hint: LeapHint,
+    pub(crate) leap_hint: LeapHint,
     /// Per-SM sleep: `sm_next_ev[s]` is a conservative bound below which
     /// SM `s` has no internal event (same bound [`Sm::next_event`] feeds
     /// the global leap), so its `cycle` call is skipped even on cycles
@@ -92,23 +182,35 @@ pub struct Gpu {
     /// would each re-probe their stalled access per tick for nothing.
     /// 0 means "must cycle" (external input arrived), `u64::MAX` means
     /// "wake only on an interconnect reply".
-    sm_next_ev: Vec<u64>,
+    pub(crate) sm_next_ev: Vec<u64>,
     /// The last cycle SM `s` actually ran `cycle`, i.e. has aged its
     /// stall counters through. A waking SM first replays the gap with
     /// [`Sm::leap_catchup`]; [`Gpu::settle_sms`] does the same before
     /// any state is reported (stats, hang reports). This single
     /// deferred-aging account also covers whole-machine leaps.
-    sm_last_cycled: Vec<u64>,
+    pub(crate) sm_last_cycled: Vec<u64>,
     /// Whether SM `s` slept through the step in progress — latched at
     /// the cycle phase, because the phase itself refreshes `sm_next_ev`
     /// to a future cycle and later phases (the forward drain) must see
     /// the decision, not the refreshed bound.
-    sm_asleep: Vec<bool>,
+    pub(crate) sm_asleep: Vec<bool>,
+    /// Whether any L1D observer is attached. Observed runs force the
+    /// single-threaded path: the sharded engine's misspeculation
+    /// restart would replay accesses into the (external, shared)
+    /// observer sink, and restart cannot unsee them.
+    pub(crate) observed: bool,
+    /// Latched after a shard misspeculation restart: the rest of this
+    /// GPU's lifetime runs single-threaded so the sequential replay's
+    /// byte-identity guarantee holds without re-restarting.
+    pub(crate) shards_disabled: bool,
+    /// Accumulated sharded-engine telemetry (empty when every run took
+    /// the classic path).
+    pub(crate) shard_telemetry: ShardTelemetry,
 }
 
 /// See [`Gpu::leap_hint`].
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum LeapHint {
+pub(crate) enum LeapHint {
     None,
     /// `sms[i].next_event` said `now + 1`.
     Sm(usize),
@@ -131,21 +233,7 @@ impl Gpu {
             grid.warps_per_cta,
             slots
         );
-        let mut icnt = Interconnect::new(cfg.icnt);
-        let mut parts: Vec<MemoryPartition> =
-            (0..cfg.icnt.num_partitions).map(|_| MemoryPartition::new(cfg.partition)).collect();
-        if let Some(f) = cfg.fault {
-            match f.site {
-                FaultSite::IcntForward | FaultSite::IcntReturn => {
-                    icnt.set_fault_injector(FaultInjector::new(f));
-                }
-                FaultSite::Dram => {
-                    for (i, p) in parts.iter_mut().enumerate() {
-                        p.set_dram_fault_injector(FaultInjector::with_salt(f, i as u64));
-                    }
-                }
-            }
-        }
+        let (icnt, parts) = build_memory_system(&cfg);
         Gpu {
             sms: (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect(),
             icnt,
@@ -167,6 +255,9 @@ impl Gpu {
             sm_next_ev: vec![0; cfg.num_sms],
             sm_last_cycled: vec![0; cfg.num_sms],
             sm_asleep: vec![false; cfg.num_sms],
+            observed: false,
+            shards_disabled: false,
+            shard_telemetry: ShardTelemetry::default(),
             cfg,
         }
     }
@@ -175,6 +266,57 @@ impl Gpu {
     /// harness reports `ticked_cycles / cycles` as leap efficiency.
     pub fn ticked_cycles(&self) -> u64 {
         self.ticked_cycles
+    }
+
+    /// Telemetry from the sharded epoch engine, accumulated across
+    /// every `run`/`run_for` call of this GPU. All-zero (and an empty
+    /// per-shard vector) when every run took the classic
+    /// single-threaded path.
+    pub fn shard_telemetry(&self) -> &ShardTelemetry {
+        &self.shard_telemetry
+    }
+
+    /// How many shards this run will actually use. The classic
+    /// single-threaded path (1) is forced when leaping is off (the
+    /// reference loop is the equivalence oracle), when an observer is
+    /// attached (see [`Gpu::observed`]) or after a misspeculation
+    /// restart; otherwise the configured count, clamped to the
+    /// component counts.
+    pub(crate) fn effective_shards(&self) -> usize {
+        if !self.cfg.leap || self.observed || self.shards_disabled {
+            return 1;
+        }
+        self.cfg.shards.clamp(1, self.cfg.num_sms.max(self.cfg.icnt.num_partitions))
+    }
+
+    /// Rebuild every component from the configuration, exactly as
+    /// [`Gpu::new`] left them — the sharded engine's misspeculation
+    /// restart. The kernel is stateless by contract ([`Kernel::warp_ops`]
+    /// is a pure function of `(cta, warp)`), so re-queueing the grid
+    /// reproduces the run from cycle 0. `ticked_cycles` and the shard
+    /// telemetry deliberately survive: work done by the abandoned
+    /// attempt was real wall-clock work and the telemetry reports it.
+    pub(crate) fn reset_run_state(&mut self) {
+        let cfg = self.cfg;
+        let (icnt, parts) = build_memory_system(&cfg);
+        self.sms = (0..cfg.num_sms).map(|i| Sm::new(i, &cfg)).collect();
+        self.icnt = icnt;
+        self.parts = parts;
+        self.pending_ctas = (0..self.kernel.grid().num_ctas).collect();
+        self.launch_cursor = 0;
+        self.now = 0;
+        self.counters = FlowCounters::default();
+        self.last_progress = 0;
+        self.last_progress_cycle = 0;
+        self.sm_busy = vec![false; cfg.num_sms];
+        self.part_busy = vec![false; cfg.icnt.num_partitions];
+        self.busy_sms = 0;
+        self.busy_parts = 0;
+        self.total_warp_insns = 0;
+        self.leap_hint = LeapHint::None;
+        self.sm_next_ev = vec![0; cfg.num_sms];
+        self.sm_last_cycled = vec![0; cfg.num_sms];
+        self.sm_asleep = vec![false; cfg.num_sms];
     }
 
     #[inline]
@@ -192,7 +334,7 @@ impl Gpu {
     /// periodically-audited builds deliberately tick every busy SM so
     /// the tick-through no-op verification exercises real cycles.
     #[inline]
-    fn sm_sleep_enabled(&self) -> bool {
+    pub(crate) fn sm_sleep_enabled(&self) -> bool {
         self.cfg.leap && self.cfg.audit_interval == 0 && !cfg!(feature = "audit")
     }
 
@@ -200,7 +342,7 @@ impl Gpu {
     /// current cycle, inclusive) so externally visible state — run
     /// statistics, hang reports, post-run introspection — is identical
     /// to what the tick-every-cycle reference produces.
-    fn settle_sms(&mut self) {
+    pub(crate) fn settle_sms(&mut self) {
         let now = self.now;
         for (s, sm) in self.sms.iter_mut().enumerate() {
             if !self.sm_busy[s] {
@@ -215,8 +357,12 @@ impl Gpu {
     }
 
     /// Attach a reuse-distance observer to one SM's L1D (do this before
-    /// running).
+    /// running). Observed runs always take the classic single-threaded
+    /// path regardless of [`SimConfig::shards`] — the shard engine's
+    /// misspeculation restart cannot withdraw accesses already pushed
+    /// into an external sink.
     pub fn set_l1d_observer(&mut self, sm: usize, obs: Box<dyn AccessObserver>) {
+        self.observed = true;
         self.sms[sm].l1d.set_observer(obs);
     }
 
@@ -231,9 +377,9 @@ impl Gpu {
         &self.sms[sm].l1d
     }
 
-    fn launch_ctas(&mut self) {
+    fn launch_ctas(&mut self) -> Result<(), SimError> {
         if self.pending_ctas.is_empty() {
-            return;
+            return Ok(());
         }
         // Round-robin across SMs, as the hardware CTA scheduler does, so
         // partially filled grids spread over the whole chip.
@@ -256,8 +402,9 @@ impl Gpu {
             } else {
                 denied += 1;
             }
-            self.launch_cursor = self.launch_cursor.wrapping_add(1);
+            advance_cursor(&mut self.launch_cursor, 1, self.now)?;
         }
+        Ok(())
     }
 
     /// One core/interconnect cycle.
@@ -266,7 +413,7 @@ impl Gpu {
         self.ticked_cycles += 1;
         let now = self.now;
 
-        self.launch_ctas();
+        self.launch_ctas()?;
 
         // Cycle only SMs with work; an idle SM's cycle is a no-op, so
         // skipping it changes nothing but wall time. On the leap path a
@@ -590,8 +737,11 @@ impl Gpu {
             return Ok(());
         }
         if !self.pending_ctas.is_empty() {
-            self.launch_cursor =
-                self.launch_cursor.wrapping_add(self.sms.len().wrapping_mul(skipped as usize));
+            // Each skipped cycle was a fully denied round-robin scan:
+            // the cursor advanced once per SM. Checked — a silent wrap
+            // would rotate the launch order (see `advance_cursor`).
+            let slots = (self.sms.len() as u128) * u128::from(skipped);
+            advance_cursor(&mut self.launch_cursor, slots, self.now)?;
         }
         self.now = target;
         Ok(())
@@ -608,6 +758,7 @@ impl Gpu {
         let mut put = |v: u64| {
             for b in v.to_le_bytes() {
                 h ^= b as u64;
+                // dlp-lint: allow(F103) -- FNV-1a is modular multiplication by definition
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
         };
@@ -640,48 +791,9 @@ impl Gpu {
     /// Run every conservation and structural check once, at the current
     /// cycle. Exposed so tests can audit at a chosen instant.
     pub fn run_audit(&self) -> Result<(), SimError> {
-        let now = self.now;
-        let fail = |check: &'static str, detail: String| SimError::InvariantViolation {
-            check,
-            detail,
-            cycle: now,
-        };
-
-        let in_partitions: usize = self.parts.iter().map(|p| p.held_reply_packets()).sum();
-        let in_network = self.icnt.fwd_expecting_reply() + self.icnt.ret_in_flight();
-        check_reply_conservation(
-            self.counters.fetches_sent,
-            self.counters.replies_delivered,
-            in_network,
-            in_partitions,
-        )
-        .map_err(|d| fail("reply conservation", d))?;
-
-        let (fwd_in_flight, ret_in_flight) = self.icnt.in_flight_flits();
-        let stats = self.icnt.stats();
-        check_flit_conservation(
-            "forward",
-            stats.fwd_flits,
-            self.counters.fwd_flits_delivered,
-            fwd_in_flight,
-        )
-        .map_err(|d| fail("flit conservation", d))?;
-        check_flit_conservation(
-            "return",
-            stats.ret_flits,
-            self.counters.ret_flits_delivered,
-            ret_in_flight,
-        )
-        .map_err(|d| fail("flit conservation", d))?;
-
-        for (s, sm) in self.sms.iter().enumerate() {
-            sm.l1d.audit().map_err(|d| fail("L1D structural audit", format!("SM {s}: {d}")))?;
-        }
-        for (p, part) in self.parts.iter().enumerate() {
-            part.audit()
-                .map_err(|d| fail("partition structural audit", format!("partition {p}: {d}")))?;
-        }
-        Ok(())
+        let sms: Vec<&Sm> = self.sms.iter().collect();
+        let parts: Vec<&MemoryPartition> = self.parts.iter().collect();
+        audit_machine(self.now, &self.counters, &self.icnt, &sms, &parts)
     }
 
     /// Snapshot the whole machine for a failure diagnostic.
@@ -723,7 +835,7 @@ impl Gpu {
         }
     }
 
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         // O(1): busy counts are maintained by step(); a component is
         // demoted only after a cycle in which it reported idle, so the
         // counts reaching zero implies the full scans would too.
@@ -744,6 +856,9 @@ impl Gpu {
     /// hang report from the watchdog, a cycle-cap overrun, or the first
     /// invariant violation found.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
+        if self.effective_shards() > 1 {
+            return crate::shard::run_sharded(self, None);
+        }
         while !self.finished() {
             if self.now >= self.cfg.max_cycles {
                 self.settle_sms();
@@ -769,6 +884,9 @@ impl Gpu {
     /// requested horizon is success, not an error.
     pub fn run_for(&mut self, cycles: u64) -> Result<RunStats, SimError> {
         let end = self.now + cycles;
+        if self.effective_shards() > 1 {
+            return crate::shard::run_sharded(self, Some(end));
+        }
         while !self.finished() && self.now < end {
             if self.cfg.leap {
                 let target = self.next_step_cycle();
@@ -789,7 +907,7 @@ impl Gpu {
         Ok(self.collect(self.finished()))
     }
 
-    fn collect(&self, completed: bool) -> RunStats {
+    pub(crate) fn collect(&self, completed: bool) -> RunStats {
         let mut out = RunStats { cycles: self.now, completed, ..Default::default() };
         for sm in &self.sms {
             let s = sm.stats();
@@ -911,6 +1029,26 @@ mod tests {
         .run()
         .unwrap();
         assert!(stats.cycles > full.cycles);
+    }
+
+    #[test]
+    fn launch_cursor_overflow_is_a_typed_error() {
+        let mut cursor = usize::MAX - 1;
+        assert!(advance_cursor(&mut cursor, 1, 7).is_ok());
+        assert_eq!(cursor, usize::MAX);
+        let err = advance_cursor(&mut cursor, 1, 9).unwrap_err();
+        match err {
+            SimError::LaunchCursorOverflow { cycle, slots } => {
+                assert_eq!(cycle, 9);
+                assert_eq!(slots, 1);
+            }
+            other => panic!("wrong error variant: {other}"),
+        }
+        assert_eq!(cursor, usize::MAX, "cursor is left untouched on failure");
+        // The leap replay's bulk advance hits the same guard.
+        let mut cursor = usize::MAX - 100;
+        let err = advance_cursor(&mut cursor, 16 * 50_000, 42).unwrap_err();
+        assert!(matches!(err, SimError::LaunchCursorOverflow { cycle: 42, .. }));
     }
 
     #[test]

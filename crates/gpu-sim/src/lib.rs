@@ -60,6 +60,7 @@ pub mod gpu;
 pub mod isa;
 pub mod kernel;
 pub mod scheduler;
+pub mod shard;
 pub mod sm;
 pub mod stats;
 pub mod warp;
@@ -68,4 +69,5 @@ pub use config::SimConfig;
 pub use error::{HangReport, SimError};
 pub use gpu::Gpu;
 pub use kernel::{GridDesc, Kernel};
+pub use shard::ShardTelemetry;
 pub use stats::RunStats;

@@ -146,6 +146,40 @@ fn fig10_policy_suite_digest_is_golden() {
 }
 
 #[test]
+fn deadline_chunked_driving_is_byte_identical_to_unlimited() {
+    // With `DLP_JOB_DEADLINE_MS` set, the harness drives a job with
+    // chunked `run_for` calls instead of one `run()`; nothing about the
+    // statistics may depend on which path ran. Compared at the byte
+    // level through the persist codec (the daemon's wire form), via the
+    // uncached test hook — through `run_app` the second arm would be a
+    // cache hit and the comparison vacuous.
+    use dlp_bench::harness::{run_app_uncached_for_tests, ExperimentConfig};
+    use std::time::Duration;
+    let cfg = ExperimentConfig { scale: Scale::Tiny, ..ExperimentConfig::baseline() };
+    for app in ["KM", "CFD", "STR"] {
+        let unlimited = run_app_uncached_for_tests(app, cfg, None, None).unwrap();
+        // Generous budget, default chunk: the deadline arm, never firing.
+        let chunked =
+            run_app_uncached_for_tests(app, cfg, Some(Duration::from_secs(3600)), None).unwrap();
+        assert_eq!(
+            dlp_bench::persist::encode_run(app, &unlimited),
+            dlp_bench::persist::encode_run(app, &chunked),
+            "{app}: deadline-chunked run diverged from the unlimited path"
+        );
+        // A forced 137-cycle chunk makes the job cross dozens of
+        // run_for boundaries — still byte-identical.
+        let fine =
+            run_app_uncached_for_tests(app, cfg, Some(Duration::from_secs(3600)), Some(137))
+                .unwrap();
+        assert_eq!(
+            dlp_bench::persist::encode_run(app, &unlimited),
+            dlp_bench::persist::encode_run(app, &fine),
+            "{app}: fine-chunked run diverged from the unlimited path"
+        );
+    }
+}
+
+#[test]
 fn different_geometries_differ_but_reproducibly() {
     // STR's tables overflow a 16 KB L1D even at Tiny scale, so doubling
     // the associativity must change the hit pattern.

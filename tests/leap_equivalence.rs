@@ -9,9 +9,15 @@
 //! the identical cycle), and pin the `ticked_cycles` accounting the
 //! dlp-bench telemetry reports.
 
+//! The sharded epoch engine (see DESIGN.md §12) makes the same claim
+//! one level up: statistics are byte-identical at *any shard count*.
+//! The shard-equivalence tests below pin classic vs 2 vs 4 shards over
+//! the same app × policy matrix, plus hang parity and the
+//! oversubscribed-launcher case where every round is a single cycle.
+
 use dlp_core::PolicyKind;
 use gpu_mem::{FaultConfig, FaultKind, FaultSite};
-use gpu_sim::{Gpu, RunStats, SimConfig, SimError};
+use gpu_sim::{Gpu, RunStats, ShardTelemetry, SimConfig, SimError};
 use gpu_workloads::{build, Scale};
 
 /// FNV-1a fingerprint of a canonical stats rendering (same scheme as
@@ -121,6 +127,126 @@ fn long_legitimate_leaps_do_not_trip_the_watchdog() {
         audit_build() || ticked < leap.cycles,
         "the run never leapt, so the test proved nothing"
     );
+}
+
+/// Run one app once with the sharded epoch engine.
+fn run_with_shards(app: &str, kind: PolicyKind, shards: usize) -> (RunStats, ShardTelemetry) {
+    let cfg = SimConfig::tesla_m2090(kind).scaled_down(4).with_shards(shards);
+    let mut gpu = Gpu::new(cfg, build(app, Scale::Tiny));
+    let stats = gpu.run().unwrap();
+    (stats, gpu.shard_telemetry().clone())
+}
+
+#[test]
+fn sharded_statistics_are_byte_identical_at_any_shard_count() {
+    // The tentpole contract: the same app × policy matrix as the leap
+    // equivalence test, classic single-threaded vs 2 vs 4 shards, must
+    // produce byte-identical stats — equality AND matching FNV digests
+    // of the Debug rendering, so a drift names the exact cell.
+    let mut mismatches = String::new();
+    let mut rounds_seen = 0u64;
+    for app in ["KM", "BFS", "STR", "CFD"] {
+        for kind in PolicyKind::ALL {
+            let (classic, _) = run_once(app, kind, false);
+            let d1 = fnv1a(format!("{classic:?}").as_bytes());
+            for n in [2usize, 4] {
+                let (sharded, tel) = run_with_shards(app, kind, n);
+                let dn = fnv1a(format!("{sharded:?}").as_bytes());
+                assert_eq!(tel.shards, n, "{app}/{kind:?}: engine ignored the shard count");
+                rounds_seen += tel.rounds;
+                if classic != sharded || d1 != dn {
+                    mismatches.push_str(&format!(
+                        "  {app}/{kind:?}: classic {d1:#018x} != {n} shards {dn:#018x} \
+                         (rounds {}, restarts {})\n",
+                        tel.rounds, tel.restarts
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "sharded execution drifted from the classic path:\n{mismatches}"
+    );
+    assert!(rounds_seen > 0, "no cell ever ran a barrier round — the engine never engaged");
+}
+
+#[test]
+fn sharded_telemetry_accounts_every_shard() {
+    let (_, tel) = run_with_shards("STR", PolicyKind::Dlp, 4);
+    assert_eq!(tel.shards, 4);
+    assert_eq!(tel.per_shard_ticked.len(), 4);
+    assert_eq!(
+        tel.epoch_cycles,
+        SimConfig::tesla_m2090(PolicyKind::Dlp).icnt.hop_latency + 1,
+        "epoch length must be the crossbar hop latency plus one"
+    );
+    if tel.restarts == 0 {
+        assert!(tel.rounds > 0, "a completed run must have executed rounds");
+        assert!(
+            tel.per_shard_ticked.iter().any(|&t| t > 0),
+            "no shard ever stepped a cycle"
+        );
+    }
+}
+
+#[test]
+fn sharded_shard_count_is_clamped_to_the_machine() {
+    // More shards than components must silently clamp, not panic or
+    // leave idle ghost shards: 64 shards on a 4-SM / 12-partition
+    // machine runs (at most) 12.
+    let (sharded, tel) = run_with_shards("KM", PolicyKind::Baseline, 64);
+    let (classic, _) = run_once("KM", PolicyKind::Baseline, false);
+    assert_eq!(sharded, classic);
+    assert!(tel.shards <= 12, "shard count must clamp to the component count");
+}
+
+#[test]
+fn oversubscribed_launcher_is_shard_invariant() {
+    // One SM and a deep CTA backlog: CTAs stay pending for most of the
+    // run, so every round is a single cycle with a barrier launch scan
+    // (the launch-cursor replay path). Statistics must still match, and
+    // the empty-SM shards must not deadlock the barriers.
+    let run = |shards: usize| {
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1).with_shards(shards);
+        let mut gpu = Gpu::new(cfg, build("KM", Scale::Tiny));
+        let stats = gpu.run().unwrap();
+        (stats, gpu.shard_telemetry().clone())
+    };
+    let (classic, _) = run(1);
+    for n in [2usize, 4] {
+        let (sharded, tel) = run(n);
+        assert_eq!(sharded, classic, "{n}-shard oversubscribed run drifted");
+        assert_eq!(tel.shards, n);
+    }
+}
+
+#[test]
+fn genuine_hangs_fire_at_the_identical_cycle_under_shards() {
+    // The dropped-packet deadlock of the leap test, sharded: the
+    // watchdog must fire at the identical cycle with the identical
+    // flow counters, because rounds are clamped to the watchdog
+    // deadline exactly as leaps are.
+    let report = |shards: usize| {
+        let mut cfg =
+            SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2).with_shards(shards);
+        cfg.watchdog_cycles = 5_000;
+        cfg.audit_interval = 0;
+        cfg.fault = Some(FaultConfig::single(FaultKind::Drop, FaultSite::IcntForward, 7));
+        let mut gpu = Gpu::new(cfg, build("STR", Scale::Tiny));
+        match gpu.run().expect_err("a dropped request must not complete") {
+            SimError::Hang(r) => r,
+            other => panic!("expected a hang, got {other}"),
+        }
+    };
+    let classic = report(1);
+    for n in [2usize, 4] {
+        let sharded = report(n);
+        assert_eq!(sharded.cycle, classic.cycle, "{n} shards: hang fired at a different cycle");
+        assert_eq!(sharded.last_progress_cycle, classic.last_progress_cycle);
+        assert_eq!(sharded.fetches_sent, classic.fetches_sent);
+        assert_eq!(sharded.replies_delivered, classic.replies_delivered);
+    }
 }
 
 #[test]
