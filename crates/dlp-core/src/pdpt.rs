@@ -121,17 +121,22 @@ impl Pdpt {
     /// unweighted mean to zero. Falls back to the mean over all rows
     /// when nothing qualifies.
     pub fn mean_active_pd(&self) -> f64 {
-        let active: Vec<_> =
-            self.entries.iter().filter(|e| e.pd > 0 || e.tda_hits > 0 || e.vta_hits > 0).collect();
-        let rows: &[&PdptEntry] = if active.is_empty() {
-            &[]
-        } else {
-            &active
-        };
-        if rows.is_empty() {
+        // Single allocation-free pass: this runs on every sampling
+        // period close, which the hot-path lint reaches from the L1D
+        // cycle chain. The f64 accumulation order matches the old
+        // collect-then-sum form exactly, so sweep digests are unmoved.
+        let mut sum = 0.0f64;
+        let mut n: u64 = 0;
+        for e in &self.entries {
+            if e.pd > 0 || e.tda_hits > 0 || e.vta_hits > 0 {
+                sum += e.pd as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
             return 0.0;
         }
-        rows.iter().map(|e| e.pd as f64).sum::<f64>() / rows.len() as f64
+        sum / n as f64
     }
 }
 

@@ -9,8 +9,10 @@
 
 use crate::rules::rule_by_id;
 
-/// Schema tag embedded in diagnostics JSON output.
-pub const DIAG_SCHEMA: &str = "dlp-lint/diagnostics/v1";
+/// Schema tag embedded in diagnostics JSON output. v2 adds the
+/// per-finding `family` (rule-group tag) and `reachable_from`
+/// (root-to-finding call chain, or null) fields.
+pub const DIAG_SCHEMA: &str = "dlp-lint/diagnostics/v2";
 /// Schema tag expected at the top of a baseline file.
 pub const BASELINE_SCHEMA: &str = "dlp-lint/baseline/v1";
 
@@ -29,16 +31,19 @@ pub struct Finding {
     pub token: String,
     /// Human-readable message.
     pub message: String,
+    /// For call-graph findings: the chain from a hot/probe/parallel
+    /// root to the function containing the finding.
+    pub reachable_from: Option<String>,
     /// True if an entry in the baseline file covers this finding.
     pub baselined: bool,
 }
 
 impl Finding {
-    /// Rule name + hint from the rule table (`X001` is always known).
-    fn rule_meta(&self) -> (&'static str, &'static str) {
+    /// Rule name, hint, and family tag from the rule table.
+    fn rule_meta(&self) -> (&'static str, &'static str, &'static str) {
         match rule_by_id(self.rule) {
-            Some(r) => (r.name, r.hint),
-            None => ("unknown", ""),
+            Some(r) => (r.name, r.hint, r.group.family()),
+            None => ("unknown", "", "unknown"),
         }
     }
 }
@@ -64,12 +69,15 @@ fn esc(s: &str) -> String {
 pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
     let mut out = String::new();
     for f in findings {
-        let (name, hint) = f.rule_meta();
+        let (name, hint, _) = f.rule_meta();
         let tag = if f.baselined { " [baselined]" } else { "" };
         out.push_str(&format!(
             "{}:{}:{}: {} {}: {}{}\n",
             f.file, f.line, f.col, f.rule, name, f.message, tag
         ));
+        if let Some(chain) = &f.reachable_from {
+            out.push_str(&format!("  reachable from: {chain}\n"));
+        }
         if !f.baselined && !hint.is_empty() {
             out.push_str(&format!("  hint: {hint}\n"));
         }
@@ -83,7 +91,7 @@ pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
     out
 }
 
-/// Render findings as machine-readable JSON (`dlp-lint/diagnostics/v1`).
+/// Render findings as machine-readable JSON (`dlp-lint/diagnostics/v2`).
 pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -93,22 +101,28 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     out.push_str(&format!("  \"new_findings\": {new},\n"));
     out.push_str("  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
-        let (name, hint) = f.rule_meta();
+        let (name, hint, family) = f.rule_meta();
         if i > 0 {
             out.push(',');
         }
+        let reachable = match &f.reachable_from {
+            Some(chain) => format!("\"{}\"", esc(chain)),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"file\": \"{}\", \"line\": {}, \
-             \"col\": {}, \"token\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\", \
-             \"baselined\": {}}}",
+            "\n    {{\"rule\": \"{}\", \"name\": \"{}\", \"family\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"token\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\", \
+             \"reachable_from\": {}, \"baselined\": {}}}",
             f.rule,
             name,
+            family,
             esc(&f.file),
             f.line,
             f.col,
             esc(&f.token),
             esc(&f.message),
             esc(hint),
+            reachable,
             f.baselined
         ));
     }
@@ -203,6 +217,8 @@ impl Baseline {
     /// Render findings as a fresh baseline document (`--write-baseline`).
     /// Identical (rule, file, token) findings collapse into one entry
     /// with a count; reasons start as TODO markers for a human to fill.
+    /// Entries are sorted by (rule, file, token) so the output is
+    /// deterministic regardless of scan order.
     pub fn render(findings: &[Finding]) -> String {
         let mut groups: Vec<(&'static str, &str, &str, usize)> = Vec::new();
         for f in findings {
@@ -214,6 +230,7 @@ impl Baseline {
                 groups.push((f.rule, &f.file, &f.token, 1));
             }
         }
+        groups.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
@@ -492,8 +509,52 @@ mod tests {
             col: 1,
             token: token.into(),
             message: "m".into(),
+            reachable_from: None,
             baselined: false,
         }
+    }
+
+    #[test]
+    fn baseline_render_is_sorted_by_rule_file_token() {
+        let findings = [
+            finding("P301", "crates/z.rs", "Box"),
+            finding("D004", "crates/a.rs", "m"),
+            finding("P301", "crates/a.rs", "Vec"),
+        ];
+        let rendered = Baseline::render(&findings);
+        let parsed = Baseline::parse(&rendered).unwrap();
+        let order: Vec<(String, String)> =
+            parsed.entries.iter().map(|e| (e.rule.clone(), e.file.clone())).collect();
+        assert_eq!(
+            order,
+            [
+                ("D004".to_string(), "crates/a.rs".to_string()),
+                ("P301".to_string(), "crates/a.rs".to_string()),
+                ("P301".to_string(), "crates/z.rs".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn v2_json_carries_family_and_reachable_from() {
+        let mut f = finding("P301", "crates/gpu-sim/src/gpu.rs", "Box");
+        f.reachable_from = Some("Gpu::step -> hang_report".into());
+        let out = render_json(&[f, finding("D004", "a.rs", "m")], 2);
+        let v = super::json::parse(&out).unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(obj
+            .iter()
+            .any(|(k, v)| k == "schema" && v.as_str() == Some("dlp-lint/diagnostics/v2")));
+        let findings = obj.iter().find(|(k, _)| k == "findings").unwrap().1.as_array().unwrap();
+        let first = findings[0].as_object().unwrap();
+        assert!(first.iter().any(|(k, v)| k == "family" && v.as_str() == Some("perf")));
+        assert!(first.iter().any(
+            |(k, v)| k == "reachable_from" && v.as_str() == Some("Gpu::step -> hang_report")
+        ));
+        let second = findings[1].as_object().unwrap();
+        assert!(second
+            .iter()
+            .any(|(k, v)| k == "reachable_from" && matches!(v, super::json::Value::Null)));
     }
 
     #[test]
@@ -503,8 +564,10 @@ mod tests {
         let rendered = Baseline::render(&findings);
         let parsed = Baseline::parse(&rendered).unwrap();
         assert_eq!(parsed.entries.len(), 2);
-        assert_eq!(parsed.entries[0].rule, "E201");
-        assert_eq!(parsed.entries[0].count, 1);
+        // Render sorts by (rule, file, token), so D004 leads.
+        assert_eq!(parsed.entries[0].rule, "D004");
+        assert_eq!(parsed.entries[1].rule, "E201");
+        assert_eq!(parsed.entries[1].count, 1);
     }
 
     #[test]

@@ -4,15 +4,18 @@
 //! ```text
 //! dlp-lint [--root <dir>] [--format text|json] [--baseline <file>]
 //!          [--write-baseline <file>] [--list-rules]
+//!          [--validate-diagnostics <file>]
 //! ```
 //!
 //! Exit codes: `0` clean (or all findings baselined), `1` new
-//! findings, `2` usage or I/O error.
+//! findings, `2` usage or I/O error — including X003 parse failures
+//! of the semantic pass, which are hard errors, not findings a
+//! baseline may absorb.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use dlp_lint::{lint_workspace, render_json, render_text, Baseline, RULES};
+use dlp_lint::{json, lint_workspace, render_json, render_text, rule_by_id, Baseline, DIAG_SCHEMA, RULES};
 
 struct Options {
     root: Option<PathBuf>,
@@ -20,6 +23,7 @@ struct Options {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     list_rules: bool,
+    validate_diagnostics: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -30,7 +34,7 @@ enum Format {
 
 fn usage() -> String {
     "usage: dlp-lint [--root <dir>] [--format text|json] [--baseline <file>] \
-     [--write-baseline <file>] [--list-rules]"
+     [--write-baseline <file>] [--list-rules] [--validate-diagnostics <file>]"
         .to_string()
 }
 
@@ -41,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         write_baseline: None,
         list_rules: false,
+        validate_diagnostics: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +66,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
             }
             "--list-rules" => opts.list_rules = true,
+            "--validate-diagnostics" => {
+                opts.validate_diagnostics =
+                    Some(PathBuf::from(value("--validate-diagnostics")?))
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
@@ -91,8 +100,16 @@ fn run() -> Result<ExitCode, String> {
 
     if opts.list_rules {
         for r in RULES {
-            println!("{} {:<18} {}", r.id, r.name, r.summary);
+            println!("{} {:<24} {}", r.id, r.name, r.summary);
         }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = &opts.validate_diagnostics {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        validate_diagnostics(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("dlp-lint: {} is valid {DIAG_SCHEMA}", path.display());
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -107,6 +124,17 @@ fn run() -> Result<ExitCode, String> {
 
     let report = lint_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
     let mut findings = report.findings;
+
+    // X003 means the semantic pass is blind to part of the tree; that
+    // is a hard error (exit 2), never a finding a baseline can absorb.
+    let parse_failures: Vec<String> = findings
+        .iter()
+        .filter(|f| f.rule == "X003")
+        .map(|f| format!("{}:{}: {}", f.file, f.line, f.message))
+        .collect();
+    if !parse_failures.is_empty() {
+        return Err(format!("semantic pass failed to parse:\n{}", parse_failures.join("\n")));
+    }
 
     if let Some(path) = &opts.write_baseline {
         let rendered = Baseline::render(&findings);
@@ -137,6 +165,68 @@ fn run() -> Result<ExitCode, String> {
 
     let new = findings.iter().filter(|f| !f.baselined).count();
     Ok(if new == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Validate a diagnostics document against the `dlp-lint/diagnostics/v2`
+/// schema: tag, top-level counters, and the exact per-finding field
+/// set with the right types (including `family` and the
+/// string-or-null `reachable_from`).
+fn validate_diagnostics(text: &str) -> Result<(), String> {
+    let v = json::parse(text)?;
+    let obj = v.as_object().ok_or("root must be an object")?;
+    let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let schema = get("schema").and_then(|v| v.as_str()).ok_or("missing \"schema\"")?;
+    if schema != DIAG_SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{DIAG_SCHEMA}`"));
+    }
+    get("files_scanned")
+        .and_then(|v| v.as_usize())
+        .ok_or("missing numeric \"files_scanned\"")?;
+    let declared_new =
+        get("new_findings").and_then(|v| v.as_usize()).ok_or("missing numeric \"new_findings\"")?;
+    let findings = get("findings").and_then(|v| v.as_array()).ok_or("missing \"findings\" array")?;
+    let mut counted_new = 0usize;
+    for (i, f) in findings.iter().enumerate() {
+        let fo = f.as_object().ok_or(format!("finding {i} is not an object"))?;
+        let field = |key: &str| {
+            fo.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or(format!("finding {i} missing \"{key}\""))
+        };
+        let rule = field("rule")?.as_str().ok_or(format!("finding {i}: \"rule\" not a string"))?;
+        let rule_meta =
+            rule_by_id(rule).ok_or(format!("finding {i}: unknown rule `{rule}`"))?;
+        let family =
+            field("family")?.as_str().ok_or(format!("finding {i}: \"family\" not a string"))?;
+        if family != rule_meta.group.family() {
+            return Err(format!(
+                "finding {i}: family `{family}` does not match rule {rule}'s `{}`",
+                rule_meta.group.family()
+            ));
+        }
+        for key in ["name", "file", "token", "message", "hint"] {
+            field(key)?.as_str().ok_or(format!("finding {i}: \"{key}\" not a string"))?;
+        }
+        for key in ["line", "col"] {
+            field(key)?.as_usize().ok_or(format!("finding {i}: \"{key}\" not a number"))?;
+        }
+        let reachable = field("reachable_from")?;
+        if reachable.as_str().is_none() && !matches!(reachable, json::Value::Null) {
+            return Err(format!("finding {i}: \"reachable_from\" must be a string or null"));
+        }
+        let baselined =
+            field("baselined")?.as_bool().ok_or(format!("finding {i}: \"baselined\" not a bool"))?;
+        if !baselined {
+            counted_new += 1;
+        }
+    }
+    if counted_new != declared_new {
+        return Err(format!(
+            "new_findings says {declared_new} but {counted_new} findings are unbaselined"
+        ));
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

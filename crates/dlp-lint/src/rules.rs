@@ -42,8 +42,33 @@ pub enum Group {
     Perf,
     /// Crash-safety discipline in the persistence tier.
     Robustness,
+    /// Concurrency containment in the sharded epoch engine.
+    ShardSafety,
+    /// The cycle-leap catch-up contract between `next_event` probes
+    /// and the skipped-cycle accounting.
+    LeapContract,
+    /// Telemetry JSON schema stability.
+    Telemetry,
     /// Lint-infrastructure hygiene (directive syntax).
     Meta,
+}
+
+impl Group {
+    /// Stable kebab-case family tag, emitted per finding in the
+    /// `dlp-lint/diagnostics/v2` JSON schema.
+    pub fn family(self) -> &'static str {
+        match self {
+            Group::Determinism => "determinism",
+            Group::Fidelity => "fidelity",
+            Group::ErrorHandling => "error-handling",
+            Group::Perf => "perf",
+            Group::Robustness => "robustness",
+            Group::ShardSafety => "shard-safety",
+            Group::LeapContract => "leap-contract",
+            Group::Telemetry => "telemetry",
+            Group::Meta => "meta",
+        }
+    }
 }
 
 /// Static description of one rule.
@@ -164,12 +189,97 @@ pub const RULES: &[Rule] = &[
                the old bytes or the new bytes, never a torn file",
     },
     Rule {
+        id: "S501",
+        name: "concurrency-outside-shard",
+        group: Group::ShardSafety,
+        summary: "concurrency primitive (Mutex/RwLock/atomics/thread/channel) in sim-tier \
+                  code outside gpu-sim/src/shard.rs",
+        hint: "all threading lives in the sharded epoch engine (gpu-sim/src/shard.rs); \
+               simulator state itself must stay single-threaded-deterministic — move the \
+               coordination into shard.rs or model it as simulated state",
+    },
+    Rule {
+        id: "S502",
+        name: "relaxed-ordering",
+        group: Group::ShardSafety,
+        summary: "`Ordering::Relaxed` atomic access in sim-tier code",
+        hint: "use Release for stores and Acquire for loads — the barrier rendezvous makes \
+               the stronger orderings free on x86/aarch64, and Relaxed invites silent \
+               reordering bugs the shard-determinism CI job cannot reliably catch",
+    },
+    Rule {
+        id: "S503",
+        name: "crossbar-in-shard-parallel",
+        group: Group::ShardSafety,
+        summary: "direct interconnect/crossbar access from a function reachable inside the \
+                  shard-parallel region (run_round/step_local/worker)",
+        hint: "cross-shard traffic must go through the deferred-send log (Shard::sends, \
+               drained by the coordinator between rounds); touching the shared Interconnect \
+               from inside a round races with the other shards",
+    },
+    Rule {
+        id: "L601",
+        name: "missing-catchup",
+        group: Group::LeapContract,
+        summary: "type implements `next_event` but defines no catch-up method \
+                  (advance_quiet/leap_catchup/catch_up)",
+        hint: "a next_event probe licenses the driver to leap over quiet cycles, so the type \
+               must also define how it catches up on the skipped span; add an \
+               advance_quiet/leap_catchup method (even if trivial) so the contract is explicit",
+    },
+    Rule {
+        id: "L602",
+        name: "stats-write-in-probe",
+        group: Group::LeapContract,
+        summary: "function reachable from a `next_event` probe mutates a stats counter \
+                  without a cycle-delta parameter",
+        hint: "next_event probes run a variable number of times per simulated cycle (the \
+               leap loop re-probes), so any counter they touch drifts with scheduling; \
+               either make the probe read-only or pass the skipped-cycle delta explicitly \
+               (a parameter named skipped/delta/ticks/cycles/…)",
+    },
+    Rule {
+        id: "T701",
+        name: "telemetry-key-drift",
+        group: Group::Telemetry,
+        summary: "telemetry JSON keys differ from the schema manifest in EXPERIMENTS.md",
+        hint: "consumers parse BENCH_figures.json by key; bump the figures-telemetry \
+               version in telemetry.rs AND update the dlp-lint:telemetry-schema manifest \
+               in EXPERIMENTS.md in the same change",
+    },
+    Rule {
+        id: "T702",
+        name: "telemetry-version-skew",
+        group: Group::Telemetry,
+        summary: "figures-telemetry schema version in telemetry.rs does not match the \
+                  manifest in EXPERIMENTS.md",
+        hint: "keep the `dlp-bench/figures-telemetry/vN` tag and the EXPERIMENTS.md \
+               manifest's `version:` line in lock-step",
+    },
+    Rule {
         id: "X001",
         name: "bad-directive",
         group: Group::Meta,
         summary: "malformed dlp-lint suppression directive",
         hint: "directives must read `// dlp-lint: allow(<RULE>[, <RULE>…]) -- <reason>` with a \
                known rule ID and a non-empty reason",
+    },
+    Rule {
+        id: "X002",
+        name: "unused-suppression",
+        group: Group::Meta,
+        summary: "`dlp-lint: allow(...)` directive that matches no finding",
+        hint: "the code this directive excused has changed; delete the directive (or fix \
+               its placement — it covers its own line and the next) so allows cannot rot",
+    },
+    Rule {
+        id: "X003",
+        name: "parse-error",
+        group: Group::Meta,
+        summary: "the semantic pass could not parse this file",
+        hint: "dlp-lint's item parser failed structurally (unbalanced braces or an \
+               unterminated signature), so call-graph rules are blind here; this is a hard \
+               CI error — simplify the construct or fix the parser",
     },
 ];
 
@@ -191,6 +301,9 @@ pub struct RawFinding {
     pub token: String,
     /// Human-readable message.
     pub message: String,
+    /// Call chain from a hot/probe/parallel root to the enclosing
+    /// function, for call-graph findings (`"Gpu::step -> hang_report"`).
+    pub reachable: Option<String>,
 }
 
 const HASH_ITER_METHODS: &[&str] = &[
@@ -240,11 +353,26 @@ fn ident_in(t: Option<&Token>, set: &[&str]) -> bool {
     t.is_some_and(|t| t.kind == TokenKind::Ident && set.contains(&t.text.as_str()))
 }
 
+/// Identifiers that mean "this code is doing host-side concurrency".
+/// Any of them in sim-tier code outside the sharded epoch engine is an
+/// S501 finding (imports included — an unused import still invites use).
+const CONCURRENCY_IDENTS: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc", "JoinHandle", "MutexGuard", "RwLockGuard"];
+
 /// Run every token-level rule over a file. `is_test[i]` marks tokens
-/// inside `#[cfg(test)]` items, which are exempt from all groups;
-/// `in_hot[i]` marks tokens inside per-cycle hot function bodies
-/// (`fn cycle`/`fn step`/`fn tick`), where P301 applies.
-pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFinding> {
+/// inside `#[cfg(test)]`-style items, which are exempt from all
+/// groups; `in_hot[i]` marks tokens inside bodies of functions in the
+/// *transitive* hot set (reachable from `fn cycle`/`step`/`tick`/
+/// `step_local`/`run_round`/`next_event`), where P301 applies.
+/// `allow_concurrency` exempts the one sim-tier file licensed to hold
+/// threading primitives (`gpu-sim/src/shard.rs`) from S501 — never
+/// from S502.
+pub fn scan(
+    tokens: &[Token],
+    is_test: &[bool],
+    in_hot: &[bool],
+    allow_concurrency: bool,
+) -> Vec<RawFinding> {
     let mut out = Vec::new();
     let hash_names = collect_hash_container_names(tokens);
 
@@ -258,6 +386,7 @@ pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFindi
             col: tok.col,
             token: token.to_string(),
             message,
+            reachable: None,
         };
         let name = tok.text.as_str();
 
@@ -355,6 +484,44 @@ pub fn scan(tokens: &[Token], is_test: &[bool], in_hot: &[bool]) -> Vec<RawFindi
             out.push(at("E203", name, format!("panicking macro `{name}!` in simulator code")));
         }
 
+        // S501: concurrency primitives outside the sharded epoch engine.
+        if !allow_concurrency {
+            if CONCURRENCY_IDENTS.contains(&name)
+                || (name.starts_with("Atomic") && name.len() > "Atomic".len())
+            {
+                out.push(at(
+                    "S501",
+                    name,
+                    format!("concurrency primitive `{name}` outside gpu-sim/src/shard.rs"),
+                ));
+            }
+            if name == "thread"
+                && is_punct(tokens.get(i + 1), ':')
+                && is_punct(tokens.get(i + 2), ':')
+            {
+                out.push(at(
+                    "S501",
+                    name,
+                    "host-thread access (`thread::…`) outside gpu-sim/src/shard.rs".to_string(),
+                ));
+            }
+        }
+
+        // S502: Ordering::Relaxed — banned everywhere in the sim tier,
+        // shard.rs included. (`cmp::Ordering` has no `Relaxed` variant,
+        // so the path pattern cannot cross-match it.)
+        if name == "Ordering"
+            && is_punct(tokens.get(i + 1), ':')
+            && is_punct(tokens.get(i + 2), ':')
+            && is_ident(tokens.get(i + 3), "Relaxed")
+        {
+            out.push(at(
+                "S502",
+                "Relaxed",
+                "`Ordering::Relaxed` atomic access in the sim tier".to_string(),
+            ));
+        }
+
         // P301: heap allocation inside a per-cycle hot function body.
         if in_hot.get(i).copied().unwrap_or(false) {
             let alloc = match name {
@@ -415,6 +582,7 @@ pub fn scan_store(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
             col: tok.col,
             token: token.to_string(),
             message,
+            reachable: None,
         };
         let path_call = |set: &[&str]| {
             (is_punct(tokens.get(i + 1), ':')

@@ -359,10 +359,12 @@ fn trailing_directive_suppresses_its_own_line() {
 
 #[test]
 fn directive_for_a_different_rule_does_not_suppress() {
+    // The wrong-rule directive both fails to suppress the E201 and is
+    // itself flagged unused (X002).
     let src = "\
         // dlp-lint: allow(D004) -- wrong rule\n\
         fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-    assert_eq!(rules_of(&lint(src)), ["E201"]);
+    assert_eq!(rules_of(&lint(src)), ["X002", "E201"]);
 }
 
 #[test]
@@ -428,4 +430,199 @@ fn fixed_findings_surface_as_stale_baseline_slots() {
     assert_eq!(baseline.apply(&mut clean), 1);
     // Meanwhile the original findings are still covered.
     assert_eq!(baseline.apply(&mut findings), 0);
+}
+
+// ---------------------------------------------------------------------------
+// S — shard safety (semantic pass)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn s501_flags_concurrency_primitives_outside_the_shard_engine() {
+    let f = lint("fn f() { let m = Mutex::new(0u64); }");
+    assert_eq!(rules_of(&f), ["S501"]);
+    let f = lint("fn f() { let c = AtomicU64::new(0); }");
+    assert_eq!(rules_of(&f), ["S501"]);
+    let f = lint("fn f() { std::thread::spawn(|| {}); }");
+    assert_eq!(rules_of(&f), ["S501"]);
+    // The sharded epoch engine is the sanctioned home for all of it.
+    let shard = "fn f() { let m = Mutex::new(0u64); let c = AtomicU64::new(0); }";
+    assert!(lint_source("crates/gpu-sim/src/shard.rs", shard).is_empty());
+}
+
+#[test]
+fn s502_bans_relaxed_ordering_even_inside_the_shard_engine() {
+    let src = "fn f(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }";
+    let f = lint_source("crates/gpu-sim/src/shard.rs", src);
+    assert_eq!(rules_of(&f), ["S502"]);
+    assert_eq!(f[0].token, "Relaxed");
+    // Acquire/Release are what the rule steers to.
+    let ok = "fn f(x: &AtomicU64) { x.store(1, Ordering::Release); let _ = x.load(Ordering::Acquire); }";
+    assert!(lint_source("crates/gpu-sim/src/shard.rs", ok).is_empty());
+    // `std::cmp::Ordering` has no Relaxed variant, so qualified cmp uses
+    // cannot collide with the pattern.
+    assert!(lint_source("crates/gpu-sim/src/shard.rs", "fn g(o: Ordering) -> bool { o == Ordering::Less }").is_empty());
+}
+
+#[test]
+fn s503_flags_interconnect_access_reachable_from_the_parallel_region() {
+    // `helper` is only dangerous because `step_local` reaches it.
+    let shard = "impl Shard { fn step_local(&mut self, now: u64) { self.helper(now); } \
+                 fn helper(&mut self, now: u64) { self.icnt.push(now); } }";
+    let f = lint_source("crates/gpu-sim/src/shard.rs", shard);
+    assert_eq!(rules_of(&f), ["S503"]);
+    assert_eq!(
+        f[0].reachable_from.as_deref(),
+        Some("Shard::step_local -> Shard::helper"),
+        "the finding carries the root-to-site chain"
+    );
+    // The same helper unreachable from any parallel root is fine.
+    let quiet = "impl Shard { fn report(&mut self, now: u64) { self.helper(now); } \
+                 fn helper(&mut self, now: u64) { self.icnt.push(now); } }";
+    assert!(lint_source("crates/gpu-sim/src/shard.rs", quiet).is_empty());
+}
+
+#[test]
+fn s503_flags_interconnect_typed_params_in_the_parallel_region() {
+    let files = [
+        (
+            "crates/gpu-sim/src/shard.rs",
+            "impl Shard { fn step_local(&mut self, now: u64) { merge_stats(now); } }",
+        ),
+        (
+            "crates/gpu-sim/src/gpu.rs",
+            "fn merge_stats(icnt: &Interconnect) { let _ = icnt; }",
+        ),
+    ];
+    let f = dlp_lint::lint_sources(&files);
+    let s503: Vec<_> = f.iter().filter(|f| f.rule == "S503").collect();
+    assert_eq!(s503.len(), 1, "{f:?}");
+    assert_eq!(s503[0].token, "Interconnect");
+    assert_eq!(s503[0].file, "crates/gpu-sim/src/gpu.rs");
+}
+
+// ---------------------------------------------------------------------------
+// L — leap contract (semantic pass)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l601_requires_a_catchup_method_beside_next_event() {
+    // Deleting the catch-up method from a next_event implementor is the
+    // exact regression this fixture pins.
+    let missing = "impl Part { pub fn next_event(&mut self, now: u64) -> Option<u64> { Some(now + 1) } }";
+    let f = lint(missing);
+    assert_eq!(rules_of(&f), ["L601"]);
+    assert_eq!(f[0].token, "Part");
+    // Any of the three catch-up spellings satisfies the contract…
+    for catchup in ["advance_quiet", "leap_catchup", "catch_up"] {
+        let ok = format!(
+            "impl Part {{ pub fn next_event(&mut self, now: u64) -> Option<u64> {{ Some(now + 1) }} \
+             pub fn {catchup}(&mut self, skipped: u64) {{ let _ = skipped; }} }}"
+        );
+        assert!(lint(&ok).is_empty(), "{catchup} should satisfy L601");
+    }
+    // …even when it lives in another impl block or file of the type.
+    let split = [
+        ("crates/gpu-mem/src/a.rs", "impl Part { pub fn next_event(&mut self, now: u64) -> Option<u64> { Some(now + 1) } }"),
+        ("crates/gpu-mem/src/b.rs", "impl Part { pub fn advance_quiet(&mut self, now: u64) { let _ = now; } }"),
+    ];
+    assert!(dlp_lint::lint_sources(&split).is_empty());
+}
+
+#[test]
+fn l602_flags_stats_writes_in_probe_reachable_code_without_a_delta() {
+    // `bound` is reachable from next_event and mutates a stats counter
+    // with no cycle-delta parameter: the leap would undercount. (The
+    // impl carries an advance_quiet so L601 stays out of the picture.)
+    let bad = "impl Part { fn next_event(&mut self, now: u64) -> Option<u64> { self.bound(now) } \
+               fn advance_quiet(&mut self, skipped: u64) { let _ = skipped; } \
+               fn bound(&mut self, now: u64) -> Option<u64> { self.stats.probes += 1; Some(now + 1) } }";
+    let f = lint(bad);
+    assert_eq!(rules_of(&f), ["L602"]);
+    assert_eq!(f[0].token, "self.stats.probes");
+    // A delta-shaped parameter (skipped/delta/ticks/…) licenses the write.
+    let ok = "impl Part { fn next_event(&mut self, now: u64) -> Option<u64> { self.bound(now, 0) } \
+              fn advance_quiet(&mut self, skipped: u64) { let _ = skipped; } \
+              fn bound(&mut self, now: u64, skipped: u64) -> Option<u64> { self.stats.probes += skipped; Some(now + 1) } }";
+    assert!(lint(ok).is_empty());
+    // The same write outside the probe's reach is not L602's business.
+    let quiet = "impl Part { fn cycle(&mut self) { self.stats.probes += 1; } }";
+    assert!(lint(quiet).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Transitive hot-path propagation (P301/F103 v2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p301_propagates_through_callees_of_a_hot_root() {
+    // The allocation sits two calls below `cycle`, in a different file.
+    let files = [
+        ("crates/gpu-mem/src/a.rs", "impl Sm { pub fn cycle(&mut self, now: u64) { self.l1d.process(now); } }"),
+        ("crates/gpu-mem/src/b.rs", "impl L1dCache { pub fn process(&mut self, now: u64) { helper(now); } } \
+          fn helper(now: u64) { let v = vec![now]; let _ = v; }"),
+    ];
+    let f = dlp_lint::lint_sources(&files);
+    assert_eq!(rules_of(&f), ["P301"]);
+    assert_eq!(f[0].file, "crates/gpu-mem/src/b.rs");
+    assert_eq!(
+        f[0].reachable_from.as_deref(),
+        Some("Sm::cycle -> L1dCache::process -> helper")
+    );
+    // The identical helper with no hot caller is clean.
+    let cold = [("crates/gpu-mem/src/b.rs", "fn helper(now: u64) { let v = vec![now]; let _ = v; }")];
+    assert!(dlp_lint::lint_sources(&cold).is_empty());
+}
+
+#[test]
+fn cold_attribute_stops_hot_propagation() {
+    let src = "impl Sm { pub fn cycle(&mut self, now: u64) { if now == 0 { self.abort(now); } } \
+               #[cold] fn abort(&self, now: u64) { let b = Box::new(now); let _ = b; } }";
+    assert!(lint(src).is_empty(), "#[cold] is the declared escape hatch");
+}
+
+#[test]
+fn f103_in_a_hot_callee_carries_the_reachability_chain() {
+    // F103 fires everywhere in the tier; when the site is transitively
+    // hot the finding additionally explains *how* it got hot.
+    let files = [
+        ("crates/gpu-mem/src/a.rs", "impl Sm { pub fn tick(&mut self, now: u64) { bump(now); } }"),
+        ("crates/gpu-mem/src/b.rs", "fn bump(now: u64) -> u64 { now.wrapping_add(1) }"),
+    ];
+    let f = dlp_lint::lint_sources(&files);
+    assert_eq!(rules_of(&f), ["F103"]);
+    assert_eq!(f[0].reachable_from.as_deref(), Some("Sm::tick -> bump"));
+    // The same wrapping call with no hot caller is still F103, but
+    // carries no chain.
+    let cold = [("crates/gpu-mem/src/b.rs", "fn bump(now: u64) -> u64 { now.wrapping_add(1) }")];
+    let f = dlp_lint::lint_sources(&cold);
+    assert_eq!(rules_of(&f), ["F103"]);
+    assert!(f[0].reachable_from.is_none());
+}
+
+// ---------------------------------------------------------------------------
+// X002 — unused suppressions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn x002_flags_a_directive_that_suppresses_nothing() {
+    let f = lint("// dlp-lint: allow(E201) -- nothing here uses unwrap\nfn f() {}\n");
+    assert_eq!(rules_of(&f), ["X002"]);
+    assert_eq!(f[0].line, 1);
+    // A used directive is not flagged.
+    let ok = "// dlp-lint: allow(E201) -- fixture\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint(ok).is_empty());
+}
+
+#[test]
+fn x002_exempts_directives_inside_test_modules() {
+    // Test code is lint-exempt, so its directives necessarily match
+    // nothing; flagging them would force deleting documentation.
+    let src = "\
+        fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+        #[cfg(test)]\n\
+        mod tests {\n\
+            // dlp-lint: allow(E201) -- exercised only under cfg(test)\n\
+            fn probe(x: Option<u32>) -> u32 { x.unwrap() }\n\
+        }\n";
+    assert!(lint(src).is_empty());
 }

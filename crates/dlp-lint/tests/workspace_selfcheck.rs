@@ -42,6 +42,19 @@ fn workspace_has_no_unbaselined_findings() {
 }
 
 #[test]
+fn the_checked_in_baseline_is_empty() {
+    // Since the PR 8 semantic engine every surfaced finding is fixed or
+    // suppressed inline with a reason; the baseline exists only as the
+    // escape hatch for *future* accepted debt and must stay empty.
+    let baseline = load_baseline(&workspace_root());
+    assert!(
+        baseline.entries.is_empty(),
+        "lint-baseline.json grew entries — fix the findings or suppress inline with a reason:\n{:?}",
+        baseline.entries.iter().map(|e| (e.rule.as_str(), e.file.as_str())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn workspace_report_round_trips_through_the_json_schema() {
     let root = workspace_root();
     let report = lint_workspace(&root).unwrap();
@@ -58,12 +71,18 @@ fn workspace_report_round_trips_through_the_json_schema() {
     assert_eq!(findings.len(), report.findings.len());
     for f in findings {
         let fo = f.as_object().unwrap();
-        for key in ["rule", "name", "file", "token", "message", "hint"] {
+        for key in ["rule", "name", "family", "file", "token", "message", "hint"] {
             assert!(
                 fo.iter().any(|(k, v)| k == key && v.as_str().is_some()),
                 "finding missing string field `{key}`"
             );
         }
+        // v2: reachable_from is present on every finding, string or null.
+        assert!(
+            fo.iter().any(|(k, v)| k == "reachable_from"
+                && (v.as_str().is_some() || matches!(v, dlp_lint::json::Value::Null))),
+            "finding missing `reachable_from`"
+        );
     }
 }
 

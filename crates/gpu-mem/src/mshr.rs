@@ -95,6 +95,7 @@ impl Mshr {
     /// Caller must have seen `MshrLookup::Absent`.
     pub fn allocate(&mut self, line_addr: u64, target: Option<(usize, usize)>, req: MemReq) {
         assert!(self.entries.len() < self.max_entries, "MSHR overflow");
+        // dlp-lint: allow(P301) -- one Vec per MSHR entry (per miss, not per cycle); the merge list's ownership moves out at complete(), so a pool cannot reclaim it
         let prev = self.entries.insert(line_addr, MshrEntry { target, reqs: vec![req] });
         assert!(prev.is_none(), "duplicate MSHR entry for line {line_addr:#x}");
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());

@@ -266,17 +266,16 @@ impl MemoryPartition {
         }
     }
 
-    /// Advance one interconnect cycle. Fails with a typed error when a
-    /// DRAM completion matches no outstanding L2 fetch — the symptom of
-    /// a duplicated or address-corrupted command.
-    pub fn cycle(&mut self, now: u64) -> Result<(), MemError> {
-        // 0. Catch up on cycles the caller skipped while we were idle.
-        //    An idle DRAM tick is a pure `now += 1`, so the skipped
-        //    interval collapses to one division on the fractional clock
-        //    accumulator — exactly what ticking every cycle would do.
-        // A partition that has never been cycled has been idle since
-        // cycle 0 — it must catch up from there, or its fractional DRAM
-        // clock would start out of phase with a fully ticked run.
+    /// Catch up on cycles the caller skipped while this partition was
+    /// idle — the leap-contract counterpart to [`Self::next_event`]. An
+    /// idle DRAM tick is a pure `now += 1`, so the skipped interval
+    /// collapses to one division on the fractional clock accumulator —
+    /// exactly what ticking every cycle would do.
+    ///
+    /// A partition that has never been cycled has been idle since
+    /// cycle 0 — it must catch up from there, or its fractional DRAM
+    /// clock would start out of phase with a fully ticked run.
+    pub fn advance_quiet(&mut self, now: u64) {
         let prev = self.last_now.unwrap_or(0);
         let skipped = now.saturating_sub(prev).saturating_sub(1);
         self.last_now = Some(now);
@@ -301,6 +300,14 @@ impl MemoryPartition {
             self.dram.advance_quiet(total / self.cfg.icnt_clock_khz);
             self.dram_acc = total % self.cfg.icnt_clock_khz;
         }
+    }
+
+    /// Advance one interconnect cycle. Fails with a typed error when a
+    /// DRAM completion matches no outstanding L2 fetch — the symptom of
+    /// a duplicated or address-corrupted command.
+    pub fn cycle(&mut self, now: u64) -> Result<(), MemError> {
+        // 0. Catch up on any skipped quiet span first.
+        self.advance_quiet(now);
 
         // 1. DRAM advances at its own clock.
         self.dram_acc += self.cfg.dram_clock_khz;
@@ -547,6 +554,7 @@ impl MemoryPartition {
             self.policy.on_fill(set, way, line, &ctx);
             self.stats.misses_allocated += 1;
         } else {
+            // dlp-lint: allow(P301) -- one Vec per L2 MSHR entry (per miss, not per cycle); the merge list's ownership moves out at fill, so a pool cannot reclaim it
             self.mshr.insert(line, L2MshrEntry { set, way, pkts: vec![pkt] });
             self.dram.enqueue(DramCmd { addr: pkt.addr, is_write: false, pkt: Some(pkt) });
             self.stats.misses_allocated += 1;

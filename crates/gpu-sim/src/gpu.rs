@@ -390,6 +390,7 @@ impl Gpu {
             let idx = self.launch_cursor % n;
             if self.sms[idx].can_accept_cta(wpc) {
                 let Some(cta) = self.pending_ctas.pop_front() else { break };
+                // dlp-lint: allow(P301) -- allocates once per CTA launch, not per cycle; the warp list is the owned payload handed to the SM
                 let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
                 self.sms[idx].launch_cta(cta, warps);
                 Self::mark_sm_busy(
@@ -563,7 +564,7 @@ impl Gpu {
             && !self.finished()
         {
             self.settle_sms();
-            return Err(SimError::Hang(Box::new(self.hang_report())));
+            return Err(self.hang_abort());
         }
 
         // Periodic invariant audit.
@@ -789,14 +790,25 @@ impl Gpu {
     }
 
     /// Run every conservation and structural check once, at the current
-    /// cycle. Exposed so tests can audit at a chosen instant.
+    /// cycle. Exposed so tests can audit at a chosen instant. Cold: it
+    /// runs once per `audit_interval` cycles, never per tick.
+    #[cold]
     pub fn run_audit(&self) -> Result<(), SimError> {
         let sms: Vec<&Sm> = self.sms.iter().collect();
         let parts: Vec<&MemoryPartition> = self.parts.iter().collect();
         audit_machine(self.now, &self.counters, &self.icnt, &sms, &parts)
     }
 
-    /// Snapshot the whole machine for a failure diagnostic.
+    /// Watchdog abort: box the diagnostic snapshot into the error off
+    /// the hot path (the only allocation `step` could otherwise reach).
+    #[cold]
+    fn hang_abort(&self) -> SimError {
+        SimError::Hang(Box::new(self.hang_report()))
+    }
+
+    /// Snapshot the whole machine for a failure diagnostic. Cold: runs
+    /// once, on the way out of a hung or cycle-capped run.
+    #[cold]
     pub fn hang_report(&self) -> HangReport {
         HangReport {
             cycle: self.now,

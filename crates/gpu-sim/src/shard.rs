@@ -564,7 +564,7 @@ pub(crate) fn run_sharded(gpu: &mut Gpu, until: Option<u64>) -> Result<RunStats,
         let o = drive(gpu, &shards, until, hop, &ctl);
         // Release the workers from their `go` rendezvous with the stop
         // flag raised so the scope can join them.
-        ctl.stop.store(true, Ordering::Relaxed);
+        ctl.stop.store(true, Ordering::Release);
         ctl.go.wait();
         o
     });
@@ -615,13 +615,14 @@ pub(crate) fn run_sharded(gpu: &mut Gpu, until: Option<u64>) -> Result<RunStats,
 fn worker(m: &Mutex<Shard>, ctl: &Control) {
     loop {
         ctl.go.wait();
-        if ctl.stop.load(Ordering::Relaxed) {
+        if ctl.stop.load(Ordering::Acquire) {
             break;
         }
-        // The barrier rendezvous orders these loads after the driver's
-        // stores, so Relaxed suffices.
-        let start = ctl.round_start.load(Ordering::Relaxed);
-        let end = ctl.round_end.load(Ordering::Relaxed);
+        // The barrier rendezvous already orders these loads after the
+        // driver's stores; Acquire/Release restates that locally (free
+        // on x86/aarch64) instead of leaning on the barrier from afar.
+        let start = ctl.round_start.load(Ordering::Acquire);
+        let end = ctl.round_end.load(Ordering::Acquire);
         {
             let mut g = lock_shard(m);
             let shard = &mut *g;
@@ -761,7 +762,7 @@ fn drive(
         let mut guards: Vec<MutexGuard<'_, Shard>> = shards.iter().map(lock_shard).collect();
 
         if pending_round {
-            let round_end = ctl.round_end.load(Ordering::Relaxed);
+            let round_end = ctl.round_end.load(Ordering::Acquire);
             // Merge before anything else — including before the error
             // check: a misspeculation at cycle c invalidates the whole
             // optimistic history from c on, so it outranks any shard
@@ -917,8 +918,8 @@ fn drive(
         for g in guards.iter_mut() {
             g.prepare_round(&mut gpu.icnt, round_end);
         }
-        ctl.round_start.store(start, Ordering::Relaxed);
-        ctl.round_end.store(round_end, Ordering::Relaxed);
+        ctl.round_start.store(start, Ordering::Release);
+        ctl.round_end.store(round_end, Ordering::Release);
         drop(guards);
         ctl.go.wait();
         ctl.done.wait();
