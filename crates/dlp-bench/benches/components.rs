@@ -6,8 +6,14 @@
 //! The `next_event` / leap-catch-up group covers the cycle-leap event
 //! core's own overhead: the conservative event-horizon probes run on
 //! every step, so a regression there eats the cycles the leap saves.
+//!
+//! The fast-forward / estimator group covers interval sampling: the
+//! functional-advance inner loops set the ceiling on how cheap a
+//! skipped cycle can be, and `summarize` runs once per job so its cost
+//! must stay negligible next to the simulation it summarizes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlp_bench::summarize;
 use dlp_core::{build_policy, CacheGeometry, PolicyKind};
 use gpu_mem::dram::{Dram, DramCmd, DramConfig};
 use gpu_mem::icnt::{IcntConfig, Interconnect};
@@ -19,6 +25,7 @@ use gpu_mem::tag_array::TagArray;
 use gpu_sim::coalescer::coalesce;
 use gpu_sim::config::SimConfig;
 use gpu_sim::sm::Sm;
+use gpu_sim::{SamplingReport, WindowSample};
 
 fn req(i: u64) -> MemReq {
     MemReq {
@@ -196,10 +203,63 @@ fn bench_leap_catchup(c: &mut Criterion) {
     });
 }
 
+fn bench_fast_forward(c: &mut Criterion) {
+    // Functional L1D access: the per-request inner loop of a sampling
+    // fast-forward gap. Tags, policy (VTA/PDPT) and hit/miss counters
+    // advance; no MSHR, miss queue, or pipeline stall ever forms. A
+    // 512-line footprint over the 128-line Fermi L1D exercises the
+    // hit, evict-and-fill, and bypass arms together.
+    c.bench_function("l1d_access_functional", |b| {
+        let cfg = L1dConfig::fermi_baseline();
+        let mut l1d = L1dCache::new(cfg, build_policy(PolicyKind::Baseline, cfg.geom));
+        let mut effects = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            l1d.access_functional(req(i % 512), true, false, &mut effects);
+            effects.clear();
+        });
+    });
+    // Functional L2 touch: where each L1D fast-forward effect lands so
+    // partition state stays warm across the gap.
+    c.bench_function("partition_l2_touch_functional", |b| {
+        let mut p = MemoryPartition::new(PartitionConfig::fermi());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.l2_touch_functional((i % 4096) * 128, false);
+        });
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    // Confidence-interval synthesis over a typical sampled run. Runs
+    // once per job, so it only has to stay negligible — but the t-table
+    // lookup and per-metric variance passes should still be measured.
+    let report = SamplingReport {
+        windows: (0..32u64)
+            .map(|w| WindowSample {
+                cycles: 2_000,
+                warp_insns: 9_000 + 37 * w,
+                thread_insns: (9_000 + 37 * w) * 32,
+                accesses: 3_000 + 11 * w,
+                hits: 2_400 + 7 * w,
+                flits: 5_000 + 13 * w,
+            })
+            .collect(),
+        detailed_cycles: 32 * 3_000,
+        ff_cycles: 32 * 18_000,
+        ff_insns: 32 * 80_000,
+    };
+    c.bench_function("estimator_summarize_32_windows", |b| {
+        b.iter(|| black_box(summarize(black_box(&report))));
+    });
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_geometry_hash, bench_coalescer, bench_tag_array, bench_mshr, bench_icnt,
-        bench_dram, bench_next_event, bench_leap_catchup
+        bench_dram, bench_next_event, bench_leap_catchup, bench_fast_forward, bench_estimator
 );
 criterion_main!(benches);

@@ -78,6 +78,13 @@ fn telemetry_path() -> std::path::PathBuf {
 }
 
 fn main() {
+    // A malformed DLP_SAMPLING must fail loudly before any sweep
+    // starts — silently falling back to exact simulation would turn a
+    // typo into hours of unintended work.
+    if let Err(e) = dlp_bench::harness::sampling_env() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale =
         if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Full };
@@ -365,6 +372,27 @@ fn fig7(scale: Scale) {
     println!("{}", t.render());
 }
 
+/// `±` suffix for a normalized-IPC cell of a sampled run: a ratio of
+/// two estimates carries both relative CI widths (first-order, they
+/// add). Empty for exact runs — exact-mode stdout stays byte-identical
+/// to builds without sampling.
+fn ipc_ci_suffix(run: &AppRun, base: &AppRun, v: f64) -> String {
+    let rw = |r: &AppRun| r.sampling.and_then(|s| s.ipc).map(|e| e.rel_width());
+    match (rw(run), rw(base)) {
+        (None, None) => String::new(),
+        (a, b) => format!("±{:.2}", v * (a.unwrap_or(0.0) + b.unwrap_or(0.0))),
+    }
+}
+
+/// `±` suffix for an absolute hit-rate cell: the estimate's own CI
+/// half-width. Empty for exact runs.
+fn hit_rate_ci_suffix(run: &AppRun) -> String {
+    match run.sampling.and_then(|s| s.hit_rate) {
+        Some(e) => format!("±{:.3}", e.half),
+        None => String::new(),
+    }
+}
+
 fn class_rows<'a>(
     suite: &'a PolicySuite,
     class: AppClass,
@@ -381,18 +409,18 @@ fn fig10(suite: &PolicySuite) {
             [POLICY_LABELS[0], POLICY_LABELS[1], POLICY_LABELS[2], POLICY_LABELS[3], LABEL_32K];
         for spec in class_rows(suite, class) {
             let row = suite.runs.get(spec.abbr);
-            let base =
-                row.and_then(|r| r.get(POLICY_LABELS[0])).map(|run| run.stats.ipc());
+            let base_run = row.and_then(|r| r.get(POLICY_LABELS[0]));
+            let base = base_run.map(|run| run.stats.ipc());
             let mut cells = vec![spec.abbr.to_string()];
             for (i, label) in all_labels.iter().enumerate() {
-                cells.push(match (row.and_then(|r| r.get(label)), base) {
-                    (Some(run), Some(b)) => {
+                cells.push(match (row.and_then(|r| r.get(label)), base_run, base) {
+                    (Some(run), Some(br), Some(b)) => {
                         let v = normalize(run.stats.ipc(), b);
                         per_scheme[i].push(v);
-                        format!("{v:.2}")
+                        format!("{v:.2}{}", ipc_ci_suffix(run, br, v))
                     }
-                    (Some(_), None) => "n/a".to_string(),
-                    (None, _) => failed_cell(&suite.failed, spec.abbr, label),
+                    (Some(_), _, _) => "n/a".to_string(),
+                    (None, _, _) => failed_cell(&suite.failed, spec.abbr, label),
                 });
             }
             t.row(cells);
@@ -422,7 +450,9 @@ fn fig12(suite: &PolicySuite) {
             let mut cells = vec![spec.abbr.to_string()];
             for label in POLICY_LABELS {
                 cells.push(match row.and_then(|r| r.get(label)) {
-                    Some(run) => format!("{:.3}", run.stats.l1d.hit_rate()),
+                    Some(run) => {
+                        format!("{:.3}{}", run.stats.l1d.hit_rate(), hit_rate_ci_suffix(run))
+                    }
                     None => failed_cell(&suite.failed, spec.abbr, label),
                 });
             }

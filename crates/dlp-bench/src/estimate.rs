@@ -1,0 +1,237 @@
+//! SMARTS confidence-interval estimators for sampled runs.
+//!
+//! A sampled run ([`gpu_sim::SamplingReport`]) yields one
+//! [`gpu_sim::WindowSample`] per detailed measurement window. Each
+//! per-window ratio (IPC, MPKI, hit rate, flits/kinsn) is a sample of
+//! the run-wide metric; [`summarize`] turns the window population into
+//! point estimates with 95% t-intervals, the same construction SMARTS
+//! (Wunderlich et al., ISCA'03) uses to bound sampling error. Floats
+//! live only here — the simulator reports integer counters and this
+//! module is the single place they become statistics.
+
+use gpu_sim::{SamplingReport, WindowSample};
+
+/// Two-sided 95% critical values of Student's t for small degrees of
+/// freedom; beyond 30 the normal approximation (1.96) is within 2%.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95% critical value of Student's t for `df` degrees of freedom.
+pub fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A point estimate with a symmetric 95% confidence half-width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Sample mean over the detailed windows.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub half: f64,
+}
+
+impl Estimate {
+    /// Relative CI width `half / |mean|`; infinite for a zero mean with
+    /// nonzero half-width, zero when both are zero.
+    pub fn rel_width(&self) -> f64 {
+        if self.mean != 0.0 {
+            self.half / self.mean.abs()
+        } else if self.half == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether `value` lies inside the interval `mean ± half`.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half
+    }
+}
+
+/// Mean and 95% t-interval over per-window ratios `num(w) / den(w)`.
+///
+/// Windows with a zero denominator carry no information about the
+/// ratio and are skipped. `None` when no window qualifies; a single
+/// window gives a degenerate interval `mean ± |mean|` (one sample says
+/// nothing about variance — report full uncertainty, not false
+/// precision).
+fn ratio_estimate(
+    windows: &[WindowSample],
+    num: impl Fn(&WindowSample) -> f64,
+    den: impl Fn(&WindowSample) -> f64,
+) -> Option<Estimate> {
+    let samples: Vec<f64> = windows
+        .iter()
+        .filter(|w| den(w) > 0.0)
+        .map(|w| num(w) / den(w))
+        .collect();
+    let n = samples.len();
+    if n == 0 {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Some(Estimate { mean, half: mean.abs() });
+    }
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+    let half = t95(n - 1) * (var / n as f64).sqrt();
+    Some(Estimate { mean, half })
+}
+
+/// The metrics a sampled run estimates, with the bookkeeping needed to
+/// report how much of the run was actually simulated in detail.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingSummary {
+    /// Number of detailed measurement windows.
+    pub windows: u64,
+    /// Cycles spent in detailed (timed) simulation, warm-up included.
+    pub detailed_cycles: u64,
+    /// Cycles covered by functional fast-forward.
+    pub ff_cycles: u64,
+    /// Warp instructions executed functionally during fast-forward.
+    pub ff_insns: u64,
+    /// Warp instructions per cycle.
+    pub ipc: Option<Estimate>,
+    /// L1D misses per kilo-(warp)-instruction.
+    pub mpki: Option<Estimate>,
+    /// L1D hit rate in [0, 1].
+    pub hit_rate: Option<Estimate>,
+    /// Interconnect flits per kilo-(warp)-instruction.
+    pub flits_per_kinsn: Option<Estimate>,
+}
+
+impl SamplingSummary {
+    /// Fraction of the run's cycles simulated in detail (timed), in
+    /// [0, 1]; 1.0 for a degenerate run that never fast-forwarded.
+    pub fn sampled_fraction(&self) -> f64 {
+        let total = self.detailed_cycles + self.ff_cycles;
+        if total == 0 {
+            1.0
+        } else {
+            self.detailed_cycles as f64 / total as f64
+        }
+    }
+
+    /// The widest relative CI across the estimated metrics — the
+    /// honest "how uncertain is this run" number for telemetry.
+    pub fn ci_rel_width(&self) -> f64 {
+        [self.ipc, self.mpki, self.hit_rate, self.flits_per_kinsn]
+            .iter()
+            .flatten()
+            .map(Estimate::rel_width)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Reduce a [`SamplingReport`] to per-metric estimates.
+pub fn summarize(report: &SamplingReport) -> SamplingSummary {
+    let w = &report.windows;
+    let insns = |s: &WindowSample| s.warp_insns as f64;
+    SamplingSummary {
+        windows: w.len() as u64,
+        detailed_cycles: report.detailed_cycles,
+        ff_cycles: report.ff_cycles,
+        ff_insns: report.ff_insns,
+        ipc: ratio_estimate(w, insns, |s| s.cycles as f64),
+        mpki: ratio_estimate(w, |s| 1000.0 * (s.accesses - s.hits) as f64, insns),
+        hit_rate: ratio_estimate(w, |s| s.hits as f64, |s| s.accesses as f64),
+        flits_per_kinsn: ratio_estimate(w, |s| 1000.0 * s.flits as f64, insns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(cycles: u64, warp_insns: u64, accesses: u64, hits: u64, flits: u64) -> WindowSample {
+        WindowSample { cycles, warp_insns, thread_insns: warp_insns * 32, accesses, hits, flits }
+    }
+
+    #[test]
+    fn t95_matches_the_table_and_tail() {
+        assert!(t95(0).is_infinite());
+        assert!((t95(1) - 12.706).abs() < 1e-9);
+        assert!((t95(30) - 2.042).abs() < 1e-9);
+        assert!((t95(31) - 1.96).abs() < 1e-9);
+        assert!((t95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_windows_give_a_zero_width_interval() {
+        let report = SamplingReport {
+            windows: vec![win(100, 200, 50, 40, 30); 4],
+            detailed_cycles: 400,
+            ff_cycles: 1200,
+            ff_insns: 2400,
+        };
+        let s = summarize(&report);
+        let ipc = s.ipc.unwrap();
+        assert!((ipc.mean - 2.0).abs() < 1e-12);
+        assert!(ipc.half < 1e-12);
+        assert!((s.hit_rate.unwrap().mean - 0.8).abs() < 1e-12);
+        assert!((s.mpki.unwrap().mean - 50.0).abs() < 1e-12);
+        assert!(s.ci_rel_width() < 1e-12);
+        assert!((s.sampled_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_window_reports_full_uncertainty() {
+        let report = SamplingReport {
+            windows: vec![win(100, 150, 10, 5, 8)],
+            detailed_cycles: 100,
+            ff_cycles: 0,
+            ff_insns: 0,
+        };
+        let s = summarize(&report);
+        let ipc = s.ipc.unwrap();
+        assert!((ipc.half - ipc.mean.abs()).abs() < 1e-12, "one sample -> half == |mean|");
+        assert!((s.ci_rel_width() - 1.0).abs() < 1e-12);
+        assert!((s.sampled_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_windows_are_skipped() {
+        // Second window saw no L1D accesses: it cannot inform the hit
+        // rate, but still counts for IPC.
+        let report = SamplingReport {
+            windows: vec![win(100, 200, 50, 40, 30), win(100, 200, 0, 0, 30)],
+            detailed_cycles: 200,
+            ff_cycles: 0,
+            ff_insns: 0,
+        };
+        let s = summarize(&report);
+        assert!((s.hit_rate.unwrap().mean - 0.8).abs() < 1e-12);
+        assert!((s.ipc.unwrap().mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_windows_means_no_estimates() {
+        let s = summarize(&SamplingReport::default());
+        assert!(s.ipc.is_none() && s.mpki.is_none());
+        assert_eq!(s.ci_rel_width(), 0.0);
+    }
+
+    #[test]
+    fn interval_contains_the_truth_for_a_noisy_population() {
+        let windows: Vec<WindowSample> =
+            (0..8).map(|i| win(100 + i * 3, 200 + i * 5, 50, 40 + i % 3, 30)).collect();
+        let report =
+            SamplingReport { windows, detailed_cycles: 800, ff_cycles: 0, ff_insns: 0 };
+        let s = summarize(&report);
+        let ipc = s.ipc.unwrap();
+        assert!(ipc.half > 0.0);
+        assert!(ipc.contains(ipc.mean));
+        assert!(!ipc.contains(ipc.mean + 2.0 * ipc.half + 1e-9));
+        assert!(ipc.rel_width() > 0.0 && ipc.rel_width() < 1.0);
+    }
+}

@@ -14,10 +14,11 @@
 //! byte-identical at any worker count (pinned by the determinism
 //! suite).
 
+use crate::estimate::{summarize, SamplingSummary};
 use crate::persist;
 use crate::telemetry::{self, JobRecord, ShardRecord};
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
-use gpu_sim::{Gpu, RunStats, SimConfig};
+use gpu_sim::{Gpu, RunStats, SamplingConfig, SamplingParseError, SimConfig};
 use gpu_workloads::{build, registry, BenchSpec, Scale};
 use parking_lot::Mutex;
 use rd_tools::{RdProfiler, SharedRdd};
@@ -46,6 +47,10 @@ pub struct ExperimentConfig {
     pub protection: Option<ProtectionConfig>,
     /// Optional CCWS-style warp throttle (future-work ablation).
     pub warp_limit: Option<usize>,
+    /// SMARTS-style interval sampling (`None` = exact simulation, the
+    /// code path every golden digest pins). Part of the cache key:
+    /// sampled and exact results for the same app are never conflated.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl ExperimentConfig {
@@ -58,6 +63,7 @@ impl ExperimentConfig {
             profile_rd: false,
             protection: None,
             warp_limit: None,
+            sampling: sampling_override(),
         }
     }
 
@@ -92,6 +98,9 @@ pub struct AppRun {
     pub ticked_cycles: u64,
     /// RD profile, if requested.
     pub rdd: Option<SharedRdd>,
+    /// Sampling estimates, for runs driven in sampled mode. `None` for
+    /// exact runs — consumers must not invent zero-width intervals.
+    pub sampling: Option<SamplingSummary>,
 }
 
 /// Whether a failed job is worth another attempt.
@@ -234,6 +243,36 @@ fn shards_override() -> Option<usize> {
     })
 }
 
+/// Environment variable enabling SMARTS-style interval sampling for
+/// every simulation job: `detail:skip[:warmup[:seed]]` in cycles
+/// (e.g. `DLP_SAMPLING=2000:18000`). Unset = exact simulation, the
+/// code path every golden digest pins. Sampled statistics are
+/// *estimates* — deterministic for a fixed seed, but they carry a
+/// confidence interval instead of matching the exact run bit for bit.
+pub const SAMPLING_ENV: &str = "DLP_SAMPLING";
+
+/// Parse the `DLP_SAMPLING` environment variable, surfacing malformed
+/// values as the typed parse error — front doors (the `figures`
+/// binary) call this once at startup so a typo fails loudly instead of
+/// silently running the exact path for hours.
+pub fn sampling_env() -> Result<Option<SamplingConfig>, SamplingParseError> {
+    match std::env::var(SAMPLING_ENV) {
+        Ok(v) => SamplingConfig::parse(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// The `DLP_SAMPLING` override, read once per process. Memoization is
+/// safe for the same reason as [`shards_override`]'s: the parsed
+/// config is part of every [`ExperimentConfig`] cache key, so a stale
+/// value can never alias a sampled result to an exact one. Malformed
+/// values degrade to `None` here; [`sampling_env`] is the validating
+/// entry point.
+fn sampling_override() -> Option<SamplingConfig> {
+    static SAMPLING: OnceLock<Option<SamplingConfig>> = OnceLock::new();
+    *SAMPLING.get_or_init(|| sampling_env().ok().flatten())
+}
+
 /// Cycles simulated between deadline checks when a deadline is active.
 /// Small enough to bound overshoot to well under a second of wall
 /// time, large enough to keep the checking overhead negligible.
@@ -302,6 +341,13 @@ pub fn run_app_with_deadline(
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
             sim_cycles: run.map_or(0, |r| r.stats.cycles),
             ticked_cycles: run.map_or(0, |r| r.ticked_cycles),
+            // Exact runs are 100% detailed with nothing estimated:
+            // fraction 1, zero windows, zero CI width.
+            windows: run.and_then(|r| r.sampling).map_or(0, |s| s.windows),
+            sampled_fraction: run
+                .and_then(|r| r.sampling)
+                .map_or(1.0, |s| s.sampled_fraction()),
+            ci_rel_width: run.and_then(|r| r.sampling).map_or(0.0, |s| s.ci_rel_width()),
             shard,
         });
     };
@@ -372,10 +418,15 @@ fn run_app_uncached(
     // observer sees every access in sequential order), so asking for
     // more would only mislead the telemetry.
     let shards = if cfg.profile_rd { 1 } else { shards_override().unwrap_or(1) };
+    // Profiled jobs also force exact simulation: the fast-forward path
+    // executes accesses functionally, which would punch unprofiled
+    // holes into the reuse-distance histograms.
+    let sampling = if cfg.profile_rd { None } else { cfg.sampling };
     let mut sim_cfg =
         SimConfig::tesla_m2090(cfg.policy).with_l1_geometry(cfg.geom).with_shards(shards);
     sim_cfg.protection_override = cfg.protection;
     sim_cfg.warp_limit = cfg.warp_limit;
+    sim_cfg.sampling = sampling;
     let mut gpu = Gpu::new(sim_cfg, kernel);
     let rdd = if cfg.profile_rd {
         let sink = RdProfiler::new_sink();
@@ -389,6 +440,14 @@ fn run_app_uncached(
     let stats = match deadline {
         // No deadline: the exact code path the determinism suite pins.
         None => gpu.run().map_err(|e| fail(e.to_string(), FailureClass::Fatal))?,
+        // Sampled runs are driven whole even under a deadline: the
+        // sampling controller owns the run loop (`run_for` does not
+        // dispatch it), and sampling exists precisely to make jobs
+        // short — the deadline keeps protecting the sweep through the
+        // cycle cap and the retry layer.
+        Some(_) if sampling.is_some() => {
+            gpu.run().map_err(|e| fail(e.to_string(), FailureClass::Fatal))?
+        }
         Some(deadline) => {
             let t0 = Instant::now();
             let chunk = chunk_override.unwrap_or_else(|| deadline_chunk(deadline));
@@ -425,7 +484,8 @@ fn run_app_uncached(
         restarts: tel.restarts,
         per_shard_ticked: tel.per_shard_ticked.clone(),
     };
-    Ok((AppRun { spec, stats, ticked_cycles, rdd }, shard))
+    let sampling = gpu.sampling_report().map(summarize);
+    Ok((AppRun { spec, stats, ticked_cycles, rdd, sampling }, shard))
 }
 
 /// `run_app` behind `catch_unwind`, so a panicking job becomes a

@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod estimate;
 pub mod harness;
 pub mod persist;
 pub mod report;
 pub mod telemetry;
 
+pub use estimate::{summarize, Estimate, SamplingSummary};
 pub use harness::{
     run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, FailureClass, PolicySuite,
     RunFailure, SizeSuite,

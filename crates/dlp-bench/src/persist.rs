@@ -26,11 +26,12 @@
 //!   `<kind>[:<seed>[:<rate_ppm>[:<max_faults>]]]` (see
 //!   [`StoreFaultConfig::parse`]).
 
+use crate::estimate::{Estimate, SamplingSummary};
 use crate::harness::{AppRun, ExperimentConfig};
 use dlp_core::geometry::IndexFunction;
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
 use dlp_store::{fnv1a, Store, StoreCounters, StoreFaultConfig, StoreKey};
-use gpu_sim::RunStats;
+use gpu_sim::{RunStats, SamplingConfig};
 use gpu_workloads::Scale;
 use parking_lot::Mutex;
 use rd_tools::{RdProfiler, RddHistogram};
@@ -44,7 +45,8 @@ pub const STORE_FAULT_ENV: &str = "DLP_STORE_FAULT";
 
 /// Version of the payload codec below. Bump on any layout change —
 /// the bump rolls [`code_digest`] and orphans every existing entry.
-const CODEC_VERSION: u64 = 1;
+/// v2: sampling config in configs, sampling summary in runs.
+const CODEC_VERSION: u64 = 2;
 
 /// The golden fidelity digest pinned by
 /// `tests/determinism.rs::fig10_policy_suite_digest_is_golden`. Any
@@ -303,6 +305,16 @@ pub fn encode_config(cfg: &ExperimentConfig) -> Vec<u8> {
             push_u64(&mut out, w as u64);
         }
     }
+    match cfg.sampling {
+        None => push_u64(&mut out, 0),
+        Some(sc) => {
+            push_u64(&mut out, 1);
+            push_u64(&mut out, sc.detail);
+            push_u64(&mut out, sc.skip);
+            push_u64(&mut out, sc.warmup);
+            push_u64(&mut out, sc.seed);
+        }
+    }
     out
 }
 
@@ -335,7 +347,17 @@ fn decode_config_at(c: &mut Cursor) -> Option<ExperimentConfig> {
         None
     };
     let warp_limit = if c.flag()? { Some(c.usize()?) } else { None };
-    Some(ExperimentConfig { policy, geom, scale, profile_rd, protection, warp_limit })
+    let sampling = if c.flag()? {
+        Some(SamplingConfig {
+            detail: c.u64()?,
+            skip: c.u64()?,
+            warmup: c.u64()?,
+            seed: c.u64()?,
+        })
+    } else {
+        None
+    };
+    Some(ExperimentConfig { policy, geom, scale, profile_rd, protection, warp_limit, sampling })
 }
 
 fn encode_stats(out: &mut Vec<u8>, s: &RunStats) {
@@ -430,6 +452,54 @@ fn decode_stats(c: &mut Cursor) -> Option<RunStats> {
     Some(s)
 }
 
+/// Floats travel as their IEEE-754 bit pattern: `to_bits`/`from_bits`
+/// is exact and byte-deterministic, unlike any decimal rendering.
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+fn push_estimate(out: &mut Vec<u8>, e: &Option<Estimate>) {
+    match e {
+        None => push_u64(out, 0),
+        Some(e) => {
+            push_u64(out, 1);
+            push_f64(out, e.mean);
+            push_f64(out, e.half);
+        }
+    }
+}
+
+fn decode_estimate(c: &mut Cursor) -> Option<Option<Estimate>> {
+    if c.flag()? {
+        Some(Some(Estimate { mean: f64::from_bits(c.u64()?), half: f64::from_bits(c.u64()?) }))
+    } else {
+        Some(None)
+    }
+}
+
+fn push_sampling_summary(out: &mut Vec<u8>, s: &SamplingSummary) {
+    push_u64(out, s.windows);
+    push_u64(out, s.detailed_cycles);
+    push_u64(out, s.ff_cycles);
+    push_u64(out, s.ff_insns);
+    for e in [&s.ipc, &s.mpki, &s.hit_rate, &s.flits_per_kinsn] {
+        push_estimate(out, e);
+    }
+}
+
+fn decode_sampling_summary(c: &mut Cursor) -> Option<SamplingSummary> {
+    Some(SamplingSummary {
+        windows: c.u64()?,
+        detailed_cycles: c.u64()?,
+        ff_cycles: c.u64()?,
+        ff_insns: c.u64()?,
+        ipc: decode_estimate(c)?,
+        mpki: decode_estimate(c)?,
+        hit_rate: decode_estimate(c)?,
+        flits_per_kinsn: decode_estimate(c)?,
+    })
+}
+
 fn push_histogram(out: &mut Vec<u8>, h: &RddHistogram) {
     for v in h.counts() {
         push_u64(out, v);
@@ -462,6 +532,13 @@ pub fn encode_run(abbr: &str, run: &AppRun) -> Vec<u8> {
                 push_u64(&mut out, pc as u64);
                 push_histogram(&mut out, &prof.per_pc[&pc]);
             }
+        }
+    }
+    match &run.sampling {
+        None => push_u64(&mut out, 0),
+        Some(s) => {
+            push_u64(&mut out, 1);
+            push_sampling_summary(&mut out, s);
         }
     }
     out
@@ -499,7 +576,8 @@ pub fn decode_run(abbr: &str, bytes: &[u8]) -> Option<AppRun> {
     } else {
         None
     };
-    c.done().then_some(AppRun { spec, stats, ticked_cycles, rdd })
+    let sampling = if c.flag()? { Some(decode_sampling_summary(&mut c)?) } else { None };
+    c.done().then_some(AppRun { spec, stats, ticked_cycles, rdd, sampling })
 }
 
 #[cfg(test)]
@@ -523,6 +601,15 @@ mod tests {
             ExperimentConfig {
                 protection: Some(ProtectionConfig::paper_default(CacheGeometry::fermi_l1d_16k())),
                 warp_limit: Some(12),
+                ..ExperimentConfig::baseline()
+            },
+            ExperimentConfig {
+                sampling: Some(SamplingConfig {
+                    detail: 2000,
+                    skip: 18_000,
+                    warmup: 1000,
+                    seed: 42,
+                }),
                 ..ExperimentConfig::baseline()
             },
         ];
@@ -549,6 +636,21 @@ mod tests {
         for (pc, h) in &a.per_pc {
             assert_eq!(b.per_pc.get(pc), Some(h));
         }
+    }
+
+    #[test]
+    fn sampled_run_roundtrips_through_codec() {
+        let cfg = ExperimentConfig {
+            scale: Scale::Tiny,
+            sampling: Some(SamplingConfig { detail: 256, skip: 768, warmup: 128, seed: 1 }),
+            ..ExperimentConfig::baseline()
+        };
+        let run = run_app("KM", cfg).unwrap();
+        let summary = run.sampling.expect("sampled run carries estimates");
+        let enc = encode_run("KM", &run);
+        let dec = decode_run("KM", &enc).expect("decodes");
+        assert_eq!(dec.sampling, Some(summary));
+        assert_eq!(dec.stats, run.stats);
     }
 
     #[test]

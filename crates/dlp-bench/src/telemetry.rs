@@ -40,6 +40,15 @@ pub struct JobRecord {
     /// skipped. Equals `sim_cycles` in reference (tick-every-cycle)
     /// mode, 0 for failed jobs.
     pub ticked_cycles: u64,
+    /// Detailed measurement windows of a sampled run (schema v5);
+    /// 0 for exact runs.
+    pub windows: u64,
+    /// Fraction of the run's cycles simulated in detail; 1.0 for exact
+    /// runs (everything was detailed).
+    pub sampled_fraction: f64,
+    /// Widest relative 95% CI across the run's estimated metrics;
+    /// 0.0 for exact runs (nothing was estimated).
+    pub ci_rel_width: f64,
     /// Sharded-engine telemetry (schema v4).
     pub shard: ShardRecord,
 }
@@ -230,7 +239,7 @@ fn num(v: f64) -> String {
 pub fn render_json() -> String {
     with_collector(|c| {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v4\",\n");
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v5\",\n");
         let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
         let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
         let total_ticked: u64 = c.jobs.iter().map(|j| j.ticked_cycles).sum();
@@ -243,13 +252,19 @@ pub fn render_json() -> String {
         out.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
         out.push_str(&format!("  \"total_ticked_cycles\": {total_ticked},\n"));
         out.push_str(&format!("  \"leap_efficiency\": {},\n", num(efficiency)));
-        match &c.store {
-            None => out.push_str("  \"store\": null,\n"),
-            Some(s) => out.push_str(&format!(
-                "  \"store\": {{\"hits\": {}, \"misses\": {}, \"puts\": {}, \"quarantined\": {}, \"adopted\": {}, \"faults_injected\": {}}},\n",
-                s.hits, s.misses, s.puts, s.quarantined, s.adopted, s.faults_injected,
-            )),
-        }
+        // Schema-stable store section: a run without a persistent
+        // store renders the same shape with zeroed counters, so JSON
+        // consumers never need a null branch.
+        let store = c.store.unwrap_or_default();
+        out.push_str(&format!(
+            "  \"store\": {{\"hits\": {}, \"misses\": {}, \"puts\": {}, \"quarantined\": {}, \"adopted\": {}, \"faults_injected\": {}}},\n",
+            store.hits,
+            store.misses,
+            store.puts,
+            store.quarantined,
+            store.adopted,
+            store.faults_injected,
+        ));
         out.push_str("  \"sweeps\": [\n");
         for (i, s) in c.sweeps.iter().enumerate() {
             let cps = if s.wall_ms > 0.0 { s.sim_cycles as f64 / (s.wall_ms / 1000.0) } else { 0.0 };
@@ -277,7 +292,7 @@ pub fn render_json() -> String {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}, \"shards\": {}, \"epoch_cycles\": {}, \"rounds\": {}, \"barrier_stalls\": {}, \"restarts\": {}, \"per_shard_ticked\": [{}]}}{}\n",
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}, \"windows\": {}, \"sampled_fraction\": {}, \"ci_rel_width\": {}, \"shards\": {}, \"epoch_cycles\": {}, \"rounds\": {}, \"barrier_stalls\": {}, \"restarts\": {}, \"per_shard_ticked\": [{}]}}{}\n",
                 esc(&j.app),
                 esc(&j.policy),
                 esc(&j.geom),
@@ -289,6 +304,9 @@ pub fn render_json() -> String {
                 j.ticked_cycles,
                 num(j.cycles_per_sec()),
                 num(j.leap_efficiency()),
+                j.windows,
+                num(j.sampled_fraction),
+                num(j.ci_rel_width),
                 j.shard.shards,
                 j.shard.epoch_cycles,
                 j.shard.rounds,
@@ -324,6 +342,9 @@ mod tests {
             wall_ms: 500.0,
             sim_cycles: 1_000_000,
             ticked_cycles: 250_000,
+            windows: 0,
+            sampled_fraction: 1.0,
+            ci_rel_width: 0.0,
             shard: ShardRecord::default(),
         };
         assert!((j.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
@@ -346,6 +367,9 @@ mod tests {
             wall_ms: 1.25,
             sim_cycles: 42,
             ticked_cycles: 7,
+            windows: 5,
+            sampled_fraction: 0.125,
+            ci_rel_width: 0.0175,
             shard: ShardRecord {
                 shards: 4,
                 epoch_cycles: 41,
@@ -358,9 +382,14 @@ mod tests {
         let out = sweep("test_sweep", render_json);
         assert!(out.contains("\\\"pp"), "{out}");
         assert!(out.contains("base\\\\line"), "{out}");
-        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v4\""));
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v5\""));
         assert!(out.contains("\"ticked_cycles\": 7"), "{out}");
         assert!(out.contains("\"store_hit\": true"), "{out}");
+        assert!(out.contains("\"windows\": 5"), "{out}");
+        assert!(out.contains("\"sampled_fraction\": 0.125"), "{out}");
+        assert!(out.contains("\"ci_rel_width\": 0.018"), "3 decimals: {out}");
+        assert!(!out.contains("\"store\": null"), "store section is always an object: {out}");
+        assert!(out.contains("\"store\": {\"hits\": "), "{out}");
         assert!(out.contains("\"shards\": 4"), "{out}");
         assert!(out.contains("\"epoch_cycles\": 41"), "{out}");
         assert!(out.contains("\"barrier_stalls\": 2"), "{out}");
@@ -372,8 +401,8 @@ mod tests {
 
     #[test]
     fn store_record_renders_when_present() {
-        // The collector is process-wide; before this test's record the
-        // store section may be null, after it must be an object.
+        // The collector is process-wide; without a record the store
+        // section is a zeroed object, after one it carries the counts.
         record_store(StoreRecord { hits: 3, puts: 2, quarantined: 1, ..Default::default() });
         let out = render_json();
         assert!(out.contains("\"store\": {\"hits\": 3"), "{out}");

@@ -16,6 +16,12 @@ pub const DIAG_SCHEMA: &str = "dlp-lint/diagnostics/v2";
 /// Schema tag expected at the top of a baseline file.
 pub const BASELINE_SCHEMA: &str = "dlp-lint/baseline/v1";
 
+/// The placeholder reason older `--write-baseline` runs emitted. A
+/// baseline is a ledger of *justified* debt, so entries still carrying
+/// this marker are rejected at parse time — the writer now requires a
+/// real `--reason`, and stale markers must be filled in, not shipped.
+pub const TODO_REASON_MARKER: &str = "TODO: justify or fix";
+
 /// One confirmed finding (post-suppression), ready for reporting.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -209,6 +215,13 @@ impl Baseline {
                     entry.rule, entry.file
                 ));
             }
+            if entry.reason.contains(TODO_REASON_MARKER) {
+                return Err(format!(
+                    "baseline entry for {} in {} still carries the \"{TODO_REASON_MARKER}\" \
+                     placeholder — write a real justification",
+                    entry.rule, entry.file
+                ));
+            }
             entries.push(entry);
         }
         Ok(Baseline { entries })
@@ -216,10 +229,12 @@ impl Baseline {
 
     /// Render findings as a fresh baseline document (`--write-baseline`).
     /// Identical (rule, file, token) findings collapse into one entry
-    /// with a count; reasons start as TODO markers for a human to fill.
+    /// with a count; every entry carries `reason` — the caller-supplied
+    /// justification (`--reason` on the CLI), which replaced the old
+    /// `TODO: justify or fix` placeholder that shipped unreviewed debt.
     /// Entries are sorted by (rule, file, token) so the output is
     /// deterministic regardless of scan order.
-    pub fn render(findings: &[Finding]) -> String {
+    pub fn render(findings: &[Finding], reason: &str) -> String {
         let mut groups: Vec<(&'static str, &str, &str, usize)> = Vec::new();
         for f in findings {
             if let Some(g) =
@@ -241,9 +256,10 @@ impl Baseline {
             }
             out.push_str(&format!(
                 "\n    {{\"rule\": \"{rule}\", \"file\": \"{}\", \"token\": \"{}\", \
-                 \"count\": {count}, \"reason\": \"TODO: justify or fix\"}}",
+                 \"count\": {count}, \"reason\": \"{}\"}}",
                 esc(file),
-                esc(token)
+                esc(token),
+                esc(reason)
             ));
         }
         if !groups.is_empty() {
@@ -521,7 +537,7 @@ mod tests {
             finding("D004", "crates/a.rs", "m"),
             finding("P301", "crates/a.rs", "Vec"),
         ];
-        let rendered = Baseline::render(&findings);
+        let rendered = Baseline::render(&findings, "accepted for the test");
         let parsed = Baseline::parse(&rendered).unwrap();
         let order: Vec<(String, String)> =
             parsed.entries.iter().map(|e| (e.rule.clone(), e.file.clone())).collect();
@@ -561,13 +577,25 @@ mod tests {
     fn baseline_round_trips_through_render_and_parse() {
         let findings =
             [finding("E201", "crates/gpu-mem/src/l1d.rs", "unwrap"), finding("D004", "a.rs", "m")];
-        let rendered = Baseline::render(&findings);
+        let rendered = Baseline::render(&findings, "vendored code, upstream idiom");
         let parsed = Baseline::parse(&rendered).unwrap();
         assert_eq!(parsed.entries.len(), 2);
         // Render sorts by (rule, file, token), so D004 leads.
         assert_eq!(parsed.entries[0].rule, "D004");
         assert_eq!(parsed.entries[1].rule, "E201");
         assert_eq!(parsed.entries[1].count, 1);
+        assert_eq!(parsed.entries[0].reason, "vendored code, upstream idiom");
+    }
+
+    #[test]
+    fn baseline_rejects_the_todo_placeholder_reason() {
+        let findings = [finding("E201", "f.rs", "unwrap")];
+        let rendered = Baseline::render(&findings, TODO_REASON_MARKER);
+        let err = Baseline::parse(&rendered).unwrap_err();
+        assert!(err.contains("placeholder"), "{err}");
+        // A reason that merely mentions real context still passes.
+        let ok = Baseline::render(&findings, "unwrap is test-only scaffolding");
+        assert!(Baseline::parse(&ok).is_ok());
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod rules;
 pub mod symbols;
 
 pub use callgraph::{CallGraph, Reach};
-pub use diag::{json, render_json, render_text, Baseline, Finding, BASELINE_SCHEMA, DIAG_SCHEMA};
+pub use diag::{
+    json, render_json, render_text, Baseline, Finding, BASELINE_SCHEMA, DIAG_SCHEMA,
+    TODO_REASON_MARKER,
+};
 pub use engine::{
     check_telemetry, is_sim_tier, is_store_tier, lint_source, lint_sources, lint_workspace,
     Report, EXPERIMENTS_REL, TELEMETRY_REL,

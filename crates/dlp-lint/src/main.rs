@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dlp-lint [--root <dir>] [--format text|json] [--baseline <file>]
-//!          [--write-baseline <file>] [--list-rules]
+//!          [--write-baseline <file> --reason <text>] [--list-rules]
 //!          [--validate-diagnostics <file>]
 //! ```
 //!
@@ -15,13 +15,17 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use dlp_lint::{json, lint_workspace, render_json, render_text, rule_by_id, Baseline, DIAG_SCHEMA, RULES};
+use dlp_lint::{
+    json, lint_workspace, render_json, render_text, rule_by_id, Baseline, DIAG_SCHEMA, RULES,
+    TODO_REASON_MARKER,
+};
 
 struct Options {
     root: Option<PathBuf>,
     format: Format,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    reason: Option<String>,
     list_rules: bool,
     validate_diagnostics: Option<PathBuf>,
 }
@@ -34,7 +38,8 @@ enum Format {
 
 fn usage() -> String {
     "usage: dlp-lint [--root <dir>] [--format text|json] [--baseline <file>] \
-     [--write-baseline <file>] [--list-rules] [--validate-diagnostics <file>]"
+     [--write-baseline <file> --reason <text>] [--list-rules] \
+     [--validate-diagnostics <file>]"
         .to_string()
 }
 
@@ -44,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format: Format::Text,
         baseline: None,
         write_baseline: None,
+        reason: None,
         list_rules: false,
         validate_diagnostics: None,
     };
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--write-baseline" => {
                 opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
             }
+            "--reason" => opts.reason = Some(value("--reason")?),
             "--list-rules" => opts.list_rules = true,
             "--validate-diagnostics" => {
                 opts.validate_diagnostics =
@@ -73,6 +80,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
+    }
+    // A baseline is a ledger of justified debt: the writer refuses to
+    // run without a real justification (the old behaviour emitted a
+    // "TODO: justify or fix" placeholder that parse now rejects).
+    match (&opts.write_baseline, &opts.reason) {
+        (Some(_), None) => {
+            return Err(format!("--write-baseline requires --reason <text>\n{}", usage()))
+        }
+        (Some(_), Some(r)) if r.trim().is_empty() || r.contains(TODO_REASON_MARKER) => {
+            return Err("--reason must be a real justification, not empty or a TODO placeholder"
+                .to_string())
+        }
+        (None, Some(_)) => {
+            return Err(format!("--reason only applies with --write-baseline\n{}", usage()))
+        }
+        _ => {}
     }
     Ok(opts)
 }
@@ -137,7 +160,8 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if let Some(path) = &opts.write_baseline {
-        let rendered = Baseline::render(&findings);
+        let reason = opts.reason.as_deref().unwrap_or_default();
+        let rendered = Baseline::render(&findings, reason);
         std::fs::write(path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!("dlp-lint: wrote {} entries to {}", findings.len(), path.display());
     }

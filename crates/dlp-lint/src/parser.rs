@@ -748,7 +748,7 @@ fn cfg_marks_test(s: &[Token]) -> bool {
             }
             if t.text == "test"
                 && stack.first() == Some(&"cfg")
-                && !stack.iter().any(|g| *g == "not")
+                && !stack.contains(&"not")
             {
                 return true;
             }

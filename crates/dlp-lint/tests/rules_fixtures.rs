@@ -403,7 +403,7 @@ fn baseline_written_from_findings_accepts_exactly_those_findings() {
     assert_eq!(rules_of(&findings), ["E201", "E201"]);
 
     // A baseline generated from the findings covers both occurrences…
-    let rendered = Baseline::render(&findings);
+    let rendered = Baseline::render(&findings, "fixture debt accepted for this test");
     let baseline = Baseline::parse(&rendered).unwrap();
     assert_eq!(baseline.entries.len(), 1, "identical findings collapse into one counted entry");
     assert_eq!(baseline.entries[0].count, 2);
@@ -423,7 +423,9 @@ fn baseline_written_from_findings_accepts_exactly_those_findings() {
 #[test]
 fn fixed_findings_surface_as_stale_baseline_slots() {
     let mut findings = lint("fn f(a: Option<u32>) -> u32 { a.unwrap() }");
-    let baseline = Baseline::parse(&Baseline::render(&findings)).unwrap();
+    let baseline =
+        Baseline::parse(&Baseline::render(&findings, "fixture debt accepted for this test"))
+            .unwrap();
     // The unwrap gets fixed: nothing matches the baseline entry any more.
     let mut clean = lint("fn f(a: Option<u32>) -> u32 { a.unwrap_or(0) }");
     assert!(clean.is_empty());

@@ -316,6 +316,22 @@ impl Dram {
         self.now += ticks;
     }
 
+    /// Discard all queued and completed commands (sampling-mode
+    /// fast-forward). The partition resolves every outstanding line
+    /// functionally during the drain, so commands still sitting here
+    /// would otherwise surface as duplicate fills in the next detailed
+    /// window. Timing residue (`busy_until`, open rows, `now`) is left
+    /// in place: it only ages the first post-gap accesses, exactly like
+    /// a real warm-up.
+    pub fn discard_in_flight(&mut self) {
+        for b in &mut self.banks {
+            b.queue.clear();
+        }
+        self.queued = 0;
+        self.earliest_start = u64::MAX;
+        self.completed.clear();
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> DramStats {
         self.stats

@@ -396,6 +396,117 @@ impl L1dCache {
         }
     }
 
+    /// State-only access for sampling-mode fast-forward: the full
+    /// policy-visible protocol of [`Self::process`] (query, hit/miss,
+    /// eviction, bypass, fill) with the *timing* collapsed — fills
+    /// complete instantly, so no MSHR entry, miss-queue packet, or
+    /// pipeline stall ever forms. `effects` receives the L2-bound
+    /// traffic as `(addr, is_write)` so the caller can keep partition
+    /// state warm; `respond` pushes an immediate response for callers
+    /// whose warps are scoreboard-blocked on it (the window-edge drain).
+    ///
+    /// Latency statistics (`load_latency_sum`/`load_count`, stall
+    /// counters) are untouched: latency is only meaningful inside
+    /// detailed windows.
+    pub fn access_functional(
+        &mut self,
+        req: MemReq,
+        first_attempt: bool,
+        respond: bool,
+        effects: &mut Vec<(u64, bool)>,
+    ) {
+        debug_assert_eq!(
+            self.mshr.occupancy(),
+            0,
+            "functional access with in-flight detailed misses — drain first"
+        );
+        let line = self.cfg.geom.line_addr(req.addr);
+        let (set, tag) = (self.cfg.geom.set_of_line(line), self.cfg.geom.tag_of_line(line));
+        let ctx = AccessCtx { insn_id: hash_pc(req.pc), is_write: req.is_write };
+
+        if first_attempt {
+            self.stats.accesses += 1;
+            if self.seen_lines.insert(line) {
+                self.stats.compulsory_misses += 1;
+            }
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_access(set, line, req.pc, req.is_write);
+            }
+            self.policy.on_query(set);
+        }
+
+        if let Lookup::Hit { way } = self.tags.lookup(set, tag) {
+            self.policy.on_hit(set, way, &ctx);
+            self.stats.hits += 1;
+            if req.is_write {
+                self.tags.mark_dirty(set, way);
+            }
+            if respond {
+                self.responses.push_back(MemResp { req });
+            }
+            return;
+        }
+
+        if first_attempt {
+            self.policy.on_miss(set, tag, &ctx);
+        }
+        let views = self.tags.view_set(set);
+        match self.policy.decide_replacement(set, views, &ctx) {
+            MissDecision::Allocate { way } => {
+                if let Some(old) = self.tags.evict_and_reserve(set, way, tag) {
+                    self.policy.on_evict(set, way, old.tag);
+                    self.stats.evictions += 1;
+                    if old.dirty {
+                        self.stats.dirty_evictions += 1;
+                        effects.push((old.tag * self.cfg.geom.line_bytes, true));
+                    }
+                }
+                // The fetch completes instantly: fill now, as the
+                // detailed path's on_reply would.
+                self.tags.fill(set, way, req.is_write);
+                self.policy.on_fill(set, way, tag, &ctx);
+                self.stats.misses_allocated += 1;
+                effects.push((req.addr, false));
+            }
+            MissDecision::Bypass => {
+                self.policy.on_bypass(set, tag, &ctx);
+                if req.is_write {
+                    self.stats.bypassed_stores += 1;
+                    effects.push((req.addr, true));
+                } else {
+                    self.stats.bypassed_loads += 1;
+                    self.stats.bypass_fetches += 1;
+                    effects.push((req.addr, false));
+                }
+            }
+            MissDecision::Stall => {
+                // Unreachable functionally: instant fills mean no way is
+                // ever left reserved for a policy to stall on.
+                debug_assert!(false, "policy stalled a functional access");
+            }
+        }
+        if respond {
+            self.responses.push_back(MemResp { req });
+        }
+    }
+
+    /// Window-edge drain for sampling mode: flush every ripening
+    /// response to the core regardless of ready cycle and resolve the
+    /// parked access functionally. Must run *after* all outstanding
+    /// fills were answered (the MSHR is empty), so afterwards the cache
+    /// is [`Self::quiescent`] once the outgoing queue is consumed.
+    pub fn drain_functional(&mut self, effects: &mut Vec<(u64, bool)>) {
+        while let Some(Reverse(p)) = self.pending.pop() {
+            self.responses.push_back(p.resp);
+        }
+        if let Some(req) = self.pipeline_reg.take() {
+            // The parked access already paid its first-attempt
+            // accounting (access count, observer, policy query/miss)
+            // when it was submitted in the detailed window.
+            self.access_functional(req, false, true, effects);
+        }
+    }
+
     fn schedule_resp(&mut self, req: MemReq, ready: u64) {
         if !req.is_write {
             self.stats.load_latency_sum += ready.saturating_sub(req.born);

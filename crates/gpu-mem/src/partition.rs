@@ -463,6 +463,118 @@ impl MemoryPartition {
         }
     }
 
+    /// State-only L2 access for sampling-mode fast-forward: the same
+    /// query/hit/evict/fill protocol as [`Self::process`] with timing
+    /// collapsed — misses fill instantly and touch no DRAM command
+    /// queue. Must not run while L2 MSHR entries exist (their reserved
+    /// ways would collide with the instant fills); callers drain first.
+    pub fn l2_touch_functional(&mut self, addr: u64, is_write: bool) {
+        debug_assert!(self.mshr.is_empty(), "functional L2 touch with in-flight fills");
+        let geom = self.cfg.l2_geom;
+        let line = geom.line_addr(addr);
+        let (set, tag) = (geom.set_of_line(line), geom.tag_of_line(line));
+        let ctx = AccessCtx { insn_id: 0, is_write };
+        self.stats.accesses += 1;
+        self.policy.on_query(set);
+        if let Lookup::Hit { way } = self.tags.lookup(set, tag) {
+            self.policy.on_hit(set, way, &ctx);
+            self.stats.hits += 1;
+            if is_write {
+                self.tags.mark_dirty(set, way);
+            }
+            return;
+        }
+        let views = self.tags.view_set(set);
+        let way = match self.policy.decide_replacement(set, views, &ctx) {
+            MissDecision::Allocate { way } => way,
+            // With no reserved ways the LRU baseline always allocates;
+            // it never bypasses at L2.
+            MissDecision::Stall | MissDecision::Bypass => {
+                debug_assert!(false, "L2 LRU refused a functional allocation");
+                return;
+            }
+        };
+        if let Some(old) = self.tags.evict_and_reserve(set, way, tag) {
+            self.policy.on_evict(set, way, old.tag);
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+        }
+        self.tags.fill(set, way, is_write);
+        self.policy.on_fill(set, way, line, &ctx);
+        self.stats.misses_allocated += 1;
+    }
+
+    /// Route one request packet through the L2 functionally and return
+    /// the reply it owes, if any (sampling-mode drain and fast-forward;
+    /// write traffic is absorbed silently, exactly as the detailed path
+    /// eventually would).
+    pub fn apply_functional(&mut self, pkt: Packet) -> Option<Packet> {
+        let is_write = matches!(pkt.kind, PacketKind::WriteThrough | PacketKind::Writeback);
+        self.l2_touch_functional(pkt.addr, is_write);
+        match pkt.kind {
+            PacketKind::ReadReq => Some(Packet { kind: PacketKind::ReadReply, ..pkt }),
+            PacketKind::BypassReadReq => Some(Packet { kind: PacketKind::BypassReadReply, ..pkt }),
+            _ => None,
+        }
+    }
+
+    /// Window-edge drain for sampling mode: force every in-flight fill
+    /// to complete, flush ripening and queued replies, service the
+    /// input queue functionally, and discard the DRAM channel's pending
+    /// commands (their results were just materialized here). Returns
+    /// every reply packet the partition owed; afterwards the partition
+    /// is [`Self::idle`].
+    pub fn drain_functional(&mut self) -> Vec<Packet> {
+        let mut replies = Vec::new();
+        // 1. Complete outstanding L2 fills in sorted line order so the
+        //    fill/reply order — and thus every downstream consumer — is
+        //    deterministic.
+        // dlp-lint: allow(D004) -- keys are collected and sorted before use
+        let mut lines: Vec<u64> = self.mshr.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let Some(entry) = self.mshr.remove(&line) else { continue };
+            let dirty = entry
+                .pkts
+                .iter()
+                .any(|p| matches!(p.kind, PacketKind::WriteThrough | PacketKind::Writeback));
+            self.tags.fill(entry.set, entry.way, dirty);
+            let ctx = AccessCtx { insn_id: 0, is_write: false };
+            self.policy.on_fill(entry.set, entry.way, line, &ctx);
+            for pkt in entry.pkts {
+                match pkt.kind {
+                    PacketKind::ReadReq => {
+                        replies.push(Packet { kind: PacketKind::ReadReply, ..pkt });
+                    }
+                    PacketKind::BypassReadReq => {
+                        replies.push(Packet { kind: PacketKind::BypassReadReply, ..pkt });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // 2. Replies already scheduled or queued go out as-is.
+        while let Some(Reverse(p)) = self.pending.pop() {
+            replies.push(p.pkt);
+        }
+        while let Some(pkt) = self.out_queue.pop_front() {
+            replies.push(pkt);
+        }
+        // 3. Input packets are serviced functionally (the MSHR is empty
+        //    now, so the state-only path is sound).
+        while let Some(pkt) = self.in_queue.pop_front() {
+            if let Some(reply) = self.apply_functional(pkt) {
+                replies.push(reply);
+            }
+        }
+        // 4. DRAM commands for the fills above (and queued victim
+        //    writebacks) must not resurface in the next detailed window.
+        self.dram.discard_in_flight();
+        replies
+    }
+
     /// Returns `Ok(true)` if the packet was fully handled, `Ok(false)`
     /// if it must retry next cycle behind a structural hazard.
     fn process(&mut self, pkt: Packet, now: u64) -> Result<bool, MemError> {

@@ -1,5 +1,6 @@
 //! Simulation configuration — Table 1 of the paper, transcribed.
 
+use crate::sampling::SamplingConfig;
 use dlp_core::{CacheGeometry, PolicyKind, ProtectionConfig};
 use gpu_mem::fault::FaultConfig;
 use gpu_mem::icnt::IcntConfig;
@@ -65,6 +66,12 @@ pub struct SimConfig {
     /// shard-equivalence suite pins 1 vs 2 vs 4). 1 (the default)
     /// selects the classic single-threaded path; requires `leap`.
     pub shards: usize,
+    /// SMARTS-style interval sampling: `Some` alternates detailed
+    /// measurement windows with functional fast-forward and reports
+    /// per-window counter samples for confidence intervals. `None`
+    /// (the default) runs exact simulation, byte-identical to builds
+    /// without the sampling code.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl SimConfig {
@@ -93,6 +100,7 @@ impl SimConfig {
             leap: true,
             fault: None,
             shards: 1,
+            sampling: None,
         }
     }
 
@@ -133,6 +141,15 @@ impl SimConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1);
         self.shards = shards;
+        self
+    }
+
+    /// Enable SMARTS-style interval sampling: detailed windows of
+    /// `sc.detail` cycles (each preceded by `sc.warmup` discarded
+    /// warm-up cycles) separated by functionally fast-forwarded gaps
+    /// of `sc.skip` cycles. Forces the sequential shard path.
+    pub fn with_sampling(mut self, sc: SamplingConfig) -> Self {
+        self.sampling = Some(sc);
         self
     }
 }

@@ -32,12 +32,14 @@ use crate::audit::{check_flit_conservation, check_reply_conservation, FlowCounte
 use crate::config::SimConfig;
 use crate::error::{HangReport, PartitionSnapshot, SimError, SmSnapshot};
 use crate::kernel::Kernel;
+use crate::sampling::{SamplingConfig, SamplingReport, WindowSample};
 use crate::shard::ShardTelemetry;
 use crate::sm::Sm;
 use crate::stats::RunStats;
 use gpu_mem::fault::{FaultInjector, FaultSite};
 use gpu_mem::icnt::Interconnect;
 use gpu_mem::observer::AccessObserver;
+use gpu_mem::packet::Packet;
 use gpu_mem::partition::MemoryPartition;
 use std::collections::VecDeque;
 
@@ -206,6 +208,9 @@ pub struct Gpu {
     /// Accumulated sharded-engine telemetry (empty when every run took
     /// the classic path).
     pub(crate) shard_telemetry: ShardTelemetry,
+    /// What the SMARTS sampling controller measured, when
+    /// [`SimConfig::sampling`] was set for the last `run`.
+    pub(crate) sampling_report: Option<SamplingReport>,
 }
 
 /// See [`Gpu::leap_hint`].
@@ -258,6 +263,7 @@ impl Gpu {
             observed: false,
             shards_disabled: false,
             shard_telemetry: ShardTelemetry::default(),
+            sampling_report: None,
             cfg,
         }
     }
@@ -283,7 +289,11 @@ impl Gpu {
     /// restart; otherwise the configured count, clamped to the
     /// component counts.
     pub(crate) fn effective_shards(&self) -> usize {
-        if !self.cfg.leap || self.observed || self.shards_disabled {
+        if !self.cfg.leap
+            || self.observed
+            || self.shards_disabled
+            || self.cfg.sampling.is_some()
+        {
             return 1;
         }
         self.cfg.shards.clamp(1, self.cfg.num_sms.max(self.cfg.icnt.num_partitions))
@@ -317,6 +327,7 @@ impl Gpu {
         self.sm_next_ev = vec![0; cfg.num_sms];
         self.sm_last_cycled = vec![0; cfg.num_sms];
         self.sm_asleep = vec![false; cfg.num_sms];
+        self.sampling_report = None;
     }
 
     #[inline]
@@ -868,6 +879,9 @@ impl Gpu {
     /// hang report from the watchdog, a cycle-cap overrun, or the first
     /// invariant violation found.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
+        if let Some(sc) = self.cfg.sampling {
+            return self.run_sampled(sc);
+        }
         if self.effective_shards() > 1 {
             return crate::shard::run_sharded(self, None);
         }
@@ -917,6 +931,319 @@ impl Gpu {
         }
         self.settle_sms();
         Ok(self.collect(self.finished()))
+    }
+
+    /// What the sampling controller measured during the last [`Gpu::run`],
+    /// or `None` when the run executed in exact mode.
+    pub fn sampling_report(&self) -> Option<&SamplingReport> {
+        self.sampling_report.as_ref()
+    }
+
+    /// SMARTS-style interval sampling: alternate short detailed windows
+    /// (warm-up + measurement, simulated cycle-accurately by the very
+    /// loop [`Gpu::run`] uses) with long functionally fast-forwarded
+    /// gaps. Per-window counter deltas become [`WindowSample`]s whose
+    /// spread yields the confidence interval dlp-bench reports.
+    fn run_sampled(&mut self, sc: SamplingConfig) -> Result<RunStats, SimError> {
+        let mut report = SamplingReport::default();
+        // Deterministic phase offset: shift the sampling grid by a
+        // seed-dependent amount so repeated experiments with different
+        // seeds observe different program phases.
+        let offset = sc.seed % sc.skip;
+        if offset > 0 && !self.finished() {
+            self.drain_in_flight()?;
+            self.fast_forward_gap(offset, &mut report)?;
+        }
+        while !self.finished() {
+            if self.now >= self.cfg.max_cycles {
+                self.settle_sms();
+                self.sampling_report = Some(report);
+                return Err(SimError::CycleCapExceeded(Box::new(self.hang_report())));
+            }
+            // Warm-up: detailed execution whose counters are discarded —
+            // it exists to re-form queues, MSHR pressure and in-flight
+            // traffic after the functional gap.
+            self.run_detailed_window(sc.warmup, &mut report)?;
+            if self.finished() {
+                break;
+            }
+            // Measurement window: everything between the two snapshots
+            // is cycle-accurate, so the deltas are unbiased estimators.
+            let start = self.now;
+            let before = self.sample_snapshot();
+            self.run_detailed_window(sc.detail, &mut report)?;
+            let after = self.sample_snapshot();
+            report.windows.push(WindowSample {
+                cycles: self.now - start,
+                warp_insns: after.warp_insns - before.warp_insns,
+                thread_insns: after.thread_insns - before.thread_insns,
+                accesses: after.accesses - before.accesses,
+                hits: after.hits - before.hits,
+                flits: after.flits - before.flits,
+            });
+            if self.finished() {
+                break;
+            }
+            self.drain_in_flight()?;
+            self.fast_forward_gap(sc.skip, &mut report)?;
+        }
+        self.settle_sms();
+        self.sampling_report = Some(report);
+        Ok(self.collect(true))
+    }
+
+    /// One detailed window: the exact-mode run loop, bounded at
+    /// `self.now + cycles`. Counts every cycle it advances (stepped or
+    /// leapt) as detailed time in the report.
+    fn run_detailed_window(
+        &mut self,
+        cycles: u64,
+        report: &mut SamplingReport,
+    ) -> Result<(), SimError> {
+        let start = self.now;
+        let end = start + cycles;
+        while !self.finished() && self.now < end {
+            if self.now >= self.cfg.max_cycles {
+                report.detailed_cycles += self.now - start;
+                self.settle_sms();
+                self.sampling_report = Some(report.clone());
+                return Err(SimError::CycleCapExceeded(Box::new(self.hang_report())));
+            }
+            if self.cfg.leap {
+                let target = self.next_step_cycle();
+                if target > end {
+                    // The rest of the window is dead time; account for
+                    // it and stop exactly at the window edge.
+                    self.leap_to(end)?;
+                    break;
+                }
+                if target > self.now + 1 {
+                    self.leap_to(target - 1)?;
+                }
+            }
+            self.step()?;
+        }
+        // The loop may have leapt to the window edge without stepping.
+        // [`MemoryPartition::next_event`] computes its DRAM-domain term
+        // relative to the partition's *internal* clock, which is only
+        // current right after a step that cycled it — so before the next
+        // window probes for a leap bound, replay the leapt tail into
+        // each partition's clock (sound: the bound that licensed the
+        // leap guarantees the tail was quiet).
+        for p in &mut self.parts {
+            p.advance_quiet(self.now);
+        }
+        report.detailed_cycles += self.now - start;
+        Ok(())
+    }
+
+    /// Resolve every in-flight request so the machine reaches a
+    /// quiescent point the functional fast-forward can start from:
+    /// partitions answer everything they hold, crossbar packets arrive
+    /// instantly, L1Ds absorb the replies and retire the warps that
+    /// were waiting. Conservation counters are maintained throughout, so
+    /// the periodic audits stay valid across the window edge.
+    fn drain_in_flight(&mut self) -> Result<(), SimError> {
+        let now = self.now;
+        // Age deferred per-SM accounting through the window edge first,
+        // while the "cycles behind" bookkeeping is still coherent.
+        self.settle_sms();
+        let mut replies: Vec<Packet> = Vec::new();
+        let mut effects: Vec<(u64, bool)> = Vec::new();
+        // 1. Partitions complete their L2 misses and flush their queues.
+        //    This empties every L2 MSHR, which the functional apply
+        //    paths below require.
+        for p in 0..self.parts.len() {
+            replies.extend(self.parts[p].drain_functional());
+        }
+        // 2. Requests still sitting in L1D outgoing queues route
+        //    directly to their partition (they never enter the crossbar,
+        //    so no flit delivery is recorded for them — matching the
+        //    send side, which never counted them either).
+        for s in 0..self.sms.len() {
+            while let Some(pkt) = self.sms[s].l1d.pop_outgoing() {
+                if pkt.kind.expects_reply() {
+                    self.counters.fetches_sent += 1;
+                }
+                let dst = self.icnt.partition_of(pkt.addr);
+                if let Some(reply) = self.parts[dst].apply_functional(pkt) {
+                    replies.push(reply);
+                }
+            }
+        }
+        // 3. Packets in flight toward the partitions arrive now.
+        for p in 0..self.parts.len() {
+            for (_, pkt) in self.icnt.extract_ready_fwd(p, u64::MAX) {
+                self.counters.fwd_flits_delivered += pkt.flits();
+                if let Some(reply) = self.parts[p].apply_functional(pkt) {
+                    replies.push(reply);
+                }
+            }
+        }
+        // 4. Replies in flight toward the SMs arrive now.
+        for s in 0..self.sms.len() {
+            for (_, pkt) in self.icnt.extract_ready_ret(s, u64::MAX) {
+                self.counters.ret_flits_delivered += pkt.flits();
+                replies.push(pkt);
+            }
+        }
+        // 5. Deliver every owed reply to its L1D.
+        for pkt in replies {
+            let s = pkt.req.sm as usize;
+            self.counters.replies_delivered += 1;
+            self.sms[s]
+                .l1d
+                .on_reply(pkt, now)
+                .map_err(|source| SimError::MshrViolation { sm: s, source, cycle: now })?;
+        }
+        // 6. SMs ripen the responses, retire the blocked warps, and
+        //    retry anything the replay queues held. Fresh misses raised
+        //    here fill instantly; their L2-side footprint is applied
+        //    functionally.
+        for s in 0..self.sms.len() {
+            self.sms[s].drain_functional(now, &mut effects)?;
+            for &(addr, is_write) in &effects {
+                let dst = self.icnt.partition_of(addr);
+                self.parts[dst].l2_touch_functional(addr, is_write);
+            }
+            effects.clear();
+            self.sms[s].take_finished_ctas();
+        }
+        // 7. Re-derive the busy/sleep bookkeeping the event core trusts.
+        for s in 0..self.sms.len() {
+            let idle = self.sms[s].idle();
+            match (self.sm_busy[s], idle) {
+                (true, true) => {
+                    self.sm_busy[s] = false;
+                    self.busy_sms -= 1;
+                }
+                (false, false) => {
+                    self.sm_busy[s] = true;
+                    self.busy_sms += 1;
+                }
+                _ => {}
+            }
+            self.sm_next_ev[s] = 0;
+            self.sm_last_cycled[s] = now;
+            self.sm_asleep[s] = false;
+        }
+        for p in 0..self.parts.len() {
+            debug_assert!(self.parts[p].idle(), "partition {p} not idle after drain");
+            if self.part_busy[p] {
+                self.part_busy[p] = false;
+                self.busy_parts -= 1;
+            }
+        }
+        debug_assert_eq!(self.icnt.in_flight(), 0, "crossbar not empty after drain");
+        self.leap_hint = LeapHint::None;
+        self.last_progress = self.counters.replies_delivered + self.total_warp_insns;
+        self.last_progress_cycle = now;
+        Ok(())
+    }
+
+    /// Functionally execute roughly `gap` cycles' worth of work: warps
+    /// advance instruction by instruction, every memory access updates
+    /// cache and policy state with an instant fill, and nothing touches
+    /// crossbar or DRAM timing. The instruction budget is set by the
+    /// last measurement window's issue rate so the gap represents the
+    /// same amount of program progress detailed simulation would make.
+    fn fast_forward_gap(
+        &mut self,
+        gap: u64,
+        report: &mut SamplingReport,
+    ) -> Result<(), SimError> {
+        let budget = match report.windows.last() {
+            Some(w) if w.cycles > 0 => {
+                (w.warp_insns.saturating_mul(gap) / w.cycles).max(64)
+            }
+            // Cold start (phase offset before the first window): assume
+            // one warp instruction per cycle.
+            _ => gap.max(64),
+        };
+        let mut executed = 0u64;
+        let mut effects: Vec<(u64, bool)> = Vec::new();
+        while executed < budget {
+            self.launch_ctas()?;
+            let mut progressed = false;
+            for s in 0..self.sms.len() {
+                let quantum = (budget - executed).min(512);
+                let done = self.sms[s].advance_functional(quantum, self.now, &mut effects)?;
+                if done > 0 {
+                    progressed = true;
+                }
+                executed += done;
+                self.total_warp_insns += done;
+                for &(addr, is_write) in &effects {
+                    let dst = self.icnt.partition_of(addr);
+                    self.parts[dst].l2_touch_functional(addr, is_write);
+                }
+                effects.clear();
+                self.sms[s].take_finished_ctas();
+                if executed >= budget {
+                    break;
+                }
+            }
+            if !progressed {
+                // Nothing ran and launch_ctas had nothing to place: the
+                // grid is out of work — the gap ends early.
+                break;
+            }
+        }
+        // Re-derive busy flags: SMs may have run dry mid-gap, and
+        // launch_ctas marked newly fed SMs busy already.
+        for s in 0..self.sms.len() {
+            let idle = self.sms[s].idle();
+            match (self.sm_busy[s], idle) {
+                (true, true) => {
+                    self.sm_busy[s] = false;
+                    self.busy_sms -= 1;
+                }
+                (false, false) => {
+                    self.sm_busy[s] = true;
+                    self.busy_sms += 1;
+                }
+                _ => {}
+            }
+            self.sm_next_ev[s] = 0;
+            self.sm_asleep[s] = false;
+        }
+        // Advance the clock: the full gap normally; pro-rated when the
+        // program ran dry partway through, so end-of-run cycle counts
+        // stay meaningful.
+        let advance = if executed >= budget || !self.finished() {
+            gap
+        } else {
+            gap.saturating_mul(executed) / budget
+        };
+        self.now += advance;
+        report.ff_cycles += advance;
+        report.ff_insns += executed;
+        for s in 0..self.sms.len() {
+            self.sm_last_cycled[s] = self.now;
+        }
+        self.last_progress = self.counters.replies_delivered + self.total_warp_insns;
+        self.last_progress_cycle = self.now;
+        Ok(())
+    }
+
+    /// Cumulative counter snapshot for window-delta estimation.
+    fn sample_snapshot(&self) -> WindowSample {
+        let mut snap = WindowSample::default();
+        for sm in &self.sms {
+            let s = sm.stats();
+            snap.warp_insns += s.warp_insns;
+            snap.thread_insns += s.thread_insns;
+            let c = sm.l1d.stats();
+            snap.accesses += c.accesses;
+            snap.hits += c.hits;
+        }
+        // Injected, not delivered, flits: delivery lags injection by the
+        // full queueing latency, which under congestion exceeds a window
+        // length — a delivered-basis delta would systematically starve
+        // the window. Injection shares its basis with the exact-mode
+        // figure ([`IcntStats::total_flits`]).
+        snap.flits = sm_icnt_stats(&self.icnt).total_flits();
+        snap
     }
 
     pub(crate) fn collect(&self, completed: bool) -> RunStats {
@@ -1041,6 +1368,80 @@ mod tests {
         .run()
         .unwrap();
         assert!(stats.cycles > full.cycles);
+    }
+
+    #[test]
+    fn sampled_run_completes_and_reports_windows() {
+        for kind in PolicyKind::ALL {
+            let sc = SamplingConfig { detail: 200, skip: 600, warmup: 100, seed: 0 };
+            let cfg = SimConfig::tesla_m2090(kind).scaled_down(2).with_sampling(sc);
+            let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 16, warps: 4, iters: 16 }));
+            let stats = gpu.run().unwrap();
+            assert!(stats.completed, "{kind:?} sampled run did not complete");
+            // Every warp instruction executes exactly once, detailed or
+            // functional — the total is exact, not estimated.
+            assert_eq!(stats.warp_insns, 16 * 4 * 16 * 3, "{kind:?} wrong insn count");
+            let report = gpu.sampling_report().expect("sampled run leaves a report");
+            assert!(!report.windows.is_empty(), "{kind:?}: no measurement windows");
+            assert!(report.ff_insns > 0, "{kind:?}: nothing fast-forwarded");
+            assert!(report.ff_cycles > 0);
+            for w in &report.windows {
+                assert!(w.cycles > 0);
+                assert!(w.hits <= w.accesses);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic() {
+        let mk = |seed| {
+            let sc = SamplingConfig { detail: 128, skip: 512, warmup: 64, seed };
+            let cfg =
+                SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2).with_sampling(sc);
+            let mut gpu =
+                Gpu::new(cfg, Box::new(Stream { ctas: 12, warps: 4, iters: 12 }));
+            let stats = gpu.run().unwrap();
+            (stats, gpu.sampling_report().unwrap().clone())
+        };
+        let (sa, ra) = mk(7);
+        let (sb, rb) = mk(7);
+        assert_eq!(sa.cycles, sb.cycles);
+        assert_eq!(sa.l1d, sb.l1d);
+        assert_eq!(ra, rb, "same seed must reproduce the same windows");
+        // A different seed shifts the sampling grid, which the report
+        // reflects (the run still completes with the same total work).
+        let (sc_, rc) = mk(123);
+        assert_eq!(sa.warp_insns, sc_.warp_insns);
+        assert!(sc_.completed);
+        assert_ne!(ra, rc, "different seeds should observe different windows");
+    }
+
+    #[test]
+    fn exact_mode_is_untouched_by_the_sampling_field() {
+        // sampling: None must leave the run loop on the exact path —
+        // identical cycles and counters to a config that never heard of
+        // sampling (the golden-digest guarantee, in miniature).
+        let cfg = SimConfig::tesla_m2090(PolicyKind::Dlp).scaled_down(2);
+        assert!(cfg.sampling.is_none());
+        let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 6, warps: 3, iters: 4 }));
+        let stats = gpu.run().unwrap();
+        assert!(gpu.sampling_report().is_none());
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn sampled_run_respects_the_cycle_cap() {
+        let sc = SamplingConfig { detail: 64, skip: 128, warmup: 32, seed: 0 };
+        let mut cfg =
+            SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(2).with_sampling(sc);
+        cfg.max_cycles = 300;
+        let mut gpu = Gpu::new(cfg, Box::new(Stream { ctas: 32, warps: 8, iters: 64 }));
+        match gpu.run() {
+            Err(SimError::CycleCapExceeded(report)) => {
+                assert!(report.cycle >= 300);
+            }
+            other => panic!("expected a cycle-cap error, got {other:?}"),
+        }
     }
 
     #[test]

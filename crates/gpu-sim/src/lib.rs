@@ -59,6 +59,7 @@ pub mod error;
 pub mod gpu;
 pub mod isa;
 pub mod kernel;
+pub mod sampling;
 pub mod scheduler;
 pub mod shard;
 pub mod sm;
@@ -69,5 +70,6 @@ pub use config::SimConfig;
 pub use error::{HangReport, SimError};
 pub use gpu::Gpu;
 pub use kernel::{GridDesc, Kernel};
+pub use sampling::{SamplingConfig, SamplingParseError, SamplingReport, WindowSample};
 pub use shard::ShardTelemetry;
 pub use stats::RunStats;

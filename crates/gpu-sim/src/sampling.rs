@@ -1,0 +1,245 @@
+//! SMARTS-style interval sampling configuration (§SMARTS; Wunderlich
+//! et al.). The simulator alternates (warm-up, detailed-measurement,
+//! functional-fast-forward) intervals: only the detailed windows pay
+//! full timing cost, the gaps advance architectural *state* (PCs,
+//! cache tags, VTA/PDPT protection structures) functionally.
+//!
+//! The environment-variable syntax `DLP_SAMPLING=<detail>:<skip>
+//! [:warmup[:seed]]` is parsed here with typed errors; reading the
+//! environment itself is the benchmark tier's job (D003 — the sim tier
+//! never touches `std::env`).
+
+use std::fmt;
+
+/// Interval-sampling parameters, attached to
+/// [`SimConfig`](crate::SimConfig) as `Option<SamplingConfig>`
+/// (`None` = exact simulation, bit-identical to the pre-sampling code).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SamplingConfig {
+    /// Detailed-measurement window length in core cycles. Each window
+    /// contributes one sample to the per-metric estimators.
+    pub detail: u64,
+    /// Functionally fast-forwarded gap between detailed windows, in
+    /// nominal core cycles (the clock advances by this much per gap).
+    pub skip: u64,
+    /// Detailed warm-up run before each measurement window; its
+    /// counters are discarded so cold-start bias after a fast-forward
+    /// does not pollute the sample.
+    pub warmup: u64,
+    /// Deterministic phase offset seed: the first gap is shortened by
+    /// `seed % skip` cycles so window placement can be varied without
+    /// perturbing anything else.
+    pub seed: u64,
+}
+
+/// Why a `DLP_SAMPLING` string failed to parse. Typed per the E-rules:
+/// the benchmark front-end reports these, nothing panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SamplingParseError {
+    /// A field was not a decimal integer.
+    BadNumber {
+        /// Which field (0-based position in the colon-separated list).
+        field: &'static str,
+        /// The offending text.
+        text: String,
+    },
+    /// `detail` or `skip` was zero — a zero-length window would divide
+    /// the run into nothing or never fast-forward.
+    ZeroWindow {
+        /// Which window length was zero.
+        field: &'static str,
+    },
+    /// More than four colon-separated fields.
+    TooManyFields {
+        /// How many fields were supplied.
+        got: usize,
+    },
+    /// Empty string (set-but-empty environment variable).
+    Empty,
+}
+
+impl fmt::Display for SamplingParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingParseError::BadNumber { field, text } => {
+                write!(f, "DLP_SAMPLING: `{field}` is not a number: `{text}`")
+            }
+            SamplingParseError::ZeroWindow { field } => {
+                write!(f, "DLP_SAMPLING: `{field}` must be nonzero")
+            }
+            SamplingParseError::TooManyFields { got } => {
+                write!(
+                    f,
+                    "DLP_SAMPLING: expected <detail>:<skip>[:warmup[:seed]], got {got} fields"
+                )
+            }
+            SamplingParseError::Empty => {
+                write!(f, "DLP_SAMPLING: empty value (unset the variable for exact mode)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingParseError {}
+
+impl SamplingConfig {
+    /// Parse `<detail>:<skip>[:warmup[:seed]]`. `warmup` defaults to
+    /// `detail / 2`, `seed` to 0.
+    pub fn parse(s: &str) -> Result<SamplingConfig, SamplingParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SamplingParseError::Empty);
+        }
+        let fields: Vec<&str> = s.split(':').collect();
+        if fields.len() > 4 {
+            return Err(SamplingParseError::TooManyFields { got: fields.len() });
+        }
+        let num = |field: &'static str, text: Option<&&str>| -> Result<Option<u64>, SamplingParseError> {
+            match text {
+                None => Ok(None),
+                Some(t) => t
+                    .trim()
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| SamplingParseError::BadNumber { field, text: (*t).to_string() }),
+            }
+        };
+        let detail = num("detail", fields.first())?
+            .ok_or(SamplingParseError::Empty)?;
+        let skip =
+            num("skip", fields.get(1))?.ok_or(SamplingParseError::BadNumber {
+                field: "skip",
+                text: String::new(),
+            })?;
+        if detail == 0 {
+            return Err(SamplingParseError::ZeroWindow { field: "detail" });
+        }
+        if skip == 0 {
+            return Err(SamplingParseError::ZeroWindow { field: "skip" });
+        }
+        let warmup = num("warmup", fields.get(2))?.unwrap_or(detail / 2);
+        let seed = num("seed", fields.get(3))?.unwrap_or(0);
+        Ok(SamplingConfig { detail, skip, warmup, seed })
+    }
+}
+
+/// Counter deltas measured over one detailed window. All integers
+/// (F102): the floating-point estimator math lives in the benchmark
+/// tier, which owns presentation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Detailed cycles actually simulated in the window (the last
+    /// window may be cut short by kernel completion).
+    pub cycles: u64,
+    /// Warp instructions issued inside the window.
+    pub warp_insns: u64,
+    /// Thread instructions executed inside the window.
+    pub thread_insns: u64,
+    /// L1D accesses inside the window (summed over SMs).
+    pub accesses: u64,
+    /// L1D hits inside the window.
+    pub hits: u64,
+    /// Interconnect flits delivered (forward + return) in the window.
+    pub flits: u64,
+}
+
+/// What the sampling controller did over a whole run, for the
+/// benchmark tier's estimators.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SamplingReport {
+    /// One entry per completed measurement window, in order.
+    pub windows: Vec<WindowSample>,
+    /// Cycles simulated in detail (warm-up + measurement).
+    pub detailed_cycles: u64,
+    /// Nominal cycles covered by functional fast-forward.
+    pub ff_cycles: u64,
+    /// Warp instructions executed functionally during fast-forward.
+    pub ff_insns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_form() {
+        let sc = SamplingConfig::parse("1000:9000").unwrap();
+        assert_eq!(sc, SamplingConfig { detail: 1000, skip: 9000, warmup: 500, seed: 0 });
+    }
+
+    #[test]
+    fn parses_full_form_with_whitespace() {
+        let sc = SamplingConfig::parse(" 256 : 768 : 128 : 42 ").unwrap();
+        assert_eq!(sc, SamplingConfig { detail: 256, skip: 768, warmup: 128, seed: 42 });
+    }
+
+    #[test]
+    fn warmup_defaults_to_half_detail() {
+        assert_eq!(SamplingConfig::parse("7:3").unwrap().warmup, 3);
+    }
+
+    #[test]
+    fn rejects_zero_length_windows() {
+        assert_eq!(
+            SamplingConfig::parse("0:100"),
+            Err(SamplingParseError::ZeroWindow { field: "detail" })
+        );
+        assert_eq!(
+            SamplingConfig::parse("100:0"),
+            Err(SamplingParseError::ZeroWindow { field: "skip" })
+        );
+        // Zero warmup and seed are fine.
+        let sc = SamplingConfig::parse("100:100:0:0").unwrap();
+        assert_eq!((sc.warmup, sc.seed), (0, 0));
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        assert_eq!(
+            SamplingConfig::parse("10%:90"),
+            Err(SamplingParseError::BadNumber { field: "detail", text: "10%".into() })
+        );
+        assert_eq!(
+            SamplingConfig::parse("10:-5"),
+            Err(SamplingParseError::BadNumber { field: "skip", text: "-5".into() })
+        );
+        assert_eq!(
+            SamplingConfig::parse("10:20:x"),
+            Err(SamplingParseError::BadNumber { field: "warmup", text: "x".into() })
+        );
+        assert_eq!(
+            SamplingConfig::parse("10:20:30:1.5"),
+            Err(SamplingParseError::BadNumber { field: "seed", text: "1.5".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_skip_and_empty() {
+        assert_eq!(SamplingConfig::parse(""), Err(SamplingParseError::Empty));
+        assert_eq!(SamplingConfig::parse("   "), Err(SamplingParseError::Empty));
+        assert!(matches!(
+            SamplingConfig::parse("1000"),
+            Err(SamplingParseError::BadNumber { field: "skip", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_extra_fields() {
+        assert_eq!(
+            SamplingConfig::parse("1:2:3:4:5"),
+            Err(SamplingParseError::TooManyFields { got: 5 })
+        );
+    }
+
+    #[test]
+    fn errors_render_as_messages() {
+        for e in [
+            SamplingConfig::parse("a:b").unwrap_err(),
+            SamplingConfig::parse("0:1").unwrap_err(),
+            SamplingConfig::parse("1:2:3:4:5").unwrap_err(),
+            SamplingConfig::parse("").unwrap_err(),
+        ] {
+            assert!(e.to_string().contains("DLP_SAMPLING"));
+        }
+    }
+}
