@@ -232,6 +232,56 @@ fn bench_fast_forward(c: &mut Criterion) {
     });
 }
 
+fn bench_streaming(c: &mut Criterion) {
+    // Native generator stream vs the eager `VecStream` compatibility
+    // adapter, drained end to end. The generator pays a per-op
+    // synthesis cost but never allocates the whole trace; the adapter
+    // front-loads one big materialization and then serves pointer
+    // bumps. This pair quantifies the trade the streaming engine makes
+    // to get O(1) resident memory — and guards against the generator
+    // path regressing to where the adapter would be faster overall.
+    use gpu_sim::stream::materialize;
+    use gpu_sim::VecStream;
+    use gpu_workloads::{build, Scale};
+
+    let kernel = build("KM", Scale::Tiny);
+    c.bench_function("warp_stream_native_drain", |b| {
+        b.iter(|| {
+            let mut s = kernel.warp_stream(0, 0);
+            let mut n = 0u64;
+            while s.next_op().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    c.bench_function("warp_stream_adapter_drain", |b| {
+        b.iter(|| {
+            let mut s: Box<dyn gpu_sim::OpStream> =
+                Box::new(VecStream::new(materialize(kernel.warp_stream(0, 0))));
+            let mut n = 0u64;
+            while s.next_op().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    // Reset-and-replay: the restart path of the sharded engine. A
+    // native stream must rewind without re-synthesizing its segment
+    // source from scratch each op.
+    c.bench_function("warp_stream_reset_replay", |b| {
+        let mut s = kernel.warp_stream(0, 0);
+        b.iter(|| {
+            s.reset();
+            let mut n = 0u64;
+            while s.next_op().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+}
+
 fn bench_estimator(c: &mut Criterion) {
     // Confidence-interval synthesis over a typical sampled run. Runs
     // once per job, so it only has to stay negligible — but the t-table
@@ -260,6 +310,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
     targets = bench_geometry_hash, bench_coalescer, bench_tag_array, bench_mshr, bench_icnt,
-        bench_dram, bench_next_event, bench_leap_catchup, bench_fast_forward, bench_estimator
+        bench_dram, bench_next_event, bench_leap_catchup, bench_fast_forward, bench_streaming,
+        bench_estimator
 );
 criterion_main!(benches);

@@ -7,12 +7,19 @@
 //!             calib           (CI tuning table: hit%, bypass%, stalls, PD)
 //!             inspect <APP>   (raw per-scheme statistics dump)
 //!             pdpt <APP>      (DLP's learned per-instruction PDs vs RDDs)
+//!             scale           (scale-axis suite: DLP_SCALE x workloads,
+//!                              streamed with O(1) warp-trace memory)
+//!             trace <FILE>    (replay an external trace file; malformed
+//!                              traces exit 2)
 //!   --tiny:   run the Tiny workload scale (smoke test)
+//!
+//! DLP_SCALE=10|100|1000 multiplies every Full-scale workload's
+//! streamed work per warp (all artifacts; invalid values exit 2).
 //! ```
 
 use dlp_bench::harness::{
-    run_app, run_policy_suite, run_size_suite, AppRun, ExperimentConfig, PolicySuite, RunFailure,
-    SizeSuite, LABEL_32K, SIZE_LABELS,
+    failure_digest, run_app, run_many, run_policy_suite, run_size_suite, AppRun, ExperimentConfig,
+    PolicySuite, RunFailure, SizeSuite, LABEL_32K, SIZE_LABELS,
 };
 use dlp_bench::report::{geomean_cell, normalize, Table};
 use dlp_core::{dlp_overhead, CacheGeometry, PolicyKind, ProtectionConfig};
@@ -85,12 +92,40 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     }
+    // Same discipline for the scale axis: a malformed DLP_SCALE exits 2
+    // before any sweep starts.
+    let scale_factor = match dlp_bench::harness::scale_env() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale =
-        if args.iter().any(|a| a == "--tiny") { Scale::Tiny } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::Tiny
+    } else {
+        match scale_factor {
+            Some(f) => Scale::Scaled(f),
+            None => Scale::Full,
+        }
+    };
     let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     dlp_bench::telemetry::sweep(&format!("figures {what}"), || run_artifact(what, scale, &args));
+
+    // One-line observability warning: 7-bit instruction-ID wraps alias
+    // distinct PCs onto shared PDPT/VTA slots. The built-in apps never
+    // wrap; replayed external traces can. Stderr, so exact-mode stdout
+    // stays byte-identical.
+    let wraps: u64 =
+        dlp_bench::telemetry::jobs_snapshot().iter().map(|j| j.insn_id_wraps).sum();
+    if wraps > 0 {
+        eprintln!(
+            "warning: {wraps} instruction-id wrap(s) across this run's jobs — distinct PCs \
+             alias in the 7-bit PDPT/VTA index; per-instruction statistics are conflated"
+        );
+    }
 
     if let Some(e) = dlp_bench::persist::store_poisoned() {
         eprintln!("store: disabled for this run: {e}");
@@ -188,11 +223,142 @@ fn run_artifact(what: &str, scale: Scale, args: &[String]) {
                 .expect("usage: figures inspect <APP>");
             inspect(app, scale);
         }
+        "scale" => {
+            // figures scale — the streaming-engine scale axis. The
+            // factor comes from DLP_SCALE (already folded into `scale`
+            // by main); an unset variable defaults to 10× so the suite
+            // is still meaningful standalone.
+            let factor = match scale {
+                Scale::Scaled(f) => f,
+                _ => 10,
+            };
+            scale_suite(factor);
+        }
+        "trace" => {
+            // figures trace <FILE> — replay an externally recorded
+            // trace through the simulator.
+            let path = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .expect("usage: figures trace <FILE>");
+            trace_report(path);
+        }
         other => {
             eprintln!("unknown artifact {other:?}");
             std::process::exit(2);
         }
     }
+}
+
+/// The scale-axis suite: a subset of apps at `factor`× work per warp,
+/// under the two schemes the paper contrasts. The point of the table
+/// is the last three columns — resident-trace memory stays O(1) per
+/// warp no matter the factor (`PeakTraceB` is the high-water mark the
+/// scale-smoke CI job asserts a bound on), and the wrap/eviction
+/// counters surface aliasing pressure that only appears at scale.
+fn scale_suite(factor: u32) {
+    println!("== Scale suite: {factor}x work per warp, O(1)-memory streaming ==");
+    const SCALE_APPS: [&str; 3] = ["KM", "BFS", "STR"];
+    const SCHEMES: [PolicyKind; 2] = [PolicyKind::Baseline, PolicyKind::Dlp];
+    let jobs: Vec<_> = SCALE_APPS
+        .iter()
+        .flat_map(|app| {
+            SCHEMES.iter().map(move |&kind| {
+                let cfg = ExperimentConfig {
+                    scale: Scale::Scaled(factor),
+                    ..ExperimentConfig::baseline().with_policy(kind)
+                };
+                (app.to_string(), cfg)
+            })
+        })
+        .collect();
+    let results = run_many(&jobs);
+
+    let mut t = Table::new(vec![
+        "App", "Scheme", "Cycles", "IPC", "Hit%", "PeakTraceB", "IdWraps", "PdptEvict",
+    ]);
+    let mut failures: Vec<RunFailure> = Vec::new();
+    for ((app, cfg), res) in jobs.iter().zip(results) {
+        match res {
+            Ok(run) => {
+                let s = &run.stats;
+                let ipc_ci = run
+                    .sampling
+                    .and_then(|sm| sm.ipc)
+                    .map(|e| format!("±{:.2}", e.half))
+                    .unwrap_or_default();
+                t.row(vec![
+                    app.clone(),
+                    format!("{:?}", cfg.policy),
+                    s.cycles.to_string(),
+                    format!("{:.2}{ipc_ci}", s.ipc()),
+                    format!("{:.1}%{}", s.l1d.hit_rate() * 100.0, hit_rate_ci_suffix(&run)),
+                    s.peak_warp_trace_bytes.to_string(),
+                    s.insn_id_wraps.to_string(),
+                    s.pdpt_evict_pressure.to_string(),
+                ]);
+            }
+            Err(f) => {
+                let mut cells = vec![
+                    app.clone(),
+                    format!("{:?}", cfg.policy),
+                    format!("FAILED({})", short_reason(&f)),
+                ];
+                cells.extend(std::iter::repeat_n("-".to_string(), 5));
+                t.row(cells);
+                failures.push(f);
+            }
+        }
+    }
+    println!("{}", t.render());
+    report_failures(&failure_digest(&failures));
+}
+
+/// Replay an externally recorded trace file (text or binary format,
+/// see `gpu_workloads::trace`) under the baseline and DLP schemes. A
+/// malformed or unreadable trace exits 2 before any simulation starts.
+fn trace_report(path: &str) {
+    use gpu_sim::{Gpu, SimConfig};
+    let kernel = match gpu_workloads::TraceKernel::open(std::path::Path::new(path)) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("figures trace: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let grid = gpu_sim::Kernel::grid(&kernel);
+    println!(
+        "== Trace replay: {path} ({} recorded warp(s), grid {}x{}) ==",
+        kernel.recorded_warps(),
+        grid.num_ctas,
+        grid.warps_per_cta,
+    );
+    let mut t = Table::new(vec!["Scheme", "Cycles", "IPC", "Hit%", "IdWraps", "PeakTraceB"]);
+    for kind in [PolicyKind::Baseline, PolicyKind::Dlp] {
+        let cfg = SimConfig::tesla_m2090(kind);
+        let mut gpu = Gpu::new(cfg, Box::new(kernel.clone()));
+        let stats = gpu.run().unwrap_or_else(|e| {
+            eprintln!("{path} ({kind:?}) failed: {e}");
+            std::process::exit(1);
+        });
+        if stats.insn_id_wraps > 0 {
+            eprintln!(
+                "warning: {path} ({kind:?}): {} instruction-id wrap(s) — distinct PCs alias \
+                 in the 7-bit PDPT/VTA index; per-instruction statistics are conflated",
+                stats.insn_id_wraps
+            );
+        }
+        t.row(vec![
+            format!("{kind:?}"),
+            stats.cycles.to_string(),
+            format!("{:.2}", stats.ipc()),
+            format!("{:.1}%", stats.l1d.hit_rate() * 100.0),
+            stats.insn_id_wraps.to_string(),
+            stats.peak_warp_trace_bytes.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
 }
 
 fn tab1() {

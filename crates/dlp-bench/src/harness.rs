@@ -273,6 +273,34 @@ fn sampling_override() -> Option<SamplingConfig> {
     *SAMPLING.get_or_init(|| sampling_env().ok().flatten())
 }
 
+/// Environment variable selecting the workload scale factor for every
+/// Full-scale job: `DLP_SCALE=10|100|1000` multiplies each app's
+/// streamed work per warp (the grid shape stays the Full
+/// configuration). Unset = the exact Full workloads every golden
+/// digest pins; `DLP_SCALE=1` is trace-identical to Full but keyed
+/// separately in the run cache and store. Streaming keeps resident
+/// trace memory O(1) per warp at any factor, so the only cost of a
+/// large factor is simulated cycles — pair it with `DLP_SAMPLING` to
+/// keep wall time bounded.
+pub const SCALE_ENV: &str = "DLP_SCALE";
+
+/// Parse the `DLP_SCALE` environment variable, surfacing malformed
+/// values as an error string — the `figures` front door calls this
+/// once at startup so `DLP_SCALE=10x` fails loudly instead of silently
+/// running the unscaled suite.
+pub fn scale_env() -> Result<Option<u32>, String> {
+    match std::env::var(SCALE_ENV) {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(f) if f >= 1 => Ok(Some(f)),
+            _ => Err(format!(
+                "{SCALE_ENV}: invalid scale factor {v:?} (expected an integer >= 1, \
+                 e.g. {SCALE_ENV}=100)"
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
 /// Cycles simulated between deadline checks when a deadline is active.
 /// Small enough to bound overshoot to well under a second of wall
 /// time, large enough to keep the checking overhead negligible.
@@ -348,6 +376,9 @@ pub fn run_app_with_deadline(
                 .and_then(|r| r.sampling)
                 .map_or(1.0, |s| s.sampled_fraction()),
             ci_rel_width: run.and_then(|r| r.sampling).map_or(0.0, |s| s.ci_rel_width()),
+            insn_id_wraps: run.map_or(0, |r| r.stats.insn_id_wraps),
+            pdpt_evict_pressure: run.map_or(0, |r| r.stats.pdpt_evict_pressure),
+            peak_warp_trace_bytes: run.map_or(0, |r| r.stats.peak_warp_trace_bytes),
             shard,
         });
     };
@@ -427,6 +458,13 @@ fn run_app_uncached(
     sim_cfg.protection_override = cfg.protection;
     sim_cfg.warp_limit = cfg.warp_limit;
     sim_cfg.sampling = sampling;
+    // The hang-guard cycle cap is calibrated for the Full workloads; a
+    // scaled run legitimately needs proportionally more cycles, so the
+    // cap grows with the factor (the per-cycle watchdog still catches
+    // genuine no-progress hangs long before the cap).
+    if let Scale::Scaled(f) = cfg.scale {
+        sim_cfg.max_cycles = sim_cfg.max_cycles.saturating_mul(u64::from(f));
+    }
     let mut gpu = Gpu::new(sim_cfg, kernel);
     let rdd = if cfg.profile_rd {
         let sink = RdProfiler::new_sink();

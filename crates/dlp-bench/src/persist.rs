@@ -46,7 +46,9 @@ pub const STORE_FAULT_ENV: &str = "DLP_STORE_FAULT";
 /// Version of the payload codec below. Bump on any layout change —
 /// the bump rolls [`code_digest`] and orphans every existing entry.
 /// v2: sampling config in configs, sampling summary in runs.
-const CODEC_VERSION: u64 = 2;
+/// v3: `Scale::Scaled` config tag; observability stats (insn-id wraps,
+/// PDPT evict pressure, peak warp-trace residency) in runs.
+const CODEC_VERSION: u64 = 3;
 
 /// The golden fidelity digest pinned by
 /// `tests/determinism.rs::fig10_policy_suite_digest_is_golden`. Any
@@ -281,10 +283,14 @@ pub fn encode_config(cfg: &ExperimentConfig) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 * 8);
     push_u64(&mut out, policy_tag(cfg.policy));
     encode_geometry(&mut out, &cfg.geom);
-    push_u64(&mut out, match cfg.scale {
-        Scale::Tiny => 0,
-        Scale::Full => 1,
-    });
+    match cfg.scale {
+        Scale::Tiny => push_u64(&mut out, 0),
+        Scale::Full => push_u64(&mut out, 1),
+        Scale::Scaled(f) => {
+            push_u64(&mut out, 2);
+            push_u64(&mut out, f as u64);
+        }
+    }
     push_u64(&mut out, cfg.profile_rd as u64);
     match &cfg.protection {
         None => push_u64(&mut out, 0),
@@ -331,6 +337,7 @@ fn decode_config_at(c: &mut Cursor) -> Option<ExperimentConfig> {
     let scale = match c.u64()? {
         0 => Scale::Tiny,
         1 => Scale::Full,
+        2 => Scale::Scaled(u32::try_from(c.u64()?).ok()?),
         _ => return None,
     };
     let profile_rd = c.flag()?;
@@ -402,6 +409,9 @@ fn encode_stats(out: &mut Vec<u8>, s: &RunStats) {
     push_u64(out, s.dram.writes);
     push_u64(out, s.dram.row_hits);
     push_u64(out, s.dram.row_misses);
+    push_u64(out, s.insn_id_wraps);
+    push_u64(out, s.pdpt_evict_pressure);
+    push_u64(out, s.peak_warp_trace_bytes);
 }
 
 fn decode_stats(c: &mut Cursor) -> Option<RunStats> {
@@ -449,6 +459,9 @@ fn decode_stats(c: &mut Cursor) -> Option<RunStats> {
     s.dram.writes = c.u64()?;
     s.dram.row_hits = c.u64()?;
     s.dram.row_misses = c.u64()?;
+    s.insn_id_wraps = c.u64()?;
+    s.pdpt_evict_pressure = c.u64()?;
+    s.peak_warp_trace_bytes = c.u64()?;
     Some(s)
 }
 

@@ -49,6 +49,17 @@ pub struct JobRecord {
     /// Widest relative 95% CI across the run's estimated metrics;
     /// 0.0 for exact runs (nothing was estimated).
     pub ci_rel_width: f64,
+    /// Times a 7-bit instruction-ID hash wrapped (schema v6): distinct
+    /// PCs aliasing to one PDPT/VTA slot. 0 for the built-in apps
+    /// (their mem PCs fit 7 bits); nonzero under trace ingestion.
+    pub insn_id_wraps: u64,
+    /// PDPT replacement evictions under DLP (schema v6) — pressure on
+    /// the 64-entry table, the scale axis's aliasing signal.
+    pub pdpt_evict_pressure: u64,
+    /// High-water mark of trace bytes resident in any single warp's
+    /// stream (schema v6). O(1) per warp under streaming regardless of
+    /// scale factor — the bound the scale-smoke CI job asserts.
+    pub peak_warp_trace_bytes: u64,
     /// Sharded-engine telemetry (schema v4).
     pub shard: ShardRecord,
 }
@@ -239,7 +250,7 @@ fn num(v: f64) -> String {
 pub fn render_json() -> String {
     with_collector(|c| {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v5\",\n");
+        out.push_str("{\n  \"schema\": \"dlp-bench/figures-telemetry/v6\",\n");
         let total_ms: f64 = c.sweeps.iter().map(|s| s.wall_ms).sum();
         let total_cycles: u64 = c.jobs.iter().map(|j| j.sim_cycles).sum();
         let total_ticked: u64 = c.jobs.iter().map(|j| j.ticked_cycles).sum();
@@ -292,7 +303,7 @@ pub fn render_json() -> String {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}, \"windows\": {}, \"sampled_fraction\": {}, \"ci_rel_width\": {}, \"shards\": {}, \"epoch_cycles\": {}, \"rounds\": {}, \"barrier_stalls\": {}, \"restarts\": {}, \"per_shard_ticked\": [{}]}}{}\n",
+                "    {{\"app\": \"{}\", \"policy\": \"{}\", \"geom\": \"{}\", \"scale\": \"{}\", \"cached\": {}, \"store_hit\": {}, \"wall_ms\": {}, \"sim_cycles\": {}, \"ticked_cycles\": {}, \"cycles_per_sec\": {}, \"leap_efficiency\": {}, \"windows\": {}, \"sampled_fraction\": {}, \"ci_rel_width\": {}, \"insn_id_wraps\": {}, \"pdpt_evict_pressure\": {}, \"peak_warp_trace_bytes\": {}, \"shards\": {}, \"epoch_cycles\": {}, \"rounds\": {}, \"barrier_stalls\": {}, \"restarts\": {}, \"per_shard_ticked\": [{}]}}{}\n",
                 esc(&j.app),
                 esc(&j.policy),
                 esc(&j.geom),
@@ -307,6 +318,9 @@ pub fn render_json() -> String {
                 j.windows,
                 num(j.sampled_fraction),
                 num(j.ci_rel_width),
+                j.insn_id_wraps,
+                j.pdpt_evict_pressure,
+                j.peak_warp_trace_bytes,
                 j.shard.shards,
                 j.shard.epoch_cycles,
                 j.shard.rounds,
@@ -345,6 +359,9 @@ mod tests {
             windows: 0,
             sampled_fraction: 1.0,
             ci_rel_width: 0.0,
+            insn_id_wraps: 0,
+            pdpt_evict_pressure: 0,
+            peak_warp_trace_bytes: 0,
             shard: ShardRecord::default(),
         };
         assert!((j.cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
@@ -370,6 +387,9 @@ mod tests {
             windows: 5,
             sampled_fraction: 0.125,
             ci_rel_width: 0.0175,
+            insn_id_wraps: 3,
+            pdpt_evict_pressure: 17,
+            peak_warp_trace_bytes: 4096,
             shard: ShardRecord {
                 shards: 4,
                 epoch_cycles: 41,
@@ -382,10 +402,13 @@ mod tests {
         let out = sweep("test_sweep", render_json);
         assert!(out.contains("\\\"pp"), "{out}");
         assert!(out.contains("base\\\\line"), "{out}");
-        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v5\""));
+        assert!(out.contains("\"schema\": \"dlp-bench/figures-telemetry/v6\""));
         assert!(out.contains("\"ticked_cycles\": 7"), "{out}");
         assert!(out.contains("\"store_hit\": true"), "{out}");
         assert!(out.contains("\"windows\": 5"), "{out}");
+        assert!(out.contains("\"insn_id_wraps\": 3"), "{out}");
+        assert!(out.contains("\"pdpt_evict_pressure\": 17"), "{out}");
+        assert!(out.contains("\"peak_warp_trace_bytes\": 4096"), "{out}");
         assert!(out.contains("\"sampled_fraction\": 0.125"), "{out}");
         assert!(out.contains("\"ci_rel_width\": 0.018"), "3 decimals: {out}");
         assert!(!out.contains("\"store\": null"), "store section is always an object: {out}");

@@ -29,6 +29,16 @@ pub fn hash_pc(pc: u32) -> InsnId {
     (folded & (PDPT_ENTRIES as u32 - 1)) as InsnId
 }
 
+/// Does `pc` overflow the 7-bit instruction-id space — i.e. did
+/// [`hash_pc`] have to fold upper bits away, making aliasing *possible*?
+/// The paper assumes ≤128 distinct memory PCs and never measures beyond
+/// it (ROADMAP item 5); the simulator counts these so saturation at the
+/// scale axis's 100–1000× workloads is observable instead of silent.
+#[inline]
+pub fn pc_wraps(pc: u32) -> bool {
+    pc >= PDPT_ENTRIES as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +61,13 @@ mod tests {
     #[test]
     fn hash_is_deterministic() {
         assert_eq!(hash_pc(0xdead_beef), hash_pc(0xdead_beef));
+    }
+
+    #[test]
+    fn wrap_threshold_is_the_id_space() {
+        assert!(!pc_wraps(0));
+        assert!(!pc_wraps(PDPT_ENTRIES as u32 - 1));
+        assert!(pc_wraps(PDPT_ENTRIES as u32));
+        assert!(pc_wraps(u32::MAX));
     }
 }

@@ -64,7 +64,7 @@ pub mod vta;
 
 pub use baseline::{LruBaseline, StallBypass};
 pub use geometry::CacheGeometry;
-pub use insn::{hash_pc, InsnId, INSN_ID_BITS, PDPT_ENTRIES};
+pub use insn::{hash_pc, pc_wraps, InsnId, INSN_ID_BITS, PDPT_ENTRIES};
 pub use overhead::{dlp_overhead, OverheadReport};
 pub use pd::{pd_adjustment, PdComputation};
 pub use pdpt::{Pdpt, PdptEntry};

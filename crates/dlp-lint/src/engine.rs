@@ -22,7 +22,7 @@ use crate::callgraph::{CallGraph, Reach};
 use crate::diag::Finding;
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 use crate::parser::{parse, FileAst};
-use crate::rules::{rule_by_id, scan, scan_store, RawFinding};
+use crate::rules::{rule_by_id, scan, scan_p302, scan_store, RawFinding};
 use crate::symbols::Symbols;
 
 /// Crates whose `src/` trees carry the full D/F/E/P/S/L rule set.
@@ -47,6 +47,18 @@ const STORE_ATOMIC_IMPL: &str = "crates/dlp-store/src/atomic.rs";
 /// away from.
 const SHARD_IMPL: &str = "crates/gpu-sim/src/shard.rs";
 
+/// Crates whose `src/` trees carry only the trace-streaming rule
+/// (P302) on top of whatever other tier they belong to. The workload
+/// generators are harness-adjacent (seeded RNG, Vec-built segments are
+/// all fine there) but must never regress to eager whole-trace
+/// materialization.
+const TRACE_CRATES: &[&str] = &["gpu-workloads"];
+
+/// The one file allowed to return `Vec<TraceOp>`: the streaming
+/// compatibility adapter (`VecStream` + `materialize`) P302 steers
+/// everyone else to.
+const STREAM_IMPL: &str = "crates/gpu-sim/src/stream.rs";
+
 /// Method names that satisfy the leap-contract catch-up requirement
 /// (L601) for a type implementing `next_event`.
 const CATCHUP_METHODS: &[&str] = &["advance_quiet", "leap_catchup", "catch_up"];
@@ -67,6 +79,17 @@ pub fn is_sim_tier(rel: &str) -> bool {
     SIM_CRATES
         .iter()
         .any(|c| rel.strip_prefix(&format!("crates/{c}/src/")).is_some_and(|rest| !rest.is_empty()))
+}
+
+/// Does the trace-streaming rule (P302) apply to this path? True for
+/// the workload-generator crates and the whole sim tier, except the
+/// compatibility adapter that *implements* materialization.
+pub fn is_trace_tier(rel: &str) -> bool {
+    rel != STREAM_IMPL
+        && (is_sim_tier(rel)
+            || TRACE_CRATES.iter().any(|c| {
+                rel.strip_prefix(&format!("crates/{c}/src/")).is_some_and(|rest| !rest.is_empty())
+            }))
 }
 
 /// Does the store-tier rule set (R401) apply to this path?
@@ -93,6 +116,7 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
     struct Unit<'a> {
         rel: &'a str,
         sim: bool,
+        trace: bool,
         lexed: Lexed,
         ast: FileAst,
         /// Index into the symbol table's file list (sim units only).
@@ -102,7 +126,8 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
     let mut sim_count = 0usize;
     for (rel, src) in files {
         let sim = is_sim_tier(rel);
-        if !sim && !is_store_tier(rel) {
+        let trace = is_trace_tier(rel);
+        if !sim && !trace && !is_store_tier(rel) {
             continue;
         }
         let lexed = lex(src);
@@ -113,7 +138,7 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
         } else {
             usize::MAX
         };
-        units.push(Unit { rel, sim, lexed, ast, sim_index });
+        units.push(Unit { rel, sim, trace, lexed, ast, sim_index });
     }
 
     let sim_pairs: Vec<(&str, &FileAst)> =
@@ -160,8 +185,11 @@ pub fn lint_sources(files: &[(&str, &str)]) -> Vec<Finding> {
                 }
             }
             semantic_scan(fi, &u.ast, &syms, &probe, &par, &mut raw);
-        } else {
+        } else if is_store_tier(u.rel) {
             raw.extend(scan_store(tokens, &is_test));
+        }
+        if u.trace {
+            raw.extend(scan_p302(tokens, &is_test));
         }
 
         // Suppressions, with per-rule usage tracking for X002.
@@ -384,7 +412,7 @@ pub struct Report {
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files: Vec<(String, String)> = Vec::new();
     for file in rd_tools::walk::walk_rust_sources(root)? {
-        if !is_sim_tier(&file.rel) && !is_store_tier(&file.rel) {
+        if !is_sim_tier(&file.rel) && !is_trace_tier(&file.rel) && !is_store_tier(&file.rel) {
             continue;
         }
         files.push((file.rel, std::fs::read_to_string(&file.abs)?));

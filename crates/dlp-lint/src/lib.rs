@@ -60,8 +60,8 @@ pub use diag::{
     TODO_REASON_MARKER,
 };
 pub use engine::{
-    check_telemetry, is_sim_tier, is_store_tier, lint_source, lint_sources, lint_workspace,
-    Report, EXPERIMENTS_REL, TELEMETRY_REL,
+    check_telemetry, is_sim_tier, is_store_tier, is_trace_tier, lint_source, lint_sources,
+    lint_workspace, Report, EXPERIMENTS_REL, TELEMETRY_REL,
 };
 pub use parser::{parse, FileAst, FnDef};
 pub use rules::{rule_by_id, Group, Rule, RULES};

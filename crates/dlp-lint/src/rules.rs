@@ -179,6 +179,16 @@ pub const RULES: &[Rule] = &[
                directive stating why the allocation cannot run per cycle",
     },
     Rule {
+        id: "P302",
+        name: "eager-trace-materialization",
+        group: Group::Perf,
+        summary: "function returns a fully materialized `Vec<TraceOp>` warp trace",
+        hint: "warp traces are streamed (OpStream/GenStream) so resident memory stays O(1) \
+               per warp; return a `Box<dyn OpStream>` (or take `&mut Vec<TraceOp>` to fill a \
+               reused segment buffer) — full materialization belongs only to the \
+               compatibility adapter in gpu-sim/src/stream.rs and to test code",
+    },
+    Rule {
         id: "R401",
         name: "non-atomic-store-write",
         group: Group::Robustness,
@@ -555,6 +565,41 @@ pub fn scan(
 
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.col == b.col);
+    out
+}
+
+/// Run the trace-tier rule (P302) over a file: a `-> Vec<TraceOp>`
+/// return type means the function builds a whole warp's trace in
+/// memory, which is exactly the O(warp-length) residency the streaming
+/// engine (PR 10) eliminated. Applies to the sim tier and to
+/// gpu-workloads; the compatibility adapter (`gpu-sim/src/stream.rs`)
+/// is tier-exempt in the engine, and test code is masked here.
+pub fn scan_p302(tokens: &[Token], is_test: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if is_test[i] || tok.kind != TokenKind::Ident || tok.text != "Vec" {
+            continue;
+        }
+        // `- > Vec < TraceOp >` — the return-type position only; a
+        // `&mut Vec<TraceOp>` out-parameter (the segment-buffer idiom)
+        // has no `->` before it.
+        if is_punct(tokens.get(i.wrapping_sub(1)), '>')
+            && is_punct(tokens.get(i.wrapping_sub(2)), '-')
+            && is_punct(tokens.get(i + 1), '<')
+            && is_ident(tokens.get(i + 2), "TraceOp")
+            && is_punct(tokens.get(i + 3), '>')
+        {
+            out.push(RawFinding {
+                rule: "P302",
+                line: tok.line,
+                col: tok.col,
+                token: "Vec<TraceOp>".to_string(),
+                message: "returning `Vec<TraceOp>` materializes a whole warp trace eagerly"
+                    .to_string(),
+                reachable: None,
+            });
+        }
+    }
     out
 }
 

@@ -248,6 +248,66 @@ fn p301_respects_suppression_directives_and_cfg_test() {
 }
 
 #[test]
+fn p302_flags_vec_traceop_return_types() {
+    let src = "fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> { Vec::new() }";
+    // Fires in the sim tier…
+    let f = lint(src);
+    assert_eq!(rules_of(&f), ["P302"]);
+    assert_eq!(f[0].token, "Vec<TraceOp>");
+    // …and in the workload-generator crate, where no other rule applies.
+    let f = lint_source("crates/gpu-workloads/src/apps/fixture.rs", src);
+    assert_eq!(rules_of(&f), ["P302"]);
+}
+
+#[test]
+fn p302_trace_tier_carries_no_other_rules() {
+    // Seeded-RNG setup, Vec-built segments, even an unwrap: the
+    // generator crate is harness-adjacent, only P302 patrols it.
+    let noise = "fn f(x: Option<u32>) -> u32 { let t = Instant::now(); drop(t); x.unwrap() }";
+    assert!(lint_source("crates/gpu-workloads/src/gen.rs", noise).is_empty());
+}
+
+#[test]
+fn p302_permits_out_params_and_other_element_types() {
+    // The segment-buffer idiom — filling a caller-owned buffer — is
+    // the sanctioned replacement, not a finding.
+    assert!(lint("fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool { true }").is_empty());
+    // Other Vec returns (addresses, lines) are not trace materialization.
+    assert!(lint("fn addrs(&self) -> Vec<u64> { Vec::new() }").is_empty());
+}
+
+#[test]
+fn p302_exempts_the_stream_adapter_and_test_code() {
+    let src = "fn materialize(stream: Box<dyn OpStream>) -> Vec<TraceOp> { Vec::new() }";
+    // The compatibility adapter implements materialization; it is the
+    // one file carved out of the trace tier.
+    assert!(lint_source("crates/gpu-sim/src/stream.rs", src).is_empty());
+    // Test helpers materialize freely.
+    let test_src = "#[cfg(test)]\nmod tests { fn trace() -> Vec<TraceOp> { Vec::new() } }";
+    assert!(lint(test_src).is_empty());
+    assert!(lint_source("crates/gpu-workloads/src/apps/fixture.rs", test_src).is_empty());
+}
+
+#[test]
+fn p302_is_suppressible_at_the_sanctioned_delegation_point() {
+    let src = "\
+        // dlp-lint: allow(P302) -- delegates to warp_stream, used only off the simulation path\n\
+        fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> { Vec::new() }\n";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn trace_tier_covers_workloads_and_sim_but_not_the_adapter() {
+    use dlp_lint::is_trace_tier;
+    assert!(is_trace_tier("crates/gpu-workloads/src/gen.rs"));
+    assert!(is_trace_tier("crates/gpu-workloads/src/apps/mm.rs"));
+    assert!(is_trace_tier("crates/gpu-sim/src/kernel.rs"));
+    assert!(!is_trace_tier("crates/gpu-sim/src/stream.rs"));
+    assert!(!is_trace_tier("crates/gpu-workloads/tests/stream_equivalence.rs"));
+    assert!(!is_trace_tier("crates/dlp-bench/src/harness.rs"));
+}
+
+#[test]
 fn cfg_test_items_are_exempt_from_every_rule() {
     let src = "\
         fn live() -> u64 { 1 }\n\

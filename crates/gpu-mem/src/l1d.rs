@@ -27,7 +27,7 @@ use crate::observer::AccessObserver;
 use crate::packet::{MemReq, MemResp, Packet, PacketKind};
 use crate::stats::CacheStats;
 use crate::tag_array::{Lookup, TagArray};
-use dlp_core::{hash_pc, AccessCtx, CacheGeometry, MissDecision, ReplacementPolicy};
+use dlp_core::{hash_pc, pc_wraps, AccessCtx, CacheGeometry, MissDecision, ReplacementPolicy, PDPT_ENTRIES};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
@@ -129,6 +129,17 @@ pub struct L1dCache {
     seen_lines: HashSet<u64>,
     observer: Option<Box<dyn AccessObserver>>,
     stats: CacheStats,
+    /// Accesses whose PC exceeded the 7-bit instruction-id space (the
+    /// `hash_pc` fold was lossy). Observability only — kept off
+    /// [`CacheStats`] so the pinned fidelity digest is untouched.
+    insn_id_wraps: u64,
+    /// Last full PC seen per hashed instruction id. The PDPT itself is
+    /// direct-indexed and never evicts, so "eviction pressure" on it is
+    /// exactly an ownership flip: a *different* PC hashing onto a slot
+    /// another PC was just using.
+    pdpt_shadow: Vec<u32>,
+    /// Ownership flips counted through `pdpt_shadow`.
+    pdpt_evict_pressure: u64,
 }
 
 impl L1dCache {
@@ -147,6 +158,9 @@ impl L1dCache {
             seen_lines: HashSet::new(),
             observer: None,
             stats: CacheStats::default(),
+            insn_id_wraps: 0,
+            pdpt_shadow: vec![u32::MAX; PDPT_ENTRIES],
+            pdpt_evict_pressure: 0,
             cfg,
         }
     }
@@ -250,6 +264,32 @@ impl L1dCache {
     /// Policy-internal counters.
     pub fn policy_stats(&self) -> dlp_core::PolicyStats {
         self.policy.stats()
+    }
+
+    /// Accesses whose PC overflowed the 7-bit instruction-id space.
+    pub fn insn_id_wraps(&self) -> u64 {
+        self.insn_id_wraps
+    }
+
+    /// Distinct-PC ownership flips on PDPT slots (see the field docs).
+    pub fn pdpt_evict_pressure(&self) -> u64 {
+        self.pdpt_evict_pressure
+    }
+
+    /// First-attempt instruction-id bookkeeping shared by the detailed
+    /// and functional access paths.
+    #[inline]
+    fn note_insn_id(&mut self, pc: u32, id: dlp_core::InsnId) {
+        if pc_wraps(pc) {
+            self.insn_id_wraps += 1;
+        }
+        let slot = &mut self.pdpt_shadow[id as usize];
+        if *slot != pc {
+            if *slot != u32::MAX {
+                self.pdpt_evict_pressure += 1;
+            }
+            *slot = pc;
+        }
     }
 
     /// Force the policy's sampling period to close (§4.1.4 instruction
@@ -426,6 +466,7 @@ impl L1dCache {
 
         if first_attempt {
             self.stats.accesses += 1;
+            self.note_insn_id(req.pc, ctx.insn_id);
             if self.seen_lines.insert(line) {
                 self.stats.compulsory_misses += 1;
             }
@@ -551,6 +592,7 @@ impl L1dCache {
 
         if first_attempt {
             self.stats.accesses += 1;
+            self.note_insn_id(req.pc, ctx.insn_id);
             if self.seen_lines.insert(line) {
                 self.stats.compulsory_misses += 1;
             }

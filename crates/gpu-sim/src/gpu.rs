@@ -301,9 +301,9 @@ impl Gpu {
 
     /// Rebuild every component from the configuration, exactly as
     /// [`Gpu::new`] left them — the sharded engine's misspeculation
-    /// restart. The kernel is stateless by contract ([`Kernel::warp_ops`]
-    /// is a pure function of `(cta, warp)`), so re-queueing the grid
-    /// reproduces the run from cycle 0. `ticked_cycles` and the shard
+    /// restart. The kernel is stateless by contract
+    /// ([`Kernel::warp_stream`] is a pure function of `(cta, warp)`),
+    /// so re-queueing the grid reproduces the run from cycle 0. `ticked_cycles` and the shard
     /// telemetry deliberately survive: work done by the abandoned
     /// attempt was real wall-clock work and the telemetry reports it.
     pub(crate) fn reset_run_state(&mut self) {
@@ -401,8 +401,8 @@ impl Gpu {
             let idx = self.launch_cursor % n;
             if self.sms[idx].can_accept_cta(wpc) {
                 let Some(cta) = self.pending_ctas.pop_front() else { break };
-                // dlp-lint: allow(P301) -- allocates once per CTA launch, not per cycle; the warp list is the owned payload handed to the SM
-                let warps = (0..wpc).map(|w| self.kernel.warp_ops(cta, w)).collect();
+                // dlp-lint: allow(P301) -- allocates once per CTA launch, not per cycle; the stream list is the owned payload handed to the SM
+                let warps = (0..wpc).map(|w| self.kernel.warp_stream(cta, w)).collect();
                 self.sms[idx].launch_cta(cta, warps);
                 Self::mark_sm_busy(
                     &mut self.sm_busy,
@@ -1246,6 +1246,12 @@ impl Gpu {
         snap
     }
 
+    /// Largest per-warp resident trace footprint across the chip — the
+    /// scale axis's bounded-memory witness.
+    pub fn peak_warp_trace_bytes(&self) -> u64 {
+        self.sms.iter().map(|sm| sm.peak_warp_trace_bytes()).max().unwrap_or(0)
+    }
+
     pub(crate) fn collect(&self, completed: bool) -> RunStats {
         let mut out = RunStats { cycles: self.now, completed, ..Default::default() };
         for sm in &self.sms {
@@ -1255,7 +1261,10 @@ impl Gpu {
             out.mem_transactions += s.mem_transactions;
             out.l1d.merge(sm.l1d.stats());
             out.policy.merge(&sm.l1d.policy_stats());
+            out.insn_id_wraps += sm.l1d.insn_id_wraps();
+            out.pdpt_evict_pressure += sm.l1d.pdpt_evict_pressure();
         }
+        out.peak_warp_trace_bytes = self.peak_warp_trace_bytes();
         out.icnt = sm_icnt_stats(&self.icnt);
         for p in &self.parts {
             out.l2.merge(p.l2_stats());
@@ -1291,7 +1300,7 @@ mod tests {
         fn grid(&self) -> GridDesc {
             GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
         }
-        fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn crate::stream::OpStream> {
             let mut ops = Vec::new();
             let warp_base = ((cta * self.warps + warp) * self.iters) as u64 * 4096;
             for i in 0..self.iters {
@@ -1300,7 +1309,7 @@ mod tests {
                 ops.push(TraceOp::alu(1, 4).with_srcs([1]).with_dst(2));
                 ops.push(TraceOp::alu(2, 4).with_srcs([2]).with_dst(3));
             }
-            ops
+            Box::new(crate::stream::VecStream::new(ops))
         }
     }
 
@@ -1475,12 +1484,14 @@ mod tests {
             fn grid(&self) -> GridDesc {
                 GridDesc { num_ctas: 1, warps_per_cta: 1 }
             }
-            fn warp_ops(&self, _c: usize, _w: usize) -> Vec<TraceOp> {
-                (0..64)
-                    .map(|i| {
-                        TraceOp::load(0, 1, (0..32).map(|l| (i % 2) * 128 + l * 4).collect())
-                    })
-                    .collect()
+            fn warp_stream(&self, _c: usize, _w: usize) -> Box<dyn crate::stream::OpStream> {
+                Box::new(crate::stream::VecStream::new(
+                    (0..64)
+                        .map(|i| {
+                            TraceOp::load(0, 1, (0..32).map(|l| (i % 2) * 128 + l * 4).collect())
+                        })
+                        .collect(),
+                ))
             }
         }
         let cfg = SimConfig::tesla_m2090(PolicyKind::Baseline).scaled_down(1);

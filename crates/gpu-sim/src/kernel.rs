@@ -1,6 +1,7 @@
 //! The interface a workload implements to run on the simulated GPU.
 
 use crate::isa::TraceOp;
+use crate::stream::{self, OpStream};
 
 /// Launch shape of a kernel grid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,12 +19,15 @@ impl GridDesc {
     }
 }
 
-/// A GPU kernel expressed as deterministic per-warp instruction traces.
+/// A GPU kernel expressed as deterministic per-warp instruction streams.
 ///
-/// `warp_ops(cta, warp)` must be a pure function of its arguments (and
-/// the kernel's construction parameters): the simulator may call it at
-/// any time relative to execution, and the analysis tools re-derive the
-/// same traces when profiling reuse distances.
+/// `warp_stream(cta, warp)` must be a pure function of its arguments
+/// (and the kernel's construction parameters): the simulator may call
+/// it at any time relative to execution, the sharded engine re-derives
+/// streams after a misspeculation restart, and the analysis tools
+/// re-derive the same traces when profiling reuse distances. Two
+/// streams for the same `(cta, warp)` — and one stream replayed via
+/// [`OpStream::reset`] — must yield identical op sequences.
 pub trait Kernel: Send {
     /// Short benchmark name (e.g. `"BFS"`).
     fn name(&self) -> &str;
@@ -31,8 +35,18 @@ pub trait Kernel: Send {
     /// Grid shape.
     fn grid(&self) -> GridDesc;
 
-    /// The instruction trace of warp `warp` of CTA `cta`.
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp>;
+    /// The instruction stream of warp `warp` of CTA `cta`. The stream
+    /// owns all its state (no borrow of the kernel), so the warps of a
+    /// CTA can execute long after the launch call returns.
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream>;
+
+    /// The fully materialized trace of one warp. Analysis-only: the
+    /// simulator never calls this (warps consume streams op by op), so
+    /// eager materialization cost is confined to profilers and tests.
+    // dlp-lint: allow(P302) -- the one sanctioned materialization point: delegates to warp_stream, used only off the simulation path
+    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+        stream::materialize(self.warp_stream(cta, warp))
+    }
 }
 
 impl GridDesc {

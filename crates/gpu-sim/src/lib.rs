@@ -15,23 +15,25 @@
 //!   12 L2+DRAM partitions) with the DRAM clock domain at 924 MHz.
 //!
 //! Kernels are supplied through the [`Kernel`] trait as per-warp
-//! instruction traces ([`isa::TraceOp`]); the `gpu-workloads` crate
-//! provides models of the paper's 18 benchmarks. Run one with:
+//! instruction streams ([`stream::OpStream`] over [`isa::TraceOp`]);
+//! the `gpu-workloads` crate provides models of the paper's 18
+//! benchmarks. Run one with:
 //!
 //! ```
 //! use gpu_sim::{Gpu, SimConfig, Kernel, GridDesc, isa::TraceOp};
+//! use gpu_sim::stream::{OpStream, VecStream};
 //! use dlp_core::PolicyKind;
 //!
 //! struct Tiny;
 //! impl Kernel for Tiny {
 //!     fn name(&self) -> &str { "tiny" }
 //!     fn grid(&self) -> GridDesc { GridDesc { num_ctas: 2, warps_per_cta: 2 } }
-//!     fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
+//!     fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
 //!         let base = (cta * 64 + warp * 32) as u64 * 4;
-//!         vec![
+//!         Box::new(VecStream::new(vec![
 //!             TraceOp::load(0, 1, (0..32).map(|l| base + l * 4).collect()),
 //!             TraceOp::alu(1, 4).with_srcs([1]).with_dst(2),
-//!         ]
+//!         ]))
 //!     }
 //! }
 //!
@@ -64,6 +66,7 @@ pub mod scheduler;
 pub mod shard;
 pub mod sm;
 pub mod stats;
+pub mod stream;
 pub mod warp;
 
 pub use config::SimConfig;
@@ -73,3 +76,4 @@ pub use kernel::{GridDesc, Kernel};
 pub use sampling::{SamplingConfig, SamplingParseError, SamplingReport, WindowSample};
 pub use shard::ShardTelemetry;
 pub use stats::RunStats;
+pub use stream::{OpStream, VecStream};

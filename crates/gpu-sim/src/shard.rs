@@ -1070,7 +1070,7 @@ fn launch_at_barrier(
         let g = &mut guards[si];
         if g.sms[j].can_accept_cta(wpc) {
             let Some(cta) = gpu.pending_ctas.pop_front() else { break };
-            let warps = (0..wpc).map(|w| gpu.kernel.warp_ops(cta, w)).collect();
+            let warps = (0..wpc).map(|w| gpu.kernel.warp_stream(cta, w)).collect();
             g.sms[j].launch_cta(cta, warps);
             // External input wakes the SM (mirrors `mark_sm_busy`).
             g.sm_next_ev[j] = 0;

@@ -2,6 +2,7 @@
 //! register scoreboard.
 
 use crate::isa::{OpKind, Reg, TraceOp, MAX_REGS, NO_REG};
+use crate::stream::OpStream;
 
 /// One resident warp.
 pub struct Warp {
@@ -11,8 +12,10 @@ pub struct Warp {
     pub cta: usize,
     /// Launch order stamp (GTO "oldest" tiebreak).
     pub age: u64,
-    ops: Vec<TraceOp>,
-    next_op: usize,
+    stream: Box<dyn OpStream>,
+    /// The next op to issue, pulled eagerly from the stream so the
+    /// scheduler's scoreboard/next-op predicates stay `&self` reads.
+    cur: Option<TraceOp>,
     /// Bitmask of registers with an outstanding producer.
     pending_mask: u64,
     /// Outstanding transaction count per register (loads split into
@@ -23,14 +26,15 @@ pub struct Warp {
 }
 
 impl Warp {
-    /// Create a warp about to execute `ops`.
-    pub fn new(slot: usize, cta: usize, age: u64, ops: Vec<TraceOp>) -> Self {
+    /// Create a warp about to execute `stream`.
+    pub fn new(slot: usize, cta: usize, age: u64, mut stream: Box<dyn OpStream>) -> Self {
+        let cur = stream.next_op();
         Warp {
             slot,
             cta,
             age,
-            ops,
-            next_op: 0,
+            stream,
+            cur,
             pending_mask: 0,
             pending_count: [0; MAX_REGS],
             outstanding_stores: 0,
@@ -39,17 +43,22 @@ impl Warp {
 
     /// The next op to issue, if the stream isn't exhausted.
     pub fn peek(&self) -> Option<&TraceOp> {
-        self.ops.get(self.next_op)
+        self.cur.as_ref()
     }
 
     /// All instructions issued?
     pub fn stream_done(&self) -> bool {
-        self.next_op >= self.ops.len()
+        self.cur.is_none()
     }
 
     /// Stream exhausted *and* all outstanding work retired?
     pub fn finished(&self) -> bool {
         self.stream_done() && self.pending_mask == 0 && self.outstanding_stores == 0
+    }
+
+    /// High-water mark of trace bytes this warp's stream kept resident.
+    pub fn peak_trace_bytes(&self) -> usize {
+        self.stream.peak_resident_bytes()
     }
 
     #[inline]
@@ -101,10 +110,15 @@ impl Warp {
         self.outstanding_stores -= 1;
     }
 
-    /// Advance past the op just issued, returning it.
-    pub fn advance(&mut self) -> &TraceOp {
-        let op = &self.ops[self.next_op];
-        self.next_op += 1;
+    /// Advance past the op just issued, returning it. The following op
+    /// (if any) is pulled from the stream immediately, keeping the
+    /// peek-based predicates valid.
+    pub fn advance(&mut self) -> TraceOp {
+        assert!(self.cur.is_some(), "advance past the end of the stream");
+        // Unreachable fallback after the assert; keeps the signature
+        // total without a panicking-macro path in simulator code.
+        let op = self.cur.take().unwrap_or(TraceOp::alu(0, 0));
+        self.cur = self.stream.next_op();
         op
     }
 
@@ -128,9 +142,10 @@ impl Warp {
 mod tests {
     use super::*;
     use crate::isa::TraceOp;
+    use crate::stream::VecStream;
 
     fn warp(ops: Vec<TraceOp>) -> Warp {
-        Warp::new(0, 0, 0, ops)
+        Warp::new(0, 0, 0, Box::new(VecStream::new(ops)))
     }
 
     #[test]
@@ -197,6 +212,26 @@ mod tests {
         assert!(!w.finished());
         w.store_retired();
         assert!(w.finished());
+    }
+
+    #[test]
+    fn advance_returns_ops_in_stream_order() {
+        let ops = vec![
+            TraceOp::load(0, 1, vec![0]),
+            TraceOp::alu(1, 2).with_srcs([1]).with_dst(2),
+        ];
+        let mut w = warp(ops.clone());
+        assert_eq!(w.advance(), ops[0]);
+        assert_eq!(w.advance(), ops[1]);
+        assert!(w.stream_done());
+    }
+
+    #[test]
+    fn peak_trace_bytes_reports_the_stream_high_water_mark() {
+        let ops = vec![TraceOp::load(0, 1, vec![0, 4096])];
+        let expect = crate::stream::ops_bytes(&ops);
+        let w = warp(ops);
+        assert_eq!(w.peak_trace_bytes(), expect);
     }
 
     #[test]

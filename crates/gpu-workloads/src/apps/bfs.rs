@@ -14,13 +14,15 @@
 //! A single protection distance over-serves pc 0 and under-serves pc 2,
 //! which is precisely where per-instruction PDs pull ahead.
 
-use crate::pattern::{desync, alu_block, coalesced, warp_rng, AddrSpace, F4};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace, F4};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 use rand::Rng;
 
 /// BFS model. See the module docs.
+#[derive(Clone)]
 pub struct Bfs {
     ctas: usize,
     warps: usize,
@@ -38,8 +40,9 @@ impl Bfs {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (8, 4, 12),
-            Scale::Full => (96, 6, 28),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 28),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let nodes = 65_536u64;
         Bfs {
@@ -47,7 +50,9 @@ impl Bfs {
             warps,
             iters,
             offsets: mem.alloc(nodes * F4),
-            edges: mem.alloc(16 << 20),
+            // The streamed edge list grows with the scale factor so the
+            // longer frontier walk stays inside its own region.
+            edges: mem.alloc((16 << 20) * scale.factor()),
             visited: mem.alloc(nodes * F4),
             dist: mem.alloc(nodes * F4),
             nodes,
@@ -76,33 +81,55 @@ impl Kernel for Bfs {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for i in 0..self.iters as u64 {
-            // 32 frontier nodes, contiguous ids: adjacent warps touch
-            // neighbouring offset lines (short RD).
-            let rb = 1 + ((i % 2) as u8) * 8;
-            let node0 = (gwarp * self.iters as u64 + i) * 32 % (self.nodes - 64);
-            ops.push(TraceOp::load(0, rb, coalesced(self.offsets + node0 * F4)));
-            // Stream this frontier chunk's edge list.
-            let e = self.edges + (gwarp * self.iters as u64 + i) * 256;
-            ops.push(TraceOp::load(1, rb + 1, coalesced(e)));
-            alu_block(&mut ops, &mut apc, 4, rb);
-            // Probe visited flags + distances of 16 neighbours.
-            let probes: Vec<u64> =
-                (0..16).map(|_| self.neighbor(&mut rng, node0) * F4).collect();
-            ops.push(TraceOp::load(2, rb + 2, probes.iter().map(|&o| self.visited + o).collect()));
-            ops.push(TraceOp::load(3, rb + 3, probes.iter().map(|&o| self.dist + o).collect()));
-            alu_block(&mut ops, &mut apc, 4, rb + 2);
-            // Relax a subset.
-            let updates: Vec<u64> = probes.iter().take(8).map(|&o| self.dist + o).collect();
-            ops.push(TraceOp::store(4, updates).with_srcs([rb + 3]));
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(BfsGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = frontier chunk `i`.
+struct BfsGen {
+    app: Bfs,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for BfsGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let i = seg - 1;
+        if i >= self.app.iters as u64 {
+            return false;
+        }
+        // 32 frontier nodes, contiguous ids: adjacent warps touch
+        // neighbouring offset lines (short RD).
+        let rb = 1 + ((i % 2) as u8) * 8;
+        let node0 = (gwarp * self.app.iters as u64 + i) * 32 % (self.app.nodes - 64);
+        out.push(TraceOp::load(0, rb, coalesced(self.app.offsets + node0 * F4)));
+        // Stream this frontier chunk's edge list.
+        let e = self.app.edges + (gwarp * self.app.iters as u64 + i) * 256;
+        out.push(TraceOp::load(1, rb + 1, coalesced(e)));
+        alu_block(out, &mut self.ctx.apc, 4, rb);
+        // Probe visited flags + distances of 16 neighbours (the probe
+        // offsets build in the reusable scratch buffer).
+        self.ctx.scratch.clear();
+        for _ in 0..16 {
+            let o = self.app.neighbor(&mut self.ctx.rng, node0) * F4;
+            self.ctx.scratch.push(o);
+        }
+        out.push(TraceOp::load(2, rb + 2, self.ctx.scratch.iter().map(|&o| self.app.visited + o).collect()));
+        out.push(TraceOp::load(3, rb + 3, self.ctx.scratch.iter().map(|&o| self.app.dist + o).collect()));
+        alu_block(out, &mut self.ctx.apc, 4, rb + 2);
+        // Relax a subset.
+        let updates: Vec<u64> = self.ctx.scratch.iter().take(8).map(|&o| self.app.dist + o).collect();
+        out.push(TraceOp::store(4, updates).with_srcs([rb + 3]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

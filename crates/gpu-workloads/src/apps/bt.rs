@@ -7,12 +7,14 @@
 //! region. Stall-Bypass throwing those upper-level reuses away is what
 //! costs it 12 % on BT in §6.1.1.
 
-use crate::pattern::{desync, alu_block, broadcast, scatter, warp_rng, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, broadcast, desync, scatter, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// B+tree lookup model. See the module docs.
+#[derive(Clone)]
 pub struct Bt {
     ctas: usize,
     warps: usize,
@@ -29,8 +31,9 @@ impl Bt {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, queries) = match scale {
             Scale::Tiny => (4, 2, 4),
-            Scale::Full => (64, 6, 20),
+            Scale::Full | Scale::Scaled(_) => (64, 6, 20),
         };
+        let queries = queries * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         Bt {
             ctas,
@@ -54,31 +57,49 @@ impl Kernel for Bt {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        desync(&mut ops, &mut apc, (cta * 64 + warp) as u64);
-        for q in 0..self.queries {
-            let rb = 1 + ((q % 2) as u8) * 8;
-            // Root: one broadcast line, hot across every warp.
-            ops.push(TraceOp::load(0, rb, broadcast(self.root)));
-            alu_block(&mut ops, &mut apc, 30, rb);
-            // Level 1: sorted keys land in a couple of nodes.
-            let l1 = scatter(&mut rng, self.level1, 4 << 10, 2);
-            ops.push(TraceOp::load(1, rb + 2, l1));
-            alu_block(&mut ops, &mut apc, 30, rb + 2);
-            // Level 2: more nodes, still some sharing — sorted query
-            // batches keep a warp inside a few nodes.
-            let l2 = scatter(&mut rng, self.level2, 128 << 10, 4);
-            ops.push(TraceOp::load(2, rb + 4, l2));
-            alu_block(&mut ops, &mut apc, 30, rb + 4);
-            // Leaves: essentially random, compulsory territory.
-            let lf = scatter(&mut rng, self.leaves, 8 << 20, 8);
-            ops.push(TraceOp::load(3, rb + 6, lf));
-            alu_block(&mut ops, &mut apc, 30, rb + 6);
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(BtGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + q = query `q`'s tree walk.
+struct BtGen {
+    app: Bt,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for BtGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, (self.ctx.cta * 64 + self.ctx.warp) as u64);
+            return true;
         }
-        ops
+        let q = (seg - 1) as usize;
+        if q >= self.app.queries {
+            return false;
+        }
+        let rb = 1 + ((q % 2) as u8) * 8;
+        // Root: one broadcast line, hot across every warp.
+        out.push(TraceOp::load(0, rb, broadcast(self.app.root)));
+        alu_block(out, &mut self.ctx.apc, 30, rb);
+        // Level 1: sorted keys land in a couple of nodes.
+        let l1 = scatter(&mut self.ctx.rng, self.app.level1, 4 << 10, 2);
+        out.push(TraceOp::load(1, rb + 2, l1));
+        alu_block(out, &mut self.ctx.apc, 30, rb + 2);
+        // Level 2: more nodes, still some sharing — sorted query
+        // batches keep a warp inside a few nodes.
+        let l2 = scatter(&mut self.ctx.rng, self.app.level2, 128 << 10, 4);
+        out.push(TraceOp::load(2, rb + 4, l2));
+        alu_block(out, &mut self.ctx.apc, 30, rb + 4);
+        // Leaves: essentially random, compulsory territory.
+        let lf = scatter(&mut self.ctx.rng, self.app.leaves, 8 << 20, 8);
+        out.push(TraceOp::load(3, rb + 6, lf));
+        alu_block(out, &mut self.ctx.apc, 30, rb + 6);
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -8,13 +8,15 @@
 //! baseline thrashes. CFD is one of the apps where DLP trades some raw
 //! hits for bypass-relieved stalls (§6.3.2) and still wins on IPC.
 
-use crate::pattern::{desync, alu_block, coalesced, warp_rng, AddrSpace, F4};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace, F4};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 use rand::Rng;
 
 /// CFD flux-kernel model. See the module docs.
+#[derive(Clone)]
 pub struct Cfd {
     ctas: usize,
     warps: usize,
@@ -32,8 +34,9 @@ impl Cfd {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (8, 4, 10),
-            Scale::Full => (96, 6, 24),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 24),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let mesh_bytes = 97_046u64.next_multiple_of(32) * F4;
         Cfd {
@@ -59,38 +62,56 @@ impl Kernel for Cfd {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for i in 0..self.iters as u64 {
-            // This warp's 32 elements (struct-of-arrays, coalesced).
-            let elem = ((gwarp * self.iters as u64 + i) * 128) % (self.mesh_bytes - 128);
-            let rb = 1 + ((i % 2) as u8) * 16;
-            ops.push(TraceOp::load(0, rb, coalesced(self.density + elem)));
-            ops.push(TraceOp::load(1, rb + 1, coalesced(self.momentum + elem)));
-            ops.push(TraceOp::load(2, rb + 2, coalesced(self.energy + elem)));
-            // Gather 4 neighbours per element; the renumbered mesh keeps
-            // them within a ±16 KB window of the element, so other
-            // warps' gathers revisit these lines at mid distances.
-            for (pc, reg) in [(3u32, rb + 3), (4, rb + 4), (5, rb + 5), (6, rb + 6)] {
-                let addrs: Vec<u64> = (0..16)
-                    .map(|_| {
-                        let center = (self.density + elem) as i64;
-                        let off = rng.gen_range(-(16 << 10)..(16 << 10)) / 4 * 4;
-                        let a = center + off;
-                        a.clamp(self.density as i64, (self.density + self.mesh_bytes - 4) as i64)
-                            as u64
-                    })
-                    .collect();
-                ops.push(TraceOp::load(pc, reg, addrs));
-            }
-            alu_block(&mut ops, &mut apc, 10, rb + 7);
-            ops.push(TraceOp::store(7, coalesced(self.flux + elem)).with_srcs([rb + 1]));
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(CfdGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = element batch `i`.
+struct CfdGen {
+    app: Cfd,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for CfdGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let i = seg - 1;
+        if i >= self.app.iters as u64 {
+            return false;
+        }
+        // This warp's 32 elements (struct-of-arrays, coalesced).
+        let elem = ((gwarp * self.app.iters as u64 + i) * 128) % (self.app.mesh_bytes - 128);
+        let rb = 1 + ((i % 2) as u8) * 16;
+        out.push(TraceOp::load(0, rb, coalesced(self.app.density + elem)));
+        out.push(TraceOp::load(1, rb + 1, coalesced(self.app.momentum + elem)));
+        out.push(TraceOp::load(2, rb + 2, coalesced(self.app.energy + elem)));
+        // Gather 4 neighbours per element; the renumbered mesh keeps
+        // them within a ±16 KB window of the element, so other
+        // warps' gathers revisit these lines at mid distances.
+        for (pc, reg) in [(3u32, rb + 3), (4, rb + 4), (5, rb + 5), (6, rb + 6)] {
+            let addrs: Vec<u64> = (0..16)
+                .map(|_| {
+                    let center = (self.app.density + elem) as i64;
+                    let off = self.ctx.rng.gen_range(-(16 << 10)..(16 << 10)) / 4 * 4;
+                    let a = center + off;
+                    a.clamp(self.app.density as i64, (self.app.density + self.app.mesh_bytes - 4) as i64)
+                        as u64
+                })
+                .collect();
+            out.push(TraceOp::load(pc, reg, addrs));
+        }
+        alu_block(out, &mut self.ctx.apc, 10, rb + 7);
+        out.push(TraceOp::store(7, coalesced(self.app.flux + elem)).with_srcs([rb + 1]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -8,12 +8,14 @@
 //! than the cache — the "mostly long reuse distances, dominated by
 //! compulsory misses" profile Figure 3 shows for HG.
 
-use crate::pattern::{desync, alu_block, coalesced, scatter, warp_rng, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, scatter_into, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Histogram model. See the module docs.
+#[derive(Clone)]
 pub struct Hg {
     ctas: usize,
     warps: usize,
@@ -29,11 +31,14 @@ impl Hg {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (4, 2, 8),
-            Scale::Full => (96, 4, 96),
+            Scale::Full | Scale::Scaled(_) => (96, 4, 96),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
-        // 64 Mi of pixel input; 16 Ki bins of 4 B (64 KB — four L1Ds).
-        let pixels = mem.alloc(64 << 20);
+        // 64 Mi of pixel input (grown with the scale factor so the
+        // longer stream never walks into the bin region); 16 Ki bins of
+        // 4 B (64 KB — four L1Ds).
+        let pixels = mem.alloc((64 << 20) * scale.factor());
         let bin_bytes = 64 << 10;
         let bins = mem.alloc(bin_bytes);
         Hg { ctas, warps, iters, pixels, bins, bin_bytes, seed: 0x4847 }
@@ -49,29 +54,48 @@ impl Kernel for Hg {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64; // ALU pcs live above the memory-pc space
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for i in 0..self.iters {
-            // Rotate registers so consecutive batches overlap in flight.
-            let r = 1 + ((i % 2) as u8) * 8;
-            // Stream one 128 B batch of pixels (never revisited).
-            let batch = self.pixels + (gwarp * self.iters as u64 + i as u64) * 128;
-            ops.push(TraceOp::load(0, r, coalesced(batch)));
-            // Shared-memory binning stands in as ALU work.
-            alu_block(&mut ops, &mut apc, 26, r);
-            // Every 4th batch merges a few bins into the global array.
-            if i % 4 == 3 {
-                let addrs = scatter(&mut rng, self.bins, self.bin_bytes, 8);
-                ops.push(TraceOp::load(1, r + 2, addrs.clone()));
-                alu_block(&mut ops, &mut apc, 4, r + 2);
-                ops.push(TraceOp::store(2, addrs).with_srcs([r + 2]));
-            }
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(HgGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = pixel batch `i`.
+struct HgGen {
+    app: Hg,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for HgGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let i = (seg - 1) as usize;
+        if i >= self.app.iters {
+            return false;
+        }
+        // Rotate registers so consecutive batches overlap in flight.
+        let r = 1 + ((i % 2) as u8) * 8;
+        // Stream one 128 B batch of pixels (never revisited).
+        let batch = self.app.pixels + (gwarp * self.app.iters as u64 + i as u64) * 128;
+        out.push(TraceOp::load(0, r, coalesced(batch)));
+        // Shared-memory binning stands in as ALU work.
+        alu_block(out, &mut self.ctx.apc, 26, r);
+        // Every 4th batch merges a few bins into the global array.
+        if i % 4 == 3 {
+            self.ctx.scratch.clear();
+            scatter_into(&mut self.ctx.rng, &mut self.ctx.scratch, self.app.bins, self.app.bin_bytes, 8);
+            out.push(TraceOp::load(1, r + 2, self.ctx.scratch.clone()));
+            alu_block(out, &mut self.ctx.apc, 4, r + 2);
+            out.push(TraceOp::store(2, self.ctx.scratch.clone()).with_srcs([r + 2]));
+        }
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 
@@ -116,5 +140,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scaled_one_is_trace_identical_to_full() {
+        let full = Hg::new(Scale::Full);
+        let scaled = Hg::new(Scale::Scaled(1));
+        assert_eq!(full.warp_ops(3, 1), scaled.warp_ops(3, 1));
+    }
+
+    #[test]
+    fn scale_multiplies_trace_length() {
+        let f1 = Hg::new(Scale::Scaled(1)).warp_ops(0, 0).len();
+        let f10 = Hg::new(Scale::Scaled(10)).warp_ops(0, 0).len();
+        assert!(f10 > 9 * f1, "{f10} vs {f1}");
     }
 }

@@ -9,12 +9,14 @@
 //! VTA's visibility and the protected lifetime DLP assigns. K-means is
 //! the canonical protection winner.
 
-use crate::pattern::{desync, alu_block, coalesced, AddrSpace, F4};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace, F4};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// K-means assignment-step model. See the module docs.
+#[derive(Clone)]
 pub struct Km {
     ctas: usize,
     warps: usize,
@@ -31,8 +33,9 @@ impl Km {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, points, k) = match scale {
             Scale::Tiny => (8, 4, 2, 64),
-            Scale::Full => (96, 6, 3, 256),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 3, 256),
         };
+        let points = points * scale.factor() as usize;
         let feat_bytes = 32 * F4; // 32 features = one 128 B line
         let mut mem = AddrSpace::new();
         Km {
@@ -41,7 +44,9 @@ impl Km {
             points,
             k,
             feat_bytes,
-            data: mem.alloc(64 << 20),
+            // The streamed point data grows with the scale factor so the
+            // longer point walk stays inside its own region.
+            data: mem.alloc((64 << 20) * scale.factor()),
             centroids: mem.alloc(k * feat_bytes),
             assign: mem.alloc(1 << 20),
         }
@@ -57,39 +62,59 @@ impl Kernel for Km {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for p in 0..self.points as u64 {
-            // Stream the point's feature line.
-            let pt = self.data + (gwarp * self.points as u64 + p) * self.feat_bytes;
-            ops.push(TraceOp::load(0, 1, coalesced(pt)));
-            // Distance to every centroid; stagger the starting centroid
-            // per warp so resident warps cover different table slices.
-            let c0 = (gwarp * 17) % self.k;
-            // Distance loop, unroll-and-jammed by 4 the way nvcc
-            // schedules it: a group of independent centroid loads, then
-            // the arithmetic that consumes them.
-            let mut cs = 0;
-            while cs < self.k {
-                let group = (self.k - cs).min(4);
-                for g in 0..group {
-                    let rb = 2 + (g as u8) * 4;
-                    let c = (c0 + cs + g) % self.k;
-                    ops.push(TraceOp::load(1, rb, coalesced(self.centroids + c * self.feat_bytes)));
-                }
-                for g in 0..group {
-                    let rb = 2 + (g as u8) * 4;
-                    ops.push(TraceOp::alu(64, 4).with_srcs([rb]).with_dst(rb + 1));
-                }
-                cs += group;
-            }
-            alu_block(&mut ops, &mut apc, 2, 3);
-            ops.push(TraceOp::store(2, coalesced(self.assign + gwarp * 128)).with_srcs([3]));
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(KmGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + p = point `p` (the whole
+/// centroid distance loop — bounded by K, which does not scale).
+struct KmGen {
+    app: Km,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for KmGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let p = seg - 1;
+        if p >= self.app.points as u64 {
+            return false;
+        }
+        // Stream the point's feature line.
+        let pt = self.app.data + (gwarp * self.app.points as u64 + p) * self.app.feat_bytes;
+        out.push(TraceOp::load(0, 1, coalesced(pt)));
+        // Distance to every centroid; stagger the starting centroid
+        // per warp so resident warps cover different table slices.
+        let c0 = (gwarp * 17) % self.app.k;
+        // Distance loop, unroll-and-jammed by 4 the way nvcc
+        // schedules it: a group of independent centroid loads, then
+        // the arithmetic that consumes them.
+        let mut cs = 0;
+        while cs < self.app.k {
+            let group = (self.app.k - cs).min(4);
+            for g in 0..group {
+                let rb = 2 + (g as u8) * 4;
+                let c = (c0 + cs + g) % self.app.k;
+                out.push(TraceOp::load(1, rb, coalesced(self.app.centroids + c * self.app.feat_bytes)));
+            }
+            for g in 0..group {
+                let rb = 2 + (g as u8) * 4;
+                out.push(TraceOp::alu(64, 4).with_srcs([rb]).with_dst(rb + 1));
+            }
+            cs += group;
+        }
+        alu_block(out, &mut self.ctx.apc, 2, 3);
+        out.push(TraceOp::store(2, coalesced(self.app.assign + gwarp * 128)).with_srcs([3]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

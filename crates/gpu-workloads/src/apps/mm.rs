@@ -8,12 +8,14 @@
 //! spread-across-all-buckets RDD the paper reports for MM in §3.1
 //! (19.5 / 35.8 / 33.2 / 11.5 % across the four ranges).
 
-use crate::pattern::{AddrSpace, F4, coalesced, desync};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{coalesced, desync, AddrSpace, F4};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Untiled matrix-multiply model. See the module docs.
+#[derive(Clone)]
 pub struct Mm {
     ctas: usize,
     warps: usize,
@@ -29,8 +31,9 @@ impl Mm {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, ksteps) = match scale {
             Scale::Tiny => (8, 4, 160),
-            Scale::Full => (96, 6, 96),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 96),
         };
+        let ksteps = ksteps * scale.factor() as usize;
         let n = 256u64;
         let mut mem = AddrSpace::new();
         Mm {
@@ -54,42 +57,66 @@ impl Kernel for Mm {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        // Warp computes C[i][j0..j0+32); i and j-block derived from id.
-        let jblocks = self.n / 32;
-        let i = gwarp % self.n;
-        let j0 = (cta as u64 % jblocks) * 32;
-        let row_bytes = self.n * F4;
-        let k0 = (gwarp * 7) % self.n; // stagger start to spread B reuse
-        // The A row is staged once per 32-k tile (the kernel keeps it in
-        // registers/shared memory), so the L1D only sees the B stream —
-        // whose lines recur when other warps with the same j-block reach
-        // the same k, at set distances beyond plain LRU.
-        let mut step = 0u64;
-        while step < self.ksteps as u64 {
-            if step % 32 == 0 {
-                let k = (k0 + step) % self.n;
-                ops.push(TraceOp::load(0, 20, coalesced(self.a + i * row_bytes + (k / 32) * 128)));
-            }
-            let group = (self.ksteps as u64 - step).min(4);
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 4;
-                let k = (k0 + step + g) % self.n;
-                ops.push(TraceOp::load(1, rb, coalesced(self.b + k * row_bytes + j0 * F4)));
-            }
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 4;
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 1));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 2));
-            }
-            step += group;
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(MmGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + n = the unroll-and-jam
+/// group starting at k-step `4n`; one final segment = the C store.
+struct MmGen {
+    app: Mm,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for MmGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops.push(TraceOp::store(2, coalesced(self.c + i * row_bytes + j0 * F4)).with_srcs([3]));
-        ops
+        // Warp computes C[i][j0..j0+32); i and j-block derived from id.
+        let jblocks = self.app.n / 32;
+        let i = gwarp % self.app.n;
+        let j0 = (self.ctx.cta as u64 % jblocks) * 32;
+        let row_bytes = self.app.n * F4;
+        let k0 = (gwarp * 7) % self.app.n; // stagger start to spread B reuse
+        let ksteps = self.app.ksteps as u64;
+        let ngroups = ksteps.div_ceil(4);
+        let step = (seg - 1) * 4;
+        if seg - 1 < ngroups {
+            // The A row is staged once per 32-k tile (the kernel keeps
+            // it in registers/shared memory), so the L1D only sees the
+            // B stream — whose lines recur when other warps with the
+            // same j-block reach the same k, at set distances beyond
+            // plain LRU.
+            if step % 32 == 0 {
+                let k = (k0 + step) % self.app.n;
+                out.push(TraceOp::load(0, 20, coalesced(self.app.a + i * row_bytes + (k / 32) * 128)));
+            }
+            let group = (ksteps - step).min(4);
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 4;
+                let k = (k0 + step + g) % self.app.n;
+                out.push(TraceOp::load(1, rb, coalesced(self.app.b + k * row_bytes + j0 * F4)));
+            }
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 4;
+                out.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 1));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 2));
+            }
+            return true;
+        }
+        if seg - 1 == ngroups {
+            out.push(TraceOp::store(2, coalesced(self.app.c + i * row_bytes + j0 * F4)).with_srcs([3]));
+            return true;
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -6,12 +6,14 @@
 //! tiny share of the work — the paper singles NW out as an application
 //! whose IPC barely moves however the L1D is managed (Figure 5).
 
-use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Needleman-Wunsch model. See the module docs.
+#[derive(Clone)]
 pub struct Nw {
     ctas: usize,
     warps: usize,
@@ -26,16 +28,20 @@ impl Nw {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, steps) = match scale {
             Scale::Tiny => (4, 2, 8),
-            Scale::Full => (48, 6, 44),
+            Scale::Full | Scale::Scaled(_) => (48, 6, 44),
         };
+        let steps = steps * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let row_bytes = 1024 * 4;
+        // Matrices grow with the scale factor so the deeper wavefront
+        // stays inside its own region.
+        let mat_bytes = 1024 * row_bytes * scale.factor();
         Nw {
             ctas,
             warps,
             steps,
-            score: mem.alloc(1024 * row_bytes),
-            reference: mem.alloc(1024 * row_bytes),
+            score: mem.alloc(mat_bytes),
+            reference: mem.alloc(mat_bytes),
             row_bytes,
         }
     }
@@ -50,26 +56,45 @@ impl Kernel for Nw {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(NwGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + s = wavefront step `s`.
+struct NwGen {
+    app: Nw,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for NwGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
         let strips = 1024 / 32;
-        let gwarp = cta * self.warps + warp;
-        desync(&mut ops, &mut apc, gwarp as u64);
-        let col = ((gwarp % strips) * 32) as u64 * 4;
-        let row0 = (gwarp / strips * self.steps) as u64 % 1000;
-        for s in 0..self.steps as u64 {
-            let row = row0 + s + 1;
-            // The previous diagonal's row (just written): up + up-left
-            // share one line thanks to coalescing.
-            let rb = 1 + ((s % 2) as u8) * 8;
-            ops.push(TraceOp::load(0, rb, coalesced(self.score + (row - 1) * self.row_bytes + col)));
-            // The streamed reference matrix.
-            ops.push(TraceOp::load(1, rb + 2, coalesced(self.reference + row * self.row_bytes + col)));
-            alu_block(&mut ops, &mut apc, 22, rb);
-            ops.push(TraceOp::store(2, coalesced(self.score + row * self.row_bytes + col)).with_srcs([rb + 2]));
+        let gwarp = self.ctx.cta * self.app.warps + self.ctx.warp;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp as u64);
+            return true;
         }
-        ops
+        let s = seg - 1;
+        if s >= self.app.steps as u64 {
+            return false;
+        }
+        let col = ((gwarp % strips) * 32) as u64 * 4;
+        let row0 = (gwarp / strips * self.app.steps) as u64 % 1000;
+        let row = row0 + s + 1;
+        // The previous diagonal's row (just written): up + up-left
+        // share one line thanks to coalescing.
+        let rb = 1 + ((s % 2) as u8) * 8;
+        out.push(TraceOp::load(0, rb, coalesced(self.app.score + (row - 1) * self.app.row_bytes + col)));
+        // The streamed reference matrix.
+        out.push(TraceOp::load(1, rb + 2, coalesced(self.app.reference + row * self.app.row_bytes + col)));
+        alu_block(out, &mut self.ctx.apc, 22, rb);
+        out.push(TraceOp::store(2, coalesced(self.app.score + row * self.app.row_bytes + col)).with_srcs([rb + 2]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

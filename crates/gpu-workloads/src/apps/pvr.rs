@@ -8,13 +8,15 @@
 //! bypassing more than to extra hits (§6.3.2 notes DLP wins on PVR with
 //! *fewer* hits than baseline).
 
-use crate::pattern::{desync, alu_block, coalesced, scatter, warp_rng, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, scatter_into, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 use rand::Rng;
 
 /// Page View Rank model. See the module docs.
+#[derive(Clone)]
 pub struct Pvr {
     ctas: usize,
     warps: usize,
@@ -31,15 +33,18 @@ impl Pvr {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (8, 4, 12),
-            Scale::Full => (96, 6, 28),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 28),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let rank_bytes = 256 << 10;
         Pvr {
             ctas,
             warps,
             iters,
-            records: mem.alloc(64 << 20),
+            // The streamed record log grows with the scale factor so
+            // the longer stream stays inside its own region.
+            records: mem.alloc((64 << 20) * scale.factor()),
             ranks: mem.alloc(rank_bytes),
             rank_bytes,
             // 20% of pages take 80% of the hits.
@@ -58,27 +63,46 @@ impl Kernel for Pvr {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for i in 0..self.iters as u64 {
-            // One record = two lines of log data, streamed.
-            let rb = 1 + ((i % 2) as u8) * 8;
-            let rec = self.records + (gwarp * self.iters as u64 + i) * 256;
-            ops.push(TraceOp::load(0, rb, coalesced(rec)));
-            ops.push(TraceOp::load(1, rb + 1, coalesced(rec + 128)));
-            alu_block(&mut ops, &mut apc, 6, rb);
-            // Rank-table update: popularity-skewed scatter.
-            let region = if rng.gen_bool(0.7) { self.hot_bytes } else { self.rank_bytes };
-            let addrs = scatter(&mut rng, self.ranks, region, 16);
-            ops.push(TraceOp::load(2, rb + 2, addrs.clone()));
-            alu_block(&mut ops, &mut apc, 4, rb + 2);
-            ops.push(TraceOp::store(3, addrs).with_srcs([rb + 2]));
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(PvrGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = record `i`.
+struct PvrGen {
+    app: Pvr,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for PvrGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let i = seg - 1;
+        if i >= self.app.iters as u64 {
+            return false;
+        }
+        // One record = two lines of log data, streamed.
+        let rb = 1 + ((i % 2) as u8) * 8;
+        let rec = self.app.records + (gwarp * self.app.iters as u64 + i) * 256;
+        out.push(TraceOp::load(0, rb, coalesced(rec)));
+        out.push(TraceOp::load(1, rb + 1, coalesced(rec + 128)));
+        alu_block(out, &mut self.ctx.apc, 6, rb);
+        // Rank-table update: popularity-skewed scatter.
+        let region = if self.ctx.rng.gen_bool(0.7) { self.app.hot_bytes } else { self.app.rank_bytes };
+        self.ctx.scratch.clear();
+        scatter_into(&mut self.ctx.rng, &mut self.ctx.scratch, self.app.ranks, region, 16);
+        out.push(TraceOp::load(2, rb + 2, self.ctx.scratch.clone()));
+        alu_block(out, &mut self.ctx.apc, 4, rb + 2);
+        out.push(TraceOp::store(3, self.ctx.scratch.clone()).with_srcs([rb + 2]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -6,12 +6,14 @@
 //! "left" line of iteration *i+1* — the short-reuse-distance profile
 //! Figure 3 shows for SC, fully captured even by a 4-way L1D.
 
-use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Separable-convolution model. See the module docs.
+#[derive(Clone)]
 pub struct Sc {
     ctas: usize,
     warps: usize,
@@ -26,8 +28,9 @@ impl Sc {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (4, 2, 8),
-            Scale::Full => (64, 6, 48),
+            Scale::Full | Scale::Scaled(_) => (64, 6, 48),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let row_bytes = 2048 * 4;
         Sc { ctas, warps, iters, input: mem.alloc(512 * row_bytes), output: mem.alloc(512 * row_bytes), row_bytes }
@@ -43,26 +46,45 @@ impl Kernel for Sc {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(ScGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = row segment `i`.
+struct ScGen {
+    app: Sc,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for ScGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
+        }
+        let i = seg - 1;
+        if i >= self.app.iters as u64 {
+            return false;
+        }
         let row = gwarp % 512;
         let seg0 = gwarp / 512;
-        for i in 0..self.iters as u64 {
-            // Walk along the row; each segment reads its own line plus
-            // the next line (the filter halo), which the next iteration
-            // re-reads as its center.
-            let x = ((seg0 * self.iters as u64 + i) * 128) % (self.row_bytes - 256);
-            let rb = 1 + ((i % 2) as u8) * 8;
-            let center = self.input + row * self.row_bytes + x;
-            ops.push(TraceOp::load(0, rb, coalesced(center)));
-            ops.push(TraceOp::load(1, rb + 2, coalesced(center + 128)));
-            alu_block(&mut ops, &mut apc, 22, rb);
-            ops.push(TraceOp::store(2, coalesced(self.output + row * self.row_bytes + x)).with_srcs([rb + 2]));
-        }
-        ops
+        // Walk along the row; each segment reads its own line plus
+        // the next line (the filter halo), which the next iteration
+        // re-reads as its center.
+        let x = ((seg0 * self.app.iters as u64 + i) * 128) % (self.app.row_bytes - 256);
+        let rb = 1 + ((i % 2) as u8) * 8;
+        let center = self.app.input + row * self.app.row_bytes + x;
+        out.push(TraceOp::load(0, rb, coalesced(center)));
+        out.push(TraceOp::load(1, rb + 2, coalesced(center + 128)));
+        alu_block(out, &mut self.ctx.apc, 22, rb);
+        out.push(TraceOp::store(2, coalesced(self.app.output + row * self.app.row_bytes + x)).with_srcs([rb + 2]));
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

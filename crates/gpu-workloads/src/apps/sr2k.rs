@@ -8,12 +8,14 @@
 //! applications (§6.1.2) where DLP on a 16 KB cache *beats* the 32 KB
 //! configuration.
 
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
 use crate::pattern::{AddrSpace, F4, coalesced, desync, strided};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Symmetric rank-2k model. See the module docs.
+#[derive(Clone)]
 pub struct Sr2k {
     ctas: usize,
     warps: usize,
@@ -29,8 +31,9 @@ impl Sr2k {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, ksteps) = match scale {
             Scale::Tiny => (8, 4, 20),
-            Scale::Full => (64, 6, 48),
+            Scale::Full | Scale::Scaled(_) => (64, 6, 48),
         };
+        let ksteps = ksteps * scale.factor() as usize;
         let n = 256u64;
         let mut mem = AddrSpace::new();
         Sr2k {
@@ -54,41 +57,65 @@ impl Kernel for Sr2k {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        let row_bytes = self.n * F4;
-        let i = gwarp % self.n;
-        let j0 = (cta as u64 * 32) % self.n;
-        // The A[i][*]/B[i][*] row segments are staged once per 32-k
-        // tile; the L1D sees the two column gathers, a working set twice
-        // SRK's — past what 8 ways capture, within protection's reach.
-        let mut step = 0u64;
-        while step < self.ksteps as u64 {
-            if step % 32 == 0 {
-                let k = (gwarp % 8 + step * 8) % self.n;
-                ops.push(TraceOp::load(0, 20, coalesced(self.a + i * row_bytes + (k / 32) * 128)));
-                ops.push(TraceOp::load(1, 22, coalesced(self.b + i * row_bytes + (k / 32) * 128)));
-            }
-            let group = (self.ksteps as u64 - step).min(2);
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 8;
-                let k = (gwarp % 8 + (step + g) * 8) % self.n;
-                ops.push(TraceOp::load(2, rb, strided(self.a + j0 * row_bytes + k * F4, row_bytes)));
-                ops.push(TraceOp::load(3, rb + 1, strided(self.b + j0 * row_bytes + k * F4, row_bytes)));
-            }
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 8;
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 2));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 1, 22]).with_dst(rb + 3));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 2, rb + 3]).with_dst(rb + 4));
-            }
-            step += group;
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(Sr2kGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + n = the unroll-and-jam
+/// group starting at k-step `2n`; one final segment = the C store.
+struct Sr2kGen {
+    app: Sr2k,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for Sr2kGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops.push(TraceOp::store(4, strided(self.c + i * row_bytes + j0 * F4, F4)).with_srcs([2]));
-        ops
+        let row_bytes = self.app.n * F4;
+        let i = gwarp % self.app.n;
+        let j0 = (self.ctx.cta as u64 * 32) % self.app.n;
+        let ksteps = self.app.ksteps as u64;
+        let ngroups = ksteps.div_ceil(2);
+        let step = (seg - 1) * 2;
+        if seg - 1 < ngroups {
+            // The A[i][*]/B[i][*] row segments are staged once per 32-k
+            // tile; the L1D sees the two column gathers, a working set
+            // twice SRK's — past what 8 ways capture, within
+            // protection's reach.
+            if step % 32 == 0 {
+                let k = (gwarp % 8 + step * 8) % self.app.n;
+                out.push(TraceOp::load(0, 20, coalesced(self.app.a + i * row_bytes + (k / 32) * 128)));
+                out.push(TraceOp::load(1, 22, coalesced(self.app.b + i * row_bytes + (k / 32) * 128)));
+            }
+            let group = (ksteps - step).min(2);
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 8;
+                let k = (gwarp % 8 + (step + g) * 8) % self.app.n;
+                out.push(TraceOp::load(2, rb, strided(self.app.a + j0 * row_bytes + k * F4, row_bytes)));
+                out.push(TraceOp::load(3, rb + 1, strided(self.app.b + j0 * row_bytes + k * F4, row_bytes)));
+            }
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 8;
+                out.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 2));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 1, 22]).with_dst(rb + 3));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 2, rb + 3]).with_dst(rb + 4));
+            }
+            return true;
+        }
+        if seg - 1 == ngroups {
+            out.push(TraceOp::store(4, strided(self.app.c + i * row_bytes + j0 * F4, F4)).with_srcs([2]));
+            return true;
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -8,12 +8,14 @@
 //! in §6.3.1 — which is exactly why Stall-Bypass (which discards those
 //! reuses) loses 11 % IPC on it while the protecting schemes do not.
 
-use crate::pattern::{desync, alu_block, coalesced, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// SRAD model. See the module docs.
+#[derive(Clone)]
 pub struct Srad {
     ctas: usize,
     warps: usize,
@@ -29,17 +31,21 @@ impl Srad {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, rows) = match scale {
             Scale::Tiny => (4, 2, 8),
-            Scale::Full => (64, 6, 44),
+            Scale::Full | Scale::Scaled(_) => (64, 6, 44),
         };
+        let rows = rows * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         let row_bytes = 512 * 4;
+        // Grids grow with the scale factor so the deeper row walk stays
+        // inside its own region.
+        let grid_bytes = 512 * row_bytes * scale.factor();
         Srad {
             ctas,
             warps,
             rows,
-            image: mem.alloc(512 * row_bytes),
-            coeff: mem.alloc(512 * row_bytes),
-            out: mem.alloc(512 * row_bytes),
+            image: mem.alloc(grid_bytes),
+            coeff: mem.alloc(grid_bytes),
+            out: mem.alloc(grid_bytes),
             row_bytes,
         }
     }
@@ -54,25 +60,47 @@ impl Kernel for Srad {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(SradGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + r = row `r` of the strip.
+struct SradGen {
+    app: Srad,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for SradGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
         let strips = 512 / 32;
-        let gwarp = cta * self.warps + warp;
-        desync(&mut ops, &mut apc, gwarp as u64);
-        let col = ((gwarp % strips) * 32) as u64 * 4;
-        let row0 = (gwarp / strips * self.rows) as u64 % 500;
-        for r in 0..self.rows as u64 {
-            let rb = 1 + ((r % 2) as u8) * 8;
-            let center = self.image + (row0 + r + 1) * self.row_bytes + col;
-            ops.push(TraceOp::load(0, rb, coalesced(center)));
-            ops.push(TraceOp::load(1, rb + 2, coalesced(center - self.row_bytes)));
-            ops.push(TraceOp::load(2, rb + 4, coalesced(center + self.row_bytes)));
-            ops.push(TraceOp::load(3, rb + 6, coalesced(self.coeff + (row0 + r + 1) * self.row_bytes + col)));
-            alu_block(&mut ops, &mut apc, 26, rb);
-            ops.push(TraceOp::store(4, coalesced(self.out + (row0 + r + 1) * self.row_bytes + col)).with_srcs([rb + 2]));
+        let gwarp = self.ctx.cta * self.app.warps + self.ctx.warp;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp as u64);
+            return true;
         }
-        ops
+        let r = seg - 1;
+        if r >= self.app.rows as u64 {
+            return false;
+        }
+        let col = ((gwarp % strips) * 32) as u64 * 4;
+        let row0 = (gwarp / strips * self.app.rows) as u64 % 500;
+        let rb = 1 + ((r % 2) as u8) * 8;
+        let center = self.app.image + (row0 + r + 1) * self.app.row_bytes + col;
+        out.push(TraceOp::load(0, rb, coalesced(center)));
+        out.push(TraceOp::load(1, rb + 2, coalesced(center - self.app.row_bytes)));
+        out.push(TraceOp::load(2, rb + 4, coalesced(center + self.app.row_bytes)));
+        out.push(TraceOp::load(3, rb + 6, coalesced(self.app.coeff + (row0 + r + 1) * self.app.row_bytes + col)));
+        alu_block(out, &mut self.ctx.apc, 26, rb);
+        out.push(
+            TraceOp::store(4, coalesced(self.app.out + (row0 + r + 1) * self.app.row_bytes + col))
+                .with_srcs([rb + 2]),
+        );
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

@@ -8,12 +8,14 @@
 //! the interleaved set-level distances land beyond 4-way LRU but within
 //! protection reach — the classic inter-warp thrashing DLP recovers.
 
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
 use crate::pattern::{AddrSpace, F4, coalesced, desync, strided};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// Symmetric rank-k model. See the module docs.
+#[derive(Clone)]
 pub struct Srk {
     ctas: usize,
     warps: usize,
@@ -28,8 +30,9 @@ impl Srk {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, ksteps) = match scale {
             Scale::Tiny => (8, 4, 24),
-            Scale::Full => (64, 6, 64),
+            Scale::Full | Scale::Scaled(_) => (64, 6, 64),
         };
+        let ksteps = ksteps * scale.factor() as usize;
         let n = 256u64;
         let mut mem = AddrSpace::new();
         Srk { ctas, warps, n, ksteps, a: mem.alloc(n * n * F4), c: mem.alloc(n * n * F4) }
@@ -45,43 +48,66 @@ impl Kernel for Srk {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        let row_bytes = self.n * F4;
-        let i = gwarp % self.n;
-        let j0 = (cta as u64 * 32) % self.n;
-        // The A[i][*] row segment is staged once per 32-k tile; the L1D
-        // sees the A[j][*] column gather, whose lines are re-read both
-        // across this warp's k-steps (one line spans 32 k's) and by the
-        // other warps sharing the j-block.
-        let mut step = 0u64;
-        while step < self.ksteps as u64 {
-            if step % 32 == 0 {
-                let k = (gwarp % 8 + step * 8) % self.n;
-                ops.push(TraceOp::load(0, 20, coalesced(self.a + i * row_bytes + (k / 32) * 128)));
-            }
-            let group = (self.ksteps as u64 - step).min(3);
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 6;
-                let k = (gwarp % 8 + (step + g) * 8) % self.n;
-                // A[j][k] for j = j0..j0+32: column gather, one line per row.
-                ops.push(TraceOp::load(1, rb, strided(self.a + j0 * row_bytes + k * F4, row_bytes)));
-            }
-            for g in 0..group {
-                let rb = 1 + (g as u8) * 6;
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 1));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 2));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 2]).with_dst(rb + 3));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 3]).with_dst(rb + 4));
-                ops.push(TraceOp::alu(64, 4).with_srcs([rb + 4]).with_dst(rb + 5));
-            }
-            step += group;
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(SrkGen { app: self.clone(), ctx: WarpCtx::new(0, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + n = the unroll-and-jam
+/// group starting at k-step `3n`; one final segment = the C store.
+struct SrkGen {
+    app: Srk,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for SrkGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops.push(TraceOp::store(2, strided(self.c + i * row_bytes + j0 * F4, F4)).with_srcs([3]));
-        ops
+        let row_bytes = self.app.n * F4;
+        let i = gwarp % self.app.n;
+        let j0 = (self.ctx.cta as u64 * 32) % self.app.n;
+        let ksteps = self.app.ksteps as u64;
+        let ngroups = ksteps.div_ceil(3);
+        let step = (seg - 1) * 3;
+        if seg - 1 < ngroups {
+            // The A[i][*] row segment is staged once per 32-k tile; the
+            // L1D sees the A[j][*] column gather, whose lines are
+            // re-read both across this warp's k-steps (one line spans 32
+            // k's) and by the other warps sharing the j-block.
+            if step % 32 == 0 {
+                let k = (gwarp % 8 + step * 8) % self.app.n;
+                out.push(TraceOp::load(0, 20, coalesced(self.app.a + i * row_bytes + (k / 32) * 128)));
+            }
+            let group = (ksteps - step).min(3);
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 6;
+                let k = (gwarp % 8 + (step + g) * 8) % self.app.n;
+                // A[j][k] for j = j0..j0+32: column gather, one line per row.
+                out.push(TraceOp::load(1, rb, strided(self.app.a + j0 * row_bytes + k * F4, row_bytes)));
+            }
+            for g in 0..group {
+                let rb = 1 + (g as u8) * 6;
+                out.push(TraceOp::alu(64, 4).with_srcs([rb, 20]).with_dst(rb + 1));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 1]).with_dst(rb + 2));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 2]).with_dst(rb + 3));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 3]).with_dst(rb + 4));
+                out.push(TraceOp::alu(64, 4).with_srcs([rb + 4]).with_dst(rb + 5));
+            }
+            return true;
+        }
+        if seg - 1 == ngroups {
+            out.push(TraceOp::store(2, strided(self.app.c + i * row_bytes + j0 * F4, F4)).with_srcs([3]));
+            return true;
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

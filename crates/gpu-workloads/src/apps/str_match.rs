@@ -7,12 +7,14 @@
 //! memory-access ratio of the suite (rightmost bar of Figure 6), so the
 //! L1D is on the critical path for nearly every instruction.
 
-use crate::pattern::{desync, alu_block, coalesced, scatter, warp_rng, AddrSpace};
+use crate::gen::{GenStream, SegmentSource, WarpCtx};
+use crate::pattern::{alu_block, coalesced, desync, scatter, AddrSpace};
 use crate::registry::Scale;
 use gpu_sim::isa::TraceOp;
-use gpu_sim::{GridDesc, Kernel};
+use gpu_sim::{GridDesc, Kernel, OpStream};
 
 /// String-match model. See the module docs.
+#[derive(Clone)]
 pub struct StrMatch {
     ctas: usize,
     warps: usize,
@@ -31,14 +33,17 @@ impl StrMatch {
     pub fn new(scale: Scale) -> Self {
         let (ctas, warps, iters) = match scale {
             Scale::Tiny => (8, 4, 12),
-            Scale::Full => (96, 6, 32),
+            Scale::Full | Scale::Scaled(_) => (96, 6, 32),
         };
+        let iters = iters * scale.factor() as usize;
         let mut mem = AddrSpace::new();
         StrMatch {
             ctas,
             warps,
             iters,
-            text: mem.alloc(64 << 20),
+            // The streamed text grows with the scale factor so the
+            // longer chunk walk stays inside its own region.
+            text: mem.alloc((64 << 20) * scale.factor()),
             buckets: mem.alloc(16 << 10),
             bucket_bytes: 16 << 10,
             keywords: mem.alloc(16 << 10),
@@ -58,31 +63,49 @@ impl Kernel for StrMatch {
         GridDesc { num_ctas: self.ctas, warps_per_cta: self.warps }
     }
 
-    fn warp_ops(&self, cta: usize, warp: usize) -> Vec<TraceOp> {
-        let mut rng = warp_rng(self.seed, cta, warp);
-        let mut ops = Vec::new();
-        let mut apc = 64;
-        let gwarp = (cta * self.warps + warp) as u64;
-        desync(&mut ops, &mut apc, gwarp);
-        for i in 0..self.iters as u64 {
-            // Stream a text chunk.
-            let rb = 1 + ((i % 2) as u8) * 8;
-            let chunk = self.text + (gwarp * self.iters as u64 + i) * 256;
-            ops.push(TraceOp::load(0, rb, coalesced(chunk)));
-            ops.push(TraceOp::load(1, rb + 1, coalesced(chunk + 128)));
-            alu_block(&mut ops, &mut apc, 2, rb);
-            // Hash-bucket probe for each lane's shingle.
-            let probes = scatter(&mut rng, self.buckets, self.bucket_bytes, 16);
-            ops.push(TraceOp::load(2, rb + 2, probes));
-            // Compare against candidate keywords.
-            let kws = scatter(&mut rng, self.keywords, self.keyword_bytes, 8);
-            ops.push(TraceOp::load(3, rb + 3, kws));
-            alu_block(&mut ops, &mut apc, 2, rb + 2);
-            if i % 4 == 3 {
-                ops.push(TraceOp::store(4, coalesced(self.matches + gwarp * 128)).with_srcs([rb + 3]));
-            }
+    fn warp_stream(&self, cta: usize, warp: usize) -> Box<dyn OpStream> {
+        Box::new(GenStream::new(StrGen { app: self.clone(), ctx: WarpCtx::new(self.seed, cta, warp) }))
+    }
+}
+
+/// Segment 0 = desync prologue; segment 1 + i = text chunk `i`.
+struct StrGen {
+    app: StrMatch,
+    ctx: WarpCtx,
+}
+
+impl SegmentSource for StrGen {
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+        let gwarp = (self.ctx.cta * self.app.warps + self.ctx.warp) as u64;
+        if seg == 0 {
+            desync(out, &mut self.ctx.apc, gwarp);
+            return true;
         }
-        ops
+        let i = seg - 1;
+        if i >= self.app.iters as u64 {
+            return false;
+        }
+        // Stream a text chunk.
+        let rb = 1 + ((i % 2) as u8) * 8;
+        let chunk = self.app.text + (gwarp * self.app.iters as u64 + i) * 256;
+        out.push(TraceOp::load(0, rb, coalesced(chunk)));
+        out.push(TraceOp::load(1, rb + 1, coalesced(chunk + 128)));
+        alu_block(out, &mut self.ctx.apc, 2, rb);
+        // Hash-bucket probe for each lane's shingle.
+        let probes = scatter(&mut self.ctx.rng, self.app.buckets, self.app.bucket_bytes, 16);
+        out.push(TraceOp::load(2, rb + 2, probes));
+        // Compare against candidate keywords.
+        let kws = scatter(&mut self.ctx.rng, self.app.keywords, self.app.keyword_bytes, 8);
+        out.push(TraceOp::load(3, rb + 3, kws));
+        alu_block(out, &mut self.ctx.apc, 2, rb + 2);
+        if i % 4 == 3 {
+            out.push(TraceOp::store(4, coalesced(self.app.matches + gwarp * 128)).with_srcs([rb + 3]));
+        }
+        true
+    }
+
+    fn reset(&mut self) {
+        self.ctx.reset();
     }
 }
 

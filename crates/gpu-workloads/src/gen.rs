@@ -1,0 +1,206 @@
+//! Generator-style warp streams: each benchmark model emits its trace
+//! one *segment* at a time instead of materializing the whole warp.
+//!
+//! A segment is one natural unit of the app's loop structure — the
+//! desync prologue, one loop iteration (or one unroll-and-jam group),
+//! or a trailing epilogue store. [`GenStream`] adapts a
+//! [`SegmentSource`] to the simulator's [`OpStream`] cursor interface
+//! with a single-segment buffer, so a warp's resident trace state is
+//! bounded by its largest segment no matter how many iterations the
+//! scale axis multiplies in.
+//!
+//! Byte-identity with the old materialized traces is guaranteed by
+//! construction: each app's per-iteration body moved verbatim from its
+//! former `warp_ops` into [`SegmentSource::emit`], and the carried
+//! state (RNG, ALU pc counter) threads through segments exactly as it
+//! threaded through the original loop. `tests/stream_equivalence.rs`
+//! pins this per app.
+
+use crate::pattern::warp_rng;
+use gpu_sim::isa::TraceOp;
+use gpu_sim::stream::{ops_bytes, OpStream};
+use rand::rngs::StdRng;
+
+/// Per-warp state every generator carries: position, the ALU-pc
+/// counter that `alu_block`/`desync` advance, the deterministic
+/// per-warp RNG, and a reusable lane-address scratch buffer so the hot
+/// path allocates nothing beyond the op-owned address vectors.
+pub struct WarpCtx {
+    /// CTA index of this warp.
+    pub cta: usize,
+    /// Warp index within the CTA.
+    pub warp: usize,
+    /// Next ALU pc — starts at 64, above the memory-pc space.
+    pub apc: u32,
+    /// Deterministic per-warp RNG (state advances across segments
+    /// exactly as it advanced across the original loop iterations).
+    pub rng: StdRng,
+    /// Reusable lane-address build buffer for `*_into` pattern helpers.
+    pub scratch: Vec<u64>,
+    seed: u64,
+}
+
+impl WarpCtx {
+    /// Fresh state for `(seed, cta, warp)`. Apps without an RNG pass
+    /// any fixed seed; the RNG is simply never consumed.
+    pub fn new(seed: u64, cta: usize, warp: usize) -> Self {
+        WarpCtx { cta, warp, apc: 64, rng: warp_rng(seed, cta, warp), scratch: Vec::new(), seed }
+    }
+
+    /// Rewind to the state [`WarpCtx::new`] produced (same RNG stream,
+    /// `apc` back at 64) for an identical replay.
+    pub fn reset(&mut self) {
+        self.apc = 64;
+        self.rng = warp_rng(self.seed, self.cta, self.warp);
+        self.scratch.clear();
+    }
+}
+
+/// One benchmark warp as a sequence of segments.
+///
+/// `emit` is called with `seg` = 0, 1, 2, ... in order; it appends
+/// segment `seg`'s ops to `out` and returns `true`, or returns `false`
+/// (appending nothing) once `seg` is past the end. State carried
+/// across segments (RNG, apc) must advance only in calls that return
+/// `true`, and [`SegmentSource::reset`] must restore it so the segment
+/// sequence replays identically.
+pub trait SegmentSource: Send {
+    /// Append segment `seg`'s ops; `false` = no such segment.
+    fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool;
+
+    /// Restore the post-construction state for an identical replay.
+    fn reset(&mut self);
+}
+
+/// [`OpStream`] over a [`SegmentSource`]: buffers exactly one segment
+/// at a time, reusing the buffer's capacity across refills.
+pub struct GenStream<G: SegmentSource> {
+    gen: G,
+    seg: u64,
+    buf: Vec<TraceOp>,
+    at: usize,
+    done: bool,
+    peak: usize,
+}
+
+impl<G: SegmentSource> GenStream<G> {
+    /// Wrap a segment source positioned at its first segment.
+    pub fn new(gen: G) -> Self {
+        GenStream { gen, seg: 0, buf: Vec::new(), at: 0, done: false, peak: 0 }
+    }
+
+    fn fill(&mut self) {
+        while self.at >= self.buf.len() && !self.done {
+            self.buf.clear();
+            self.at = 0;
+            if self.gen.emit(self.seg, &mut self.buf) {
+                self.seg += 1;
+                self.peak = self.peak.max(ops_bytes(&self.buf));
+            } else {
+                self.done = true;
+            }
+        }
+    }
+}
+
+impl<G: SegmentSource> OpStream for GenStream<G> {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        self.fill();
+        if self.at >= self.buf.len() {
+            return None;
+        }
+        // Move the op out, leaving a heap-free placeholder so consumed
+        // slots cost nothing and the buffer keeps its capacity.
+        let op = std::mem::replace(&mut self.buf[self.at], TraceOp::alu(0, 0));
+        self.at += 1;
+        Some(op)
+    }
+
+    fn peek(&mut self) -> Option<&TraceOp> {
+        self.fill();
+        self.buf.get(self.at)
+    }
+
+    fn reset(&mut self) {
+        self.gen.reset();
+        self.seg = 0;
+        self.buf.clear();
+        self.at = 0;
+        self.done = false;
+    }
+
+    fn resident_bytes(&self) -> usize {
+        ops_bytes(&self.buf)
+    }
+
+    fn peak_resident_bytes(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::stream::materialize;
+
+    /// Three segments of one ALU op each, pc = segment index.
+    struct Three;
+    impl SegmentSource for Three {
+        fn emit(&mut self, seg: u64, out: &mut Vec<TraceOp>) -> bool {
+            if seg >= 3 {
+                return false;
+            }
+            out.push(TraceOp::alu(seg as u32 + 100, 1));
+            true
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn segments_concatenate_in_order() {
+        let ops = materialize(Box::new(GenStream::new(Three)));
+        let pcs: Vec<u32> = ops.iter().map(|o| o.pc).collect();
+        assert_eq!(pcs, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn peek_then_next_agree_across_refills() {
+        let mut s = GenStream::new(Three);
+        for _ in 0..3 {
+            let peeked = s.peek().expect("op").pc;
+            assert_eq!(s.next_op().expect("op").pc, peeked);
+        }
+        assert!(s.peek().is_none());
+        assert!(s.next_op().is_none());
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let mut s = GenStream::new(Three);
+        let first: Vec<u32> = std::iter::from_fn(|| s.next_op()).map(|o| o.pc).collect();
+        s.reset();
+        let again: Vec<u32> = std::iter::from_fn(|| s.next_op()).map(|o| o.pc).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn resident_state_is_one_segment() {
+        let mut s = GenStream::new(Three);
+        s.peek();
+        // One buffered ALU op, never the whole three-segment trace.
+        assert_eq!(s.resident_bytes(), std::mem::size_of::<TraceOp>());
+        while s.next_op().is_some() {}
+        assert_eq!(s.peak_resident_bytes(), std::mem::size_of::<TraceOp>());
+    }
+
+    #[test]
+    fn warp_ctx_reset_restores_rng_and_apc() {
+        let mut ctx = WarpCtx::new(7, 1, 2);
+        let a: u64 = rand::Rng::gen(&mut ctx.rng);
+        ctx.apc = 99;
+        ctx.reset();
+        let b: u64 = rand::Rng::gen(&mut ctx.rng);
+        assert_eq!(a, b);
+        assert_eq!(ctx.apc, 64);
+    }
+}

@@ -24,7 +24,11 @@
 #![forbid(unsafe_code)]
 
 pub mod apps;
+pub mod gen;
 pub mod pattern;
 pub mod registry;
+pub mod trace;
 
+pub use gen::{GenStream, SegmentSource, WarpCtx};
 pub use registry::{build, registry, AppClass, BenchSpec, Scale};
+pub use trace::{TraceError, TraceKernel};

@@ -46,26 +46,60 @@ pub fn warp_rng(kernel_seed: u64, cta: usize, warp: usize) -> StdRng {
     StdRng::seed_from_u64(mix)
 }
 
-/// 32 unit-stride lane addresses starting at `base` (fully coalesced:
-/// one 128-byte transaction when `base` is line aligned).
+/// Append 32 unit-stride lane addresses starting at `base` to `out`
+/// (fully coalesced: one 128-byte transaction when `base` is line
+/// aligned). The `*_into` forms write into caller-owned storage so the
+/// streaming hot path reuses one scratch buffer instead of allocating
+/// a temporary per call; the only allocation left on that path is the
+/// lane vector each `TraceOp::Mem` must own.
+pub fn coalesced_into(out: &mut Vec<u64>, base: u64) {
+    out.extend((0..32).map(|l| base + l * F4));
+}
+
+/// Allocating wrapper over [`coalesced_into`] for single-use sites
+/// (the vector moves straight into the op).
 pub fn coalesced(base: u64) -> Vec<u64> {
-    (0..32).map(|l| base + l * F4).collect()
+    let mut v = Vec::with_capacity(32);
+    coalesced_into(&mut v, base);
+    v
 }
 
-/// 32 lane addresses with a fixed byte stride between lanes.
+/// Append 32 lane addresses with a fixed byte stride between lanes.
+pub fn strided_into(out: &mut Vec<u64>, base: u64, stride: u64) {
+    out.extend((0..32).map(|l| base + l * stride));
+}
+
+/// Allocating wrapper over [`strided_into`].
 pub fn strided(base: u64, stride: u64) -> Vec<u64> {
-    (0..32).map(|l| base + l * stride).collect()
+    let mut v = Vec::with_capacity(32);
+    strided_into(&mut v, base, stride);
+    v
 }
 
-/// All lanes read the same address (a broadcast — one transaction).
+/// Append 32 copies of one address (a broadcast — one transaction).
+pub fn broadcast_into(out: &mut Vec<u64>, addr: u64) {
+    out.extend(std::iter::repeat_n(addr, 32));
+}
+
+/// Allocating wrapper over [`broadcast_into`].
 pub fn broadcast(addr: u64) -> Vec<u64> {
-    vec![addr; 32]
+    let mut v = Vec::with_capacity(32);
+    broadcast_into(&mut v, addr);
+    v
 }
 
-/// `n` random lane addresses inside `[base, base + bytes)`, 4-byte
-/// aligned — a scatter/gather touching up to `n` distinct sectors.
+/// Append `n` random lane addresses inside `[base, base + bytes)`,
+/// 4-byte aligned — a scatter/gather touching up to `n` distinct
+/// sectors.
+pub fn scatter_into(rng: &mut StdRng, out: &mut Vec<u64>, base: u64, bytes: u64, n: usize) {
+    out.extend((0..n).map(|_| base + (rng.gen_range(0..bytes / F4)) * F4));
+}
+
+/// Allocating wrapper over [`scatter_into`].
 pub fn scatter(rng: &mut StdRng, base: u64, bytes: u64, n: usize) -> Vec<u64> {
-    (0..n).map(|_| base + (rng.gen_range(0..bytes / F4)) * F4).collect()
+    let mut v = Vec::with_capacity(n);
+    scatter_into(rng, &mut v, base, bytes, n);
+    v
 }
 
 /// Push `n` dependent ALU ops (a latency chain consuming `src`), the
@@ -145,6 +179,26 @@ mod tests {
         let addrs = scatter(&mut rng, 0x10000, 4096, 16);
         assert_eq!(addrs.len(), 16);
         assert!(addrs.iter().all(|&a| (0x10000..0x11000).contains(&a)));
+    }
+
+    #[test]
+    fn into_forms_append_and_match_wrappers() {
+        let mut v = vec![7u64];
+        coalesced_into(&mut v, 0x1000);
+        assert_eq!(v[0], 7, "appends, never clears");
+        assert_eq!(&v[1..], coalesced(0x1000).as_slice());
+        v.clear();
+        strided_into(&mut v, 0x2000, 16);
+        assert_eq!(v, strided(0x2000, 16));
+        v.clear();
+        broadcast_into(&mut v, 0x42c0);
+        assert_eq!(v, broadcast(0x42c0));
+        // Both scatter forms consume the RNG identically.
+        let mut r1 = warp_rng(9, 0, 0);
+        let mut r2 = warp_rng(9, 0, 0);
+        v.clear();
+        scatter_into(&mut r1, &mut v, 0x10000, 4096, 16);
+        assert_eq!(v, scatter(&mut r2, 0x10000, 4096, 16));
     }
 
     #[test]

@@ -38,6 +38,24 @@ pub enum Scale {
     Tiny,
     /// The evaluation size used to regenerate the paper's figures.
     Full,
+    /// `Full` dimensions with per-warp trace lengths and the streamed
+    /// footprints multiplied by the factor — the ISSUE 10 scale axis
+    /// (`DLP_SCALE=10|100|1000`). The grid stays at `Full` size so SM
+    /// occupancy and resident-warp contention remain comparable along
+    /// the axis; what grows is the work (and memory touched) per warp.
+    /// `Scaled(1)` is trace-identical to `Full`.
+    Scaled(u32),
+}
+
+impl Scale {
+    /// The trace-length multiplier: 1 for `Tiny`/`Full`, the factor
+    /// for `Scaled` (clamped to at least 1).
+    pub fn factor(&self) -> u64 {
+        match self {
+            Scale::Scaled(f) => u64::from(*f).max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// All 18 applications, in Table 2 order.
